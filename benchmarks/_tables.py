@@ -1,0 +1,51 @@
+"""Shared helpers for the experiment benches.
+
+Each bench regenerates one experiment from DESIGN.md's per-experiment
+index: it runs the workload, prints the paper-shaped table, and persists
+the rows under ``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Iterable, Mapping
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_table(
+    experiment: str,
+    title: str,
+    rows: Iterable[Mapping[str, object]],
+    claim: str = "",
+) -> list[dict]:
+    """Print rows as an aligned table and save them as JSON."""
+    rows = [dict(r) for r in rows]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [f"== {experiment}: {title} =="]
+    if claim:
+        lines.append(f"claim: {claim}")
+    if rows:
+        keys = list(rows[0].keys())
+        widths = {
+            k: max(len(str(k)), *(len(_fmt(r.get(k))) for r in rows)) for k in keys
+        }
+        lines.append("  ".join(str(k).ljust(widths[k]) for k in keys))
+        for r in rows:
+            lines.append("  ".join(_fmt(r.get(k)).ljust(widths[k]) for k in keys))
+    text = "\n".join(lines)
+    # stdout for -s runs; the file for EXPERIMENTS.md
+    print("\n" + text, file=sys.stderr)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"{experiment}.json").write_text(json.dumps(rows, indent=2))
+    return rows
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.4f}" if abs(value) < 10 else f"{value:,.1f}"
+    return str(value)

@@ -1,0 +1,118 @@
+"""E12 — Substrate sanity: the Section 3.1 sketch guarantees.
+
+* CountSketch: per-item additive error concentrates below
+  ``c sqrt(F2 / buckets)``; sweep buckets and verify the sqrt scaling.
+* AMS: (1 +- eps) F2 with error shrinking as registers grow.
+* Ablation: 4-wise vs 2-wise CountSketch sign hashes; Count-Min (F1-error
+  baseline) for contrast — its error scale is F1/buckets, far worse on
+  skewed turnstile data.
+
+These are the exact guarantees Lemma 18 and Algorithm 2 consume.
+"""
+
+import math
+import statistics
+
+from repro.sketch.ams import AmsF2Sketch
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.countsketch import CountSketch
+from repro.streams.generators import zipf_stream
+
+from _tables import emit_table
+
+N = 2048
+
+
+def _stream(seed=5):
+    return zipf_stream(n=N, total_mass=50_000, skew=1.1, seed=seed)
+
+
+def run_countsketch_sweep() -> list[dict]:
+    stream = _stream()
+    vec = stream.frequency_vector()
+    f2 = vec.f_moment(2)
+    items = [item for item, _ in vec.items()][:400]
+    rows = []
+    for buckets in (64, 256, 1024):
+        for independence in (4, 2):
+            errors = []
+            cs = CountSketch(5, buckets, seed=buckets + independence,
+                             sign_independence=independence)
+            cs.process(stream)
+            for item in items:
+                errors.append(abs(cs.estimate(item) - vec[item]))
+            theory = math.sqrt(f2 / buckets)
+            rows.append(
+                {
+                    "sketch": f"CountSketch({independence}-wise)",
+                    "buckets": buckets,
+                    "median_abs_error": statistics.median(errors),
+                    "p95_abs_error": sorted(errors)[int(0.95 * len(errors))],
+                    "theory_sqrt(F2/b)": theory,
+                }
+            )
+    # Count-Min contrast (insertion-only guarantee; error scale F1/b)
+    f1 = vec.f_moment(1)
+    for buckets in (64, 256, 1024):
+        cm = CountMinSketch(5, buckets, seed=buckets)
+        cm.process(stream)
+        errors = [abs(cm.estimate(item) - vec[item]) for item in items]
+        rows.append(
+            {
+                "sketch": "Count-Min",
+                "buckets": buckets,
+                "median_abs_error": statistics.median(errors),
+                "p95_abs_error": sorted(errors)[int(0.95 * len(errors))],
+                "theory_sqrt(F2/b)": f1 / buckets,  # its own error scale
+            }
+        )
+    return rows
+
+
+def run_ams_sweep() -> list[dict]:
+    stream = _stream()
+    f2 = stream.frequency_vector().f_moment(2)
+    rows = []
+    for means in (8, 32, 128):
+        errs = []
+        for seed in range(6):
+            ams = AmsF2Sketch(5, means, seed=seed).process(stream)
+            errs.append(abs(ams.estimate() - f2) / f2)
+        rows.append(
+            {
+                "sketch": "AMS",
+                "buckets": means,
+                "median_abs_error": statistics.median(errs),
+                "p95_abs_error": max(errs),
+                "theory_sqrt(F2/b)": math.sqrt(2.0 / means),
+            }
+        )
+    return rows
+
+
+def test_e12_sketch_guarantees(benchmark):
+    stream = _stream()
+
+    def core():
+        cs = CountSketch(5, 256, seed=1)
+        cs.process(stream)
+        return cs.estimate(0)
+
+    benchmark(core)
+    cs_rows = run_countsketch_sweep()
+    ams_rows = run_ams_sweep()
+    rows = emit_table(
+        "E12",
+        "sketch guarantees: CountSketch sqrt(F2/b), AMS concentration, baselines",
+        cs_rows + ams_rows,
+        claim="CountSketch error tracks sqrt(F2/b) and halves per 4x "
+        "buckets; AMS error shrinks with registers; Count-Min error is on "
+        "the (much larger) F1/b scale",
+    )
+    cs4 = [r for r in rows if r["sketch"] == "CountSketch(4-wise)"]
+    # sqrt scaling: 16x buckets => ~4x less error (allow 2x slop)
+    assert cs4[0]["median_abs_error"] > cs4[-1]["median_abs_error"]
+    for r in cs4:
+        assert r["median_abs_error"] <= 2.0 * r["theory_sqrt(F2/b)"]
+    ams = [r for r in rows if r["sketch"] == "AMS"]
+    assert ams[-1]["median_abs_error"] < 0.25

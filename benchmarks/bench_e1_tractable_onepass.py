@@ -1,0 +1,67 @@
+"""E1 — Theorem 2 upper bound: 1-pass g-SUM for tractable functions.
+
+For each function the paper certifies 1-pass tractable, run the full
+pipeline (CountSketch + AMS heavy hitters layered through the Recursive
+Sketch) on a Zipf turnstile stream and report relative error and space.
+Claimed shape: every row achieves small constant relative error with
+space far below exact tabulation, in a single pass.
+"""
+
+import pytest
+
+from repro.core.gsum import estimate_gsum
+from repro.functions.library import tractable_onepass_examples
+from repro.streams.generators import zipf_stream
+
+from _tables import emit_table
+
+N = 4096
+MASS = 120_000
+
+
+def _workload():
+    return zipf_stream(n=N, total_mass=MASS, skew=1.2, seed=101, turnstile_noise=0.2)
+
+
+def run_experiment() -> list[dict]:
+    stream = _workload()
+    exact_space = stream.frequency_vector().support_size()
+    rows = []
+    for g in tractable_onepass_examples():
+        result = estimate_gsum(
+            stream, g, epsilon=0.25, passes=1, heaviness=0.08,
+            repetitions=3, seed=7,
+        )
+        rows.append(
+            {
+                "function": g.name,
+                "exact": result.exact,
+                "estimate": result.estimate,
+                "rel_error": result.relative_error,
+                "sketch_counters": result.space_counters,
+                "exact_counters": exact_space,
+                "passes": 1,
+            }
+        )
+    return rows
+
+
+def test_e1_tractable_one_pass(benchmark):
+    stream = _workload()
+    g = tractable_onepass_examples()[3]  # x^2
+
+    def core():
+        return estimate_gsum(
+            stream, g, epsilon=0.25, passes=1, heaviness=0.15,
+            repetitions=1, seed=3, levels=6,
+        ).estimate
+
+    benchmark(core)
+    rows = emit_table(
+        "E1",
+        "1-pass (g, eps)-SUM for certified-tractable functions",
+        run_experiment(),
+        claim="Theorem 2: all rows get constant relative error in one pass",
+    )
+    # the headline: every certified function estimates within 50%
+    assert all(r["rel_error"] < 0.5 for r in rows)

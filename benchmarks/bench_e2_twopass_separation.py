@@ -1,0 +1,146 @@
+"""E2 — Theorem 2 vs Theorem 3: the predictability separation.
+
+``(2 + sin sqrt(x)) x^2`` is slow-jumping and slow-dropping but NOT
+predictable: at scale x, a +-O(sqrt x) frequency error swings the phase of
+the sinusoid by a constant and flips g by up to 3x.  We build a stream
+whose F2 noise floor forces exactly that CountSketch error on a band of
+adversarial items, then compare the heavy-hitter covers:
+
+* the 1-pass cover (Algorithm 2) must score items as g(estimated
+  frequency) — its per-item g-weights are off by constants, and with
+  pruning enabled it (correctly) refuses to certify the unstable items;
+* the 2-pass cover (Algorithm 1) tabulates frequencies exactly — weights
+  are exact.
+
+Claimed shape: 1-pass per-item weight error is large (or items are
+pruned), 2-pass weight error is zero — the content of "predictability is
+unnecessary with two passes".
+"""
+
+import math
+import statistics
+
+from repro.core.heavy_hitters import OnePassGHeavyHitter, TwoPassGHeavyHitter
+from repro.functions.library import sin_sqrt_x2
+from repro.streams.model import StreamUpdate, TurnstileStream
+
+from _tables import emit_table
+
+N = 8192
+NOISE_ITEMS = 4000
+NOISE_FREQ = 137
+ADV_ITEMS = 10
+# Plant the adversarial band at a zero crossing of sin(sqrt(x)) — the
+# steepest point: sqrt(x) ~ 16*pi, i.e. x ~ 2527 — so every item's g-value
+# is maximally sensitive to frequency error.
+ADV_CENTER = 2527
+# With 4000 noise items hashed into <= 1024 buckets, every row of the
+# CountSketch carries ~4 colliding noise items: frequency estimates for
+# the adversarial band are off by ~ +-sqrt(F2/b) ~ 270 — enough to flip
+# sin(sqrt(x)) but far too small to confuse item identities.
+CS_BUCKETS = 1024
+
+
+def _workload(seed: int) -> tuple[TurnstileStream, dict[int, int]]:
+    stream = TurnstileStream(N)
+    adv = {}
+    for k in range(ADV_ITEMS):
+        freq = ADV_CENTER + 3 * k + seed  # stay near the zero crossing
+        adv[k] = freq
+        stream.append(StreamUpdate(k, freq))
+    for j in range(NOISE_ITEMS):
+        stream.append(StreamUpdate(ADV_ITEMS + j, NOISE_FREQ))
+    return stream, adv
+
+
+def _weight_errors(cover, adv, g):
+    errors, found = [], 0
+    for pair in cover:
+        if pair.item in adv:
+            found += 1
+            exact = g(adv[pair.item])
+            errors.append(abs(pair.g_weight - exact) / exact)
+    return errors, found
+
+
+def run_experiment() -> list[dict]:
+    g = sin_sqrt_x2()
+    rows = []
+    for label, make in (
+        (
+            "1-pass (no prune)",
+            lambda seed: OnePassGHeavyHitter(
+                g, 0.02, 0.1, 0.1, N, prune=False, seed=seed,
+                cs_max_buckets=CS_BUCKETS,
+            ),
+        ),
+        (
+            "1-pass (pruned)",
+            lambda seed: OnePassGHeavyHitter(
+                g, 0.02, 0.1, 0.1, N, prune=True, seed=seed,
+                cs_max_buckets=CS_BUCKETS,
+            ),
+        ),
+    ):
+        errors, founds = [], []
+        for seed in range(3):
+            stream, adv = _workload(seed)
+            hh = make(1000 + seed).process(stream)
+            errs, found = _weight_errors(hh.cover(), adv, g)
+            errors.extend(errs)
+            founds.append(found)
+        rows.append(
+            {
+                "algorithm": label,
+                "adv_items_scored": statistics.median(founds),
+                "median_weight_error": statistics.median(errors) if errors else 0.0,
+                "max_weight_error": max(errors) if errors else 0.0,
+            }
+        )
+    # 2-pass: exact tabulation
+    errors, founds = [], []
+    for seed in range(3):
+        stream, adv = _workload(seed)
+        hh = TwoPassGHeavyHitter(
+            g, 0.02, 0.1, N, seed=2000 + seed, cs_max_buckets=CS_BUCKETS
+        )
+        cover = hh.run(stream)
+        errs, found = _weight_errors(cover, adv, g)
+        errors.extend(errs)
+        founds.append(found)
+    rows.append(
+        {
+            "algorithm": "2-pass",
+            "adv_items_scored": statistics.median(founds),
+            "median_weight_error": statistics.median(errors) if errors else 0.0,
+            "max_weight_error": max(errors) if errors else 0.0,
+        }
+    )
+    return rows
+
+
+def test_e2_two_pass_separation(benchmark):
+    g = sin_sqrt_x2()
+    stream, adv = _workload(0)
+
+    def core():
+        hh = TwoPassGHeavyHitter(g, 0.05, 0.1, N, seed=1)
+        return len(hh.run(stream))
+
+    benchmark(core)
+    rows = emit_table(
+        "E2",
+        "unpredictable g: per-item cover weights, 1-pass vs 2-pass",
+        run_experiment(),
+        claim="1-pass weights are off by constants (or pruned away); "
+        "2-pass weights are exact — Theorem 3's separation",
+    )
+    by = {r["algorithm"]: r for r in rows}
+    assert by["2-pass"]["median_weight_error"] == 0.0
+    assert by["2-pass"]["adv_items_scored"] == ADV_ITEMS
+    assert by["1-pass (no prune)"]["median_weight_error"] > 0.1
+    # pruning trades mis-scoring for refusal: fewer certified items
+    assert (
+        by["1-pass (pruned)"]["adv_items_scored"]
+        <= by["1-pass (no prune)"]["adv_items_scored"]
+    )

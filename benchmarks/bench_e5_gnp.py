@@ -1,0 +1,76 @@
+"""E5 — Propositions 53/54: g_np is nearly periodic yet 1-pass tractable.
+
+Sweep the heaviness parameter of the custom g_np heavy-hitter sketch on
+planted instances (one odd-frequency item over a power-of-two noise
+floor).  Claimed shape: near-perfect recovery with polylog-counter space,
+with exact g-values (the sketch reads g_np off the counters' low bits);
+recovery survives turnstile churn.
+"""
+
+from repro.core.gnp import GnpHeavyHitterSketch
+from repro.functions.library import g_np
+from repro.streams.generators import planted_heavy_hitter_stream
+
+from _tables import emit_table
+
+N = 4096
+TRIALS = 10
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for heaviness in (0.5, 0.3, 0.2):
+        hits = 0
+        exact_values = 0
+        space = 0
+        for seed in range(TRIALS):
+            stream, heavy = planted_heavy_hitter_stream(
+                N, heavy_frequency=3, noise_frequency=1024,
+                noise_support=300, seed=seed, turnstile_noise=0.3,
+            )
+            sketch = GnpHeavyHitterSketch(N, heaviness=heaviness, seed=777 + seed)
+            sketch.process(stream)
+            space = sketch.space_counters
+            cover = {p.item: p.g_weight for p in sketch.cover()}
+            if heavy in cover:
+                hits += 1
+                truth = g_np()(stream.frequency_vector()[heavy])
+                exact_values += int(cover[heavy] == truth)
+        rows.append(
+            {
+                "heaviness": heaviness,
+                "recovery_rate": hits / TRIALS,
+                "exact_g_value_rate": exact_values / max(hits, 1),
+                "space_counters": space,
+                "domain": N,
+            }
+        )
+    return rows
+
+
+def test_e5_gnp_recovery(benchmark):
+    stream, _ = planted_heavy_hitter_stream(
+        N, heavy_frequency=3, noise_frequency=1024, noise_support=300, seed=1
+    )
+
+    def core():
+        sketch = GnpHeavyHitterSketch(N, heaviness=0.3, seed=5)
+        sketch.process(stream)
+        return len(sketch.cover())
+
+    benchmark(core)
+    rows = emit_table(
+        "E5",
+        "g_np heavy-hitter recovery (Proposition 54 algorithm)",
+        run_experiment(),
+        claim="a nearly periodic function, 1-pass tractable: high recovery, "
+        "exact g-values, space << domain",
+    )
+    assert all(r["recovery_rate"] >= 0.8 for r in rows)
+    assert all(r["exact_g_value_rate"] == 1.0 for r in rows)
+    # space is poly(1/lambda) * polylog(n) — independent of n; at moderate
+    # heaviness it is far below the domain (the O(lambda^-2) substream
+    # count dominates as heaviness shrinks)
+    assert all(
+        r["space_counters"] < N for r in rows if r["heaviness"] >= 0.5
+    )

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Network-monitoring anomaly mass from one universal sketch.
+
+Section 1.1.2's second scenario: very low per-source traffic suggests
+broken equipment, very high traffic suggests a denial-of-service flood —
+an anomaly score that is non-monotone in the flow volume.  The score mass
+``sum_src g(volume_src)`` is a g-SUM; one universal sketch of the flow
+stream answers it alongside the usual monitoring statistics (flow count,
+F2 for heavy-hitter share, entropy proxy for scans).
+
+Run:  python examples/network_anomaly.py
+"""
+
+from repro.applications.utility import anomaly_score_function
+from repro.core.universal import UniversalGSumSketch
+from repro.functions.library import moment
+from repro.streams.generators import zipf_stream
+from repro.streams.model import StreamUpdate
+
+
+def main() -> None:
+    n_sources = 4096
+    low, high = 8, 2000
+    g_anomaly = anomaly_score_function(low, high)
+
+    # baseline traffic...
+    stream = zipf_stream(n_sources, total_mass=200_000, skew=1.1, seed=9)
+    # ...one DoS flood and a few dying links (trickle traffic)
+    stream.append(StreamUpdate(17, 80_000))
+    for src in (101, 202, 303):
+        stream.append(StreamUpdate(src, 1))
+
+    sketch = UniversalGSumSketch(
+        n_sources, epsilon=0.25, heaviness=0.05, repetitions=3, seed=4
+    )
+    sketch.process(stream)
+
+    vec = stream.frequency_vector()
+    rows = [
+        ("anomaly mass", g_anomaly, vec.g_sum(g_anomaly)),
+        ("active flows (F0)", None, float(vec.support_size())),
+        ("traffic volume (F1)", moment(1.0), vec.g_sum(moment(1.0))),
+        ("heavy-hitter share (F2)", moment(2.0), vec.g_sum(moment(2.0))),
+    ]
+    print(f"one universal sketch: {sketch.space_counters:,} counters, one pass\n")
+    print(f"{'metric':26s} {'sketched':>16s} {'exact':>16s} {'err':>7s}")
+    for name, g, exact in rows:
+        est = sketch.distinct_count() if g is None else sketch.estimate(g)
+        err = abs(est - exact) / max(exact, 1e-12)
+        print(f"{name:26s} {est:>16,.1f} {exact:>16,.1f} {err:>6.1%}")
+
+    print("\nevery metric came from the same g-oblivious sketch — g is "
+          "chosen at query\ntime, which is exactly what Theorem 13's "
+          "reduction makes possible.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Query-optimizer statistics from one pass over a column (Section 1.1.3).
+
+A planner costing ``SELECT ... FROM R JOIN S ON R.k = S.k`` wants, per
+column: row count, distinct values, self-join size (F2), and a skew
+measure — each a g-SUM over the column's value-frequency vector.  The
+Recursive Sketch is g-oblivious, so a single pass funds all of them, plus
+the Cauchy-Schwarz join-cardinality bound across two columns.
+
+Run:  python examples/query_optimizer.py
+"""
+
+from repro.applications.query_optimizer import (
+    ColumnSketch,
+    exact_column_statistics,
+    statistics_report,
+)
+from repro.streams.generators import zipf_stream
+
+
+def main() -> None:
+    domain = 2048
+
+    print("scanning R.k (skewed foreign key) and S.k (near-uniform key)...\n")
+    r_stream = zipf_stream(domain, total_mass=60_000, skew=1.4, seed=5)
+    s_stream = zipf_stream(domain, total_mass=40_000, skew=0.4, seed=6)
+
+    r_sketch = ColumnSketch(domain, repetitions=3, seed=21).process(r_stream)
+    s_sketch = ColumnSketch(domain, repetitions=3, seed=22).process(s_stream)
+
+    for name, sketch, stream in (("R.k", r_sketch, r_stream), ("S.k", s_sketch, s_stream)):
+        stats = sketch.statistics()
+        report = statistics_report(stats, exact_column_statistics(stream))
+        print(f"column {name} (sketch: {sketch.space_counters:,} counters)")
+        for stat, row in report.items():
+            print(f"  {stat:18s} sketched {row['sketched']:>14,.1f}   "
+                  f"exact {row['exact']:>14,.1f}   err {row['rel_error']:.1%}")
+        print(f"  {'avg multiplicity':18s} {stats.average_multiplicity:>14.2f}")
+        print()
+
+    r_stats, s_stats = r_sketch.statistics(), s_sketch.statistics()
+    bound = r_stats.join_size_upper_bound(s_stats)
+
+    # exact join cardinality for reference
+    r_vec = r_stream.frequency_vector()
+    s_vec = s_stream.frequency_vector()
+    exact_join = sum(r_vec[v] * s_vec[v] for v in range(domain))
+    print(f"equi-join |R ⋈ S|: exact = {exact_join:,}")
+    print(f"planner bound sqrt(F2(R)·F2(S)) from sketches = {bound:,.0f}")
+    print("\nthe planner got every statistic from one pass per column, "
+          "in sketch space\nindependent of the table width — the Section "
+          "1.1.3 use case.")
+
+
+if __name__ == "__main__":
+    main()

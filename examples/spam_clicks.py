@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Non-monotone utility aggregate: spam-damped ad billing (Section 1.1.2).
+
+An ad service bills per click but discounts users whose click volume looks
+robotic: the fee schedule rises linearly to a threshold, then falls off
+hyperbolically.  Total revenue is a g-SUM with a non-monotonic g — exactly
+the class of aggregates this paper makes sketchable.
+
+Run:  python examples/spam_clicks.py
+"""
+
+from repro.applications.utility import ClickBilling
+from repro.core.tractability import classify
+from repro.functions.library import spam_damped_fee
+from repro.streams.generators import zipf_stream
+from repro.streams.model import StreamUpdate
+
+
+def main() -> None:
+    n_users = 4096
+    threshold = 100
+
+    fee = spam_damped_fee(threshold)
+    verdict = classify(fee)
+    print(f"fee schedule: {fee.name}")
+    print(f"  fee(10)={fee(10):.0f}  fee(100)={fee(100):.0f}  "
+          f"fee(1000)={fee(1000):.0f}  (non-monotone)")
+    print(f"  1-pass tractable: {verdict.one_pass}\n")
+
+    # Organic traffic: Zipf click counts...
+    stream = zipf_stream(n_users, total_mass=150_000, skew=1.3, seed=3)
+    # ...plus a handful of click-bots hammering away.
+    bots = [(11, 40_000), (222, 25_000), (3333, 60_000)]
+    for user, clicks in bots:
+        stream.append(StreamUpdate(user, clicks))
+
+    billing = ClickBilling(
+        n_users, spam_threshold=threshold, epsilon=0.25,
+        heaviness=0.05, repetitions=5, seed=7,
+    )
+    report = billing.report(stream)
+
+    naive_revenue = stream.frequency_vector().f_moment(1)  # bill every click
+    print(f"naive per-click revenue (no spam discount): {naive_revenue:,.0f}")
+    print(f"exact discounted revenue:                   {report.exact_revenue:,.0f}")
+    print(f"sketched discounted revenue:                {report.estimated_revenue:,.0f}")
+    print(f"relative error: {report.relative_error:.1%}")
+    print(f"sketch space:   {report.space_counters:,} counters")
+    print("\nthe bots' half-million clicks add almost nothing to discounted "
+          "revenue,\nand the sketch sees that without storing per-user counts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — reproduction of Braverman, Chestnut, Woodruff, Yang (PODS 2016):
+*Streaming Space Complexity of Nearly All Functions of One Variable on
+Frequency Vectors*.
+
+Public API tour
+---------------
+* :mod:`repro.streams` — the turnstile model and workload generators.
+* :mod:`repro.sketch` — CountSketch, AMS, Count-Min, hashing substrates.
+* :mod:`repro.functions` — the class G, the paper's function catalog,
+  numeric property testers, transforms, nearly periodic functions.
+* :mod:`repro.core` — g-SUM estimators (1-pass/2-pass), the Recursive
+  Sketch, the zero-one-law classifier, the g_np algorithm, and the
+  (u,d)-DIST detector.
+* :mod:`repro.commlower` — communication problems and the lower-bound
+  reduction harness.
+* :mod:`repro.applications` — log-likelihood/MLE sketching, utility
+  aggregates, higher-order function encoding.
+
+Quickstart
+----------
+>>> from repro import GSumEstimator, moment, zipf_stream
+>>> stream = zipf_stream(n=4096, total_mass=100_000, seed=7)
+>>> est = GSumEstimator(moment(1.5), n=4096, epsilon=0.2, passes=1, seed=7)
+>>> result = est.run(stream)
+>>> result.relative_error < 0.5
+True
+"""
+
+from repro.core import (
+    DistDetector,
+    GSumEstimator,
+    GSumResult,
+    GnpHeavyHitterSketch,
+    OnePassGHeavyHitter,
+    RecursiveGSumSketch,
+    TwoPassGHeavyHitter,
+    classify,
+    estimate_gsum,
+    exact_gsum,
+    zero_one_table,
+)
+from repro.functions import (
+    GFunction,
+    analyze,
+    catalog,
+    g_np,
+    l_eta_transform,
+    moment,
+    sin_sqrt_x2,
+)
+from repro.streams import (
+    TurnstileStream,
+    StreamUpdate,
+    planted_heavy_hitter_stream,
+    stream_from_frequencies,
+    uniform_stream,
+    zipf_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DistDetector",
+    "GSumEstimator",
+    "GSumResult",
+    "GnpHeavyHitterSketch",
+    "OnePassGHeavyHitter",
+    "RecursiveGSumSketch",
+    "TwoPassGHeavyHitter",
+    "classify",
+    "estimate_gsum",
+    "exact_gsum",
+    "zero_one_table",
+    "GFunction",
+    "analyze",
+    "catalog",
+    "g_np",
+    "l_eta_transform",
+    "moment",
+    "sin_sqrt_x2",
+    "TurnstileStream",
+    "StreamUpdate",
+    "planted_heavy_hitter_stream",
+    "stream_from_frequencies",
+    "uniform_stream",
+    "zipf_stream",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Applications from Section 1.1: log-likelihood MLE, utilities, encodings."""
+
+from repro.applications.loglik import (
+    MleResult,
+    PoissonMixture,
+    ShiftedLoglik,
+    SketchedMle,
+    exact_neg_loglik,
+    loglik_gfunction,
+)
+from repro.applications.utility import (
+    BillingReport,
+    ClickBilling,
+    anomaly_score_function,
+)
+from repro.applications.higher_order import (
+    MatrixEncoding,
+    filtered_sum,
+    matrix_stream,
+    threshold_filter_aggregate,
+)
+
+__all__ = [
+    "MleResult",
+    "PoissonMixture",
+    "ShiftedLoglik",
+    "SketchedMle",
+    "exact_neg_loglik",
+    "loglik_gfunction",
+    "BillingReport",
+    "ClickBilling",
+    "anomaly_score_function",
+    "MatrixEncoding",
+    "filtered_sum",
+    "matrix_stream",
+    "threshold_filter_aggregate",
+]

@@ -1,0 +1,128 @@
+"""Higher-order function encoding (Section 1.1.4).
+
+To approximate ``sum_i g(f_i1, ..., f_ik)`` over a frequency *matrix* with
+entries in [0, b), replace each update to (i, j) by ``b^j`` units on
+coordinate i.  The collapsed frequency ``f'_i`` carries the row as its
+base-b expansion, and ``g'(f'_i) = g(digits_b(f'_i))`` turns the matrix
+problem into a one-variable g-SUM.
+
+The paper's point: even for benign g, the induced g' has high local
+variability (a +-1 error in f' scrambles every digit), so g' is typically
+not predictable — 1-pass algorithms relying on approximate frequencies
+fail, while the 2-pass algorithm (exact second-pass tabulation) is immune.
+Experiment E11 measures exactly this separation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.functions.base import DeclaredProperties, GFunction
+from repro.streams.model import StreamUpdate, TurnstileStream
+
+
+@dataclass(frozen=True)
+class MatrixEncoding:
+    """Base-b encoding of k-column rows into single frequencies."""
+
+    base: int
+    columns: int
+
+    def __post_init__(self) -> None:
+        if self.base < 2:
+            raise ValueError("base must be at least 2")
+        if self.columns < 1:
+            raise ValueError("need at least one column")
+
+    @property
+    def max_encoded(self) -> int:
+        """Frequencies stay below b^k — poly(n) when b^k = poly(n)."""
+        return self.base ** self.columns
+
+    def encode_update(self, row: int, column: int, delta: int) -> StreamUpdate:
+        """An update to matrix cell (row, column) becomes ``delta * b^col``
+        units on coordinate ``row``."""
+        if not 0 <= column < self.columns:
+            raise ValueError(f"column {column} out of range")
+        return StreamUpdate(row, delta * (self.base ** column))
+
+    def encode_row(self, values: Sequence[int]) -> int:
+        if len(values) != self.columns:
+            raise ValueError("row arity mismatch")
+        total = 0
+        for j, value in enumerate(values):
+            if not 0 <= value < self.base:
+                raise ValueError(f"cell value {value} outside [0, {self.base})")
+            total += value * (self.base ** j)
+        return total
+
+    def decode(self, encoded: int) -> List[int]:
+        """Base-b digits of |encoded| (the row f_i1..f_ik)."""
+        encoded = abs(int(encoded))
+        digits = []
+        for _ in range(self.columns):
+            digits.append(encoded % self.base)
+            encoded //= self.base
+        return digits
+
+    def lift(
+        self,
+        g_multi: Callable[[Sequence[int]], float],
+        name: str = "g'",
+        predictable: bool = False,
+    ) -> GFunction:
+        """The induced one-variable function ``g'(x) = g(digits_b(x))``.
+
+        ``g'`` inherits high local variability from the digit scrambling;
+        declared unpredictable by default (the Section 1.1.4 observation).
+        The wrapper floors at a tiny positive value to stay inside G.
+        """
+        floor = 1e-9
+
+        def fn(x: int) -> float:
+            if x == 0:
+                return 0.0
+            return max(float(g_multi(self.decode(x))), floor)
+
+        props = DeclaredProperties(
+            slow_jumping=True,
+            slow_dropping=True,
+            predictable=predictable,
+            s_normal=True,
+            p_normal=True,
+        )
+        return GFunction(fn, name, props, normalize=False)
+
+
+def matrix_stream(
+    encoding: MatrixEncoding,
+    rows: Sequence[Sequence[int]],
+) -> TurnstileStream:
+    """Materialize a stream whose collapsed frequencies encode the given
+    matrix: row i contributes its encoded value on coordinate i."""
+    stream = TurnstileStream(max(len(rows), 1))
+    for i, row in enumerate(rows):
+        encoded = encoding.encode_row(row)
+        if encoded:
+            stream.append(StreamUpdate(i, encoded))
+    return stream
+
+
+def filtered_sum(
+    g_multi: Callable[[Sequence[int]], float],
+    rows: Sequence[Sequence[int]],
+) -> float:
+    """Ground truth ``sum_i g(row_i)`` for validation."""
+    return sum(float(g_multi(row)) for row in rows)
+
+
+def threshold_filter_aggregate(threshold: int, column_filter: int, column_sum: int):
+    """The paper's motivating query shape: 'sum attribute B over records
+    whose attribute A exceeds a threshold', as a multi-variable g."""
+
+    def g_multi(row: Sequence[int]) -> float:
+        return float(row[column_sum]) if row[column_filter] >= threshold else 0.0
+
+    return g_multi

@@ -1,0 +1,113 @@
+"""Non-monotone utility aggregates (Section 1.1.2).
+
+An advertising service bills per click but discounts users whose click
+count looks like bot traffic: the per-user fee is non-monotone in the
+click count.  Total revenue is a g-SUM with g the fee schedule.  The module
+also models the network-monitoring variant (both very low and very high
+traffic are anomalous).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.gsum import GSumEstimator, GSumResult
+from repro.functions.base import DeclaredProperties, GFunction
+from repro.functions.library import spam_damped_fee
+from repro.streams.model import TurnstileStream
+from repro.util.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class BillingReport:
+    """Estimated vs exact revenue for a click stream."""
+
+    estimated_revenue: float
+    exact_revenue: float
+    space_counters: int
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.estimated_revenue - self.exact_revenue) / max(
+            abs(self.exact_revenue), 1e-300
+        )
+
+
+def anomaly_score_function(low: int, high: int) -> GFunction:
+    """Network-monitoring utility: traffic is anomalous when very low or
+    very high.  ``g`` is U-shaped on [1, high]: cost ~ (low/x) for trickles,
+    ~ (x/high)^2 beyond the ceiling, ~1 in the healthy band.  Bounded drop
+    (factor low), sub-quadratic growth: tractable."""
+    if not 1 <= low < high:
+        raise ValueError("need 1 <= low < high")
+
+    def fn(x: int) -> float:
+        if x == 0:
+            return 0.0
+        if x < low:
+            return low / float(x)
+        if x > high:
+            return (float(x) / high) ** 2
+        return 1.0
+
+    props = DeclaredProperties(
+        slow_jumping=True, slow_dropping=True, predictable=True,
+        s_normal=True, p_normal=True,
+    )
+    g = GFunction(fn, f"anomaly[{low},{high}]", props, normalize=False)
+    return g
+
+
+class ClickBilling:
+    """Streaming revenue estimation under a spam-damped fee schedule.
+
+    The stream is (user, clicks) turnstile updates; revenue is
+    ``sum_users fee(clicks_user)`` with ``fee = spam_damped_fee(threshold)``
+    — linear up to the threshold, hyperbolically discounted beyond it.
+    """
+
+    def __init__(
+        self,
+        n_users: int,
+        spam_threshold: int = 100,
+        epsilon: float = 0.25,
+        heaviness: float = 0.1,
+        repetitions: int = 3,
+        seed: int | RandomSource | None = None,
+    ):
+        self.fee = spam_damped_fee(spam_threshold)
+        self.n_users = int(n_users)
+        self._estimator = GSumEstimator(
+            self.fee,
+            n_users,
+            epsilon=epsilon,
+            passes=1,
+            heaviness=heaviness,
+            repetitions=repetitions,
+            seed=seed,
+        )
+
+    def record_clicks(self, user: int, clicks: int) -> None:
+        self._estimator.update(user, clicks)
+
+    def process(self, stream: TurnstileStream) -> "ClickBilling":
+        self._estimator.process(stream)
+        return self
+
+    def revenue_estimate(self) -> float:
+        return self._estimator.estimate()
+
+    def report(self, stream: TurnstileStream) -> BillingReport:
+        """Process a materialized stream and compare against exact revenue."""
+        self.process(stream)
+        exact = stream.frequency_vector().g_sum(self.fee)
+        return BillingReport(
+            estimated_revenue=self.revenue_estimate(),
+            exact_revenue=exact,
+            space_counters=self._estimator.space_counters,
+        )
+
+    @property
+    def space_counters(self) -> int:
+        return self._estimator.space_counters

@@ -1,0 +1,155 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+classify   apply the zero-one laws to a function expression
+estimate   run a g-SUM estimator over a stream file (see repro.streams.io)
+generate   synthesize a workload stream file
+catalog    print the zero-one-law table for the built-in catalog
+
+The function argument accepts either a catalog name (see ``catalog``) or a
+Python expression in ``x`` (evaluated in a restricted math namespace),
+e.g. ``"x**1.5"`` or ``"(2+math.sin(math.sqrt(x)))*x*x"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Callable
+
+from repro.core.gsum import estimate_gsum
+from repro.core.tractability import classify, zero_one_table
+from repro.functions.base import GFunction
+from repro.functions.library import catalog
+from repro.streams.generators import uniform_stream, zipf_stream
+from repro.streams.io import load_stream, save_stream
+
+
+def _resolve_function(spec: str) -> GFunction:
+    """Catalog name or restricted ``x``-expression."""
+    named = catalog()
+    if spec in named:
+        return named[spec]
+    safe_globals = {"__builtins__": {}, "math": math, "abs": abs, "min": min,
+                    "max": max, "float": float, "log": math.log,
+                    "sqrt": math.sqrt, "sin": math.sin, "cos": math.cos,
+                    "exp": math.exp}
+    try:
+        fn: Callable[[int], float] = eval(  # noqa: S307 - restricted namespace
+            f"lambda x: float({spec})", safe_globals
+        )
+        fn(2)  # smoke-evaluate
+    except Exception as exc:  # pragma: no cover - error path formatting
+        raise SystemExit(
+            f"error: {spec!r} is neither a catalog name nor a valid "
+            f"expression in x ({exc})"
+        )
+    return GFunction(fn, spec)
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    g = _resolve_function(args.function)
+    verdict = classify(g, domain_max=args.domain)
+    print(f"function: {g.name}")
+    print(f"  slow-jumping:  {verdict.slow_jumping}")
+    print(f"  slow-dropping: {verdict.slow_dropping}")
+    print(f"  predictable:   {verdict.predictable}")
+    print(f"  normal:        {verdict.normal}")
+    print(f"  1-pass tractable: {verdict.one_pass}")
+    print(f"  2-pass tractable: {verdict.two_pass}")
+    for reason in verdict.reasons:
+        print(f"  - {reason}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    g = _resolve_function(args.function)
+    stream = load_stream(args.stream)
+    result = estimate_gsum(
+        stream, g, epsilon=args.epsilon, passes=args.passes,
+        heaviness=args.heaviness, repetitions=args.repetitions, seed=args.seed,
+    )
+    print(f"g-SUM estimate for {g.name} over {args.stream}")
+    print(f"  estimate: {result.estimate:,.4f}")
+    if result.exact is not None:
+        print(f"  exact:    {result.exact:,.4f}")
+        print(f"  relative error: {result.relative_error:.2%}")
+    print(f"  passes: {result.passes}  repetitions: {result.repetitions}")
+    print(f"  space: {result.space_counters:,} counters")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "zipf":
+        stream = zipf_stream(args.n, args.mass, skew=args.skew, seed=args.seed)
+    else:
+        stream = uniform_stream(args.n, magnitude=args.magnitude, seed=args.seed)
+    save_stream(stream, args.output)
+    vec = stream.frequency_vector()
+    print(f"wrote {args.output}: n={stream.domain_size}, updates={len(stream)}, "
+          f"support={vec.support_size()}, M={vec.max_abs()}")
+    return 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    table = zero_one_table(list(catalog().values()))
+    width = max(len(v.name) for v in table)
+    print(f"{'function'.ljust(width)}  jump  drop  pred  1-pass  2-pass")
+    for v in table:
+        def fmt(flag):
+            return " n/a" if flag is None else (" yes" if flag else "  no")
+        print(
+            f"{v.name.ljust(width)}  {fmt(v.slow_jumping)}  {fmt(v.slow_dropping)}"
+            f"  {fmt(v.predictable)}  {fmt(v.one_pass):>6s}  {fmt(v.two_pass):>6s}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Streaming g-SUM zero-one laws (PODS 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="apply the zero-one laws to a function")
+    p.add_argument("function", help="catalog name or expression in x")
+    p.add_argument("--domain", type=int, default=1 << 14,
+                   help="numeric-tester probe domain (default 2^14)")
+    p.set_defaults(fn=_cmd_classify)
+
+    p = sub.add_parser("estimate", help="estimate a g-SUM over a stream file")
+    p.add_argument("function")
+    p.add_argument("stream", help="stream file from `repro generate`")
+    p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--passes", type=int, default=1, choices=(0, 1, 2))
+    p.add_argument("--heaviness", type=float, default=0.05)
+    p.add_argument("--repetitions", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_estimate)
+
+    p = sub.add_parser("generate", help="synthesize a workload stream file")
+    p.add_argument("output")
+    p.add_argument("--kind", choices=("zipf", "uniform"), default="zipf")
+    p.add_argument("--n", type=int, default=4096)
+    p.add_argument("--mass", type=int, default=100_000)
+    p.add_argument("--skew", type=float, default=1.2)
+    p.add_argument("--magnitude", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("catalog", help="print the catalog zero-one table")
+    p.set_defaults(fn=_cmd_catalog)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Communication lower bounds: problems, reductions, empirical harness."""
+
+from repro.commlower.problems import (
+    DisjIndInstance,
+    DisjInstance,
+    DistInstance,
+    IndexInstance,
+)
+from repro.commlower.reductions import (
+    ReductionCase,
+    disj_drop_reduction,
+    disj_jump_reduction,
+    disjind_jump_reduction,
+    index_drop_reduction,
+    index_predictability_reduction,
+)
+from repro.commlower.adversary import (
+    AdversaryReport,
+    TrialOutcome,
+    required_error_for_distinguishing,
+    run_adversary,
+)
+from repro.commlower.protocols import (
+    ProtocolStats,
+    SketchMessageProtocol,
+    amplification_curve,
+    majority_amplify,
+)
+
+__all__ = [
+    "DisjIndInstance",
+    "DisjInstance",
+    "DistInstance",
+    "IndexInstance",
+    "ReductionCase",
+    "disj_drop_reduction",
+    "disj_jump_reduction",
+    "disjind_jump_reduction",
+    "index_drop_reduction",
+    "index_predictability_reduction",
+    "AdversaryReport",
+    "TrialOutcome",
+    "required_error_for_distinguishing",
+    "run_adversary",
+    "ProtocolStats",
+    "SketchMessageProtocol",
+    "amplification_curve",
+    "majority_amplify",
+]

@@ -1,0 +1,146 @@
+"""Empirical hardness harness.
+
+The lower bounds say: *any* small-space algorithm fed the reduction streams
+could decide INDEX/DISJ, contradicting communication complexity — so a
+small-space algorithm's error on those streams must be at least half the
+gap.  This harness measures that directly: run a bounded-space estimator on
+matched yes/no reduction streams, decide by proximity to the two exact
+values, and report the distinguishing accuracy and error statistics.
+
+For intractable functions at small space, accuracy hovers near chance
+and/or the relative error exceeds the gap (experiment E3).  For tractable
+functions the *reduction itself* degenerates (the gap vanishes relative to
+the total), which is also visible in the report.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.commlower.reductions import ReductionCase
+from repro.util.rng import RandomSource, as_source
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    estimate_yes: float
+    estimate_no: float
+    exact_yes: float
+    exact_no: float
+    decided_yes_correctly: bool
+    decided_no_correctly: bool
+
+    @property
+    def error_yes(self) -> float:
+        return abs(self.estimate_yes - self.exact_yes) / max(abs(self.exact_yes), 1e-300)
+
+    @property
+    def error_no(self) -> float:
+        return abs(self.estimate_no - self.exact_no) / max(abs(self.exact_no), 1e-300)
+
+
+@dataclass
+class AdversaryReport:
+    """Aggregate over trials of one (function, reduction, space) setting."""
+
+    name: str
+    trials: List[TrialOutcome]
+    relative_gap: float
+    space_counters: int
+
+    @property
+    def distinguishing_accuracy(self) -> float:
+        """Fraction of correct yes/no decisions (0.5 = chance)."""
+        total = 2 * len(self.trials)
+        correct = sum(
+            int(t.decided_yes_correctly) + int(t.decided_no_correctly)
+            for t in self.trials
+        )
+        return correct / total if total else 0.0
+
+    @property
+    def median_error(self) -> float:
+        errors = [e for t in self.trials for e in (t.error_yes, t.error_no)]
+        return statistics.median(errors) if errors else math.nan
+
+    @property
+    def max_error(self) -> float:
+        errors = [e for t in self.trials for e in (t.error_yes, t.error_no)]
+        return max(errors) if errors else math.nan
+
+    def as_row(self) -> dict:
+        return {
+            "reduction": self.name,
+            "relative_gap": round(self.relative_gap, 4),
+            "accuracy": round(self.distinguishing_accuracy, 3),
+            "median_error": round(self.median_error, 4),
+            "space": self.space_counters,
+        }
+
+
+def _decide(estimate: float, exact_yes: float, exact_no: float) -> bool:
+    """True = 'yes' decision: the estimate is closer to the yes value."""
+    return abs(estimate - exact_yes) <= abs(estimate - exact_no)
+
+
+def run_adversary(
+    case_factory: Callable[[RandomSource], ReductionCase],
+    estimator_factory: Callable[[int, RandomSource], object],
+    trials: int = 8,
+    seed: int | RandomSource | None = None,
+) -> AdversaryReport:
+    """Grade an estimator against a reduction.
+
+    ``case_factory(rng)`` builds a fresh matched pair; ``estimator_factory
+    (domain_size, rng)`` builds a fresh estimator exposing ``process(stream)``
+    and ``estimate()`` (a :class:`repro.core.gsum.GSumEstimator` works; for
+    2-pass estimators ``run`` semantics are applied automatically).
+    """
+    source = as_source(seed, "adversary")
+    outcomes: List[TrialOutcome] = []
+    gaps: List[float] = []
+    space = 0
+    for trial in range(trials):
+        case = case_factory(source.child(f"case{trial}"))
+        gaps.append(case.relative_gap)
+        estimates = []
+        for tag, stream in (("yes", case.stream_yes), ("no", case.stream_no)):
+            estimator = estimator_factory(
+                stream.domain_size, source.child(f"est{trial}/{tag}")
+            )
+            runner = getattr(estimator, "run", None)
+            if runner is not None:
+                result = runner(stream, exact=False)
+                estimates.append(result.estimate)
+                space = max(space, result.space_counters)
+            else:
+                estimator.process(stream)
+                estimates.append(estimator.estimate())
+                space = max(space, getattr(estimator, "space_counters", 0))
+        est_yes, est_no = estimates
+        outcomes.append(
+            TrialOutcome(
+                est_yes,
+                est_no,
+                case.gsum_yes,
+                case.gsum_no,
+                decided_yes_correctly=_decide(est_yes, case.gsum_yes, case.gsum_no),
+                decided_no_correctly=not _decide(est_no, case.gsum_yes, case.gsum_no),
+            )
+        )
+    return AdversaryReport(
+        name=case.name,
+        trials=outcomes,
+        relative_gap=statistics.median(gaps),
+        space_counters=space,
+    )
+
+
+def required_error_for_distinguishing(case: ReductionCase) -> float:
+    """The error threshold below which a (1 +- eps) estimator decides the
+    instance: eps < gap / (2 + gap) suffices (both intervals separate)."""
+    gap = case.relative_gap
+    return gap / (2.0 + gap)

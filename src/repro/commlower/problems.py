@@ -1,0 +1,190 @@
+"""Communication problems underlying the lower bounds (Section 3.1, App. B/C).
+
+Instances are concrete objects with known answers so the reduction harness
+can grade a streaming algorithm's implied protocol:
+
+* :class:`IndexInstance` — INDEX(n): Alice holds A subseteq [n], Bob holds
+  b in [n]; decide b in A.  One-way complexity Omega(n).
+* :class:`DisjInstance` — DISJ(n, t): t players with pairwise-disjoint or
+  uniquely-intersecting sets.  Complexity Omega(n/t).
+* :class:`DisjIndInstance` — DISJ+IND(n, t): t set players plus an index
+  player holding a singleton.  One-way complexity Omega(n/(t log n))
+  (Theorem 44).
+* :class:`DistInstance` — (u, d)-DIST (Definition 50): frequency vector in
+  V0 = {u_1..u_r, 0}^n (with signs) or V1 = one coordinate replaced by +-d.
+  Complexity Omega(n/q^2) (Theorem 51).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.util.rng import RandomSource, as_source
+
+
+@dataclass(frozen=True)
+class IndexInstance:
+    """INDEX(n): does Bob's index lie in Alice's set?"""
+
+    n: int
+    alice_set: FrozenSet[int]
+    bob_index: int
+
+    @property
+    def answer(self) -> bool:
+        return self.bob_index in self.alice_set
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        intersecting: bool | None = None,
+        density: float = 0.5,
+        seed: int | RandomSource | None = None,
+    ) -> "IndexInstance":
+        source = as_source(seed, "index")
+        members = frozenset(
+            int(i) for i in range(n) if source.random() < density
+        ) or frozenset({0})
+        if intersecting is None:
+            intersecting = bool(source.integers(0, 2))
+        if intersecting:
+            b = int(source.choice(sorted(members)))
+        else:
+            complement = sorted(set(range(n)) - members)
+            if not complement:
+                members = frozenset(sorted(members)[:-1])
+                complement = sorted(set(range(n)) - members)
+            b = int(source.choice(complement))
+        return cls(n, members, b)
+
+
+@dataclass(frozen=True)
+class DisjInstance:
+    """DISJ(n, t) under the unique-intersection promise."""
+
+    n: int
+    sets: Tuple[FrozenSet[int], ...]
+    common_element: int | None  # None <=> disjoint instance
+
+    @property
+    def answer(self) -> bool:
+        """True when the sets intersect."""
+        return self.common_element is not None
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        t: int,
+        intersecting: bool | None = None,
+        load: float = 0.8,
+        seed: int | RandomSource | None = None,
+    ) -> "DisjInstance":
+        """Partition a `load` fraction of [n] among the t players (ensuring
+        pairwise disjointness), optionally planting one common element."""
+        if t < 2:
+            raise ValueError("DISJ needs at least two players")
+        source = as_source(seed, "disj")
+        if intersecting is None:
+            intersecting = bool(source.integers(0, 2))
+        universe = list(range(n))
+        source.shuffle(universe)
+        usable = universe[: max(t, int(load * n))]
+        common = usable[-1] if intersecting else None
+        pool = usable[:-1] if intersecting else usable
+        buckets: List[set[int]] = [set() for _ in range(t)]
+        for rank, item in enumerate(pool):
+            buckets[rank % t].add(item)
+        if common is not None:
+            for bucket in buckets:
+                bucket.add(common)
+        return cls(n, tuple(frozenset(b) for b in buckets), common)
+
+
+@dataclass(frozen=True)
+class DisjIndInstance:
+    """DISJ+IND(n, t): t set players plus a final index player whose set is
+    the singleton {index}."""
+
+    n: int
+    sets: Tuple[FrozenSet[int], ...]
+    index: int
+    common_element: int | None
+
+    @property
+    def answer(self) -> bool:
+        return self.common_element is not None
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        t: int,
+        intersecting: bool | None = None,
+        load: float = 0.8,
+        seed: int | RandomSource | None = None,
+    ) -> "DisjIndInstance":
+        source = as_source(seed, "disjind")
+        if intersecting is None:
+            intersecting = bool(source.integers(0, 2))
+        base = DisjInstance.random(n, t, intersecting, load, source.child("base"))
+        if intersecting:
+            index = base.common_element
+            common = base.common_element
+        else:
+            # Index element intersects none of the sets.
+            used = set().union(*base.sets) if base.sets else set()
+            free = sorted(set(range(n)) - used)
+            index = int(source.choice(free)) if free else 0
+            common = None
+        assert index is not None
+        return cls(n, base.sets, int(index), common)
+
+
+@dataclass(frozen=True)
+class DistInstance:
+    """(u, d)-DIST: planted frequency vector (Definition 50).
+
+    ``frequencies`` maps item -> signed frequency; ``needle_item`` is the
+    coordinate carrying +-d in the V1 case (None in the V0 case).
+    """
+
+    n: int
+    allowed: Tuple[int, ...]
+    target: int
+    frequencies: dict[int, int] = field(hash=False)
+    needle_item: int | None = None
+
+    @property
+    def answer(self) -> bool:
+        """True when the needle d is present (v in V1)."""
+        return self.needle_item is not None
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        allowed: Sequence[int],
+        target: int,
+        present: bool | None = None,
+        fill: float = 0.8,
+        seed: int | RandomSource | None = None,
+    ) -> "DistInstance":
+        source = as_source(seed, "dist_instance")
+        if present is None:
+            present = bool(source.integers(0, 2))
+        magnitudes = sorted({abs(int(u)) for u in allowed if u != 0})
+        freqs: dict[int, int] = {}
+        for item in range(n):
+            if source.random() < fill:
+                magnitude = int(source.choice(magnitudes))
+                sign = 1 if source.integers(0, 2) else -1
+                freqs[item] = sign * magnitude
+        needle = None
+        if present:
+            needle = int(source.integers(0, n))
+            sign = 1 if source.integers(0, 2) else -1
+            freqs[needle] = sign * abs(int(target))
+        return cls(n, tuple(magnitudes), abs(int(target)), freqs, needle)

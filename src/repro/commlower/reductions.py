@@ -1,0 +1,229 @@
+"""Stream reductions from communication problems (Lemmas 23-25, 27, 28).
+
+Each builder realizes one proof's notional stream for a *matched pair* of
+instances (intersecting vs disjoint, identical otherwise), returning a
+:class:`ReductionCase` with both streams, their exact g-SUMs, and the
+relative gap the proof exploits.  A streaming algorithm with relative error
+below half the gap decides the communication problem through the reduction
+— exactly how each lemma converts communication bounds into space bounds,
+and how :mod:`repro.commlower.adversary` grades estimators empirically.
+
+The builders construct the canonical frequency profiles from the proofs:
+
+* Lemma 23 (INDEX, not slow-dropping): ``|A|`` coordinates at y plus one at
+  x (disjoint) vs ``|A|-1`` at y plus one at x+y (intersecting), with
+  ``g(x) >= y^alpha g(y)``.
+* Lemma 25 (INDEX, not predictable): ``|A|`` coordinates at y plus one at x
+  vs ``|A|-1`` at y and one at x+y, with y << x, ``x+y`` outside
+  ``delta_eps(g, x)``, and ``x^gamma g(y) < g(x)``.
+* Lemma 24 (DISJ+IND, not slow-jumping): n' coordinates at x plus one at
+  r = y - s x (disjoint) vs n'-s at x and one at y (intersecting).
+* Lemma 27 (2-player DISJ, not slow-dropping, multi-pass): base profile of
+  coordinates at x+y and y; the pair differs by {one at x, one at y} vs
+  {one at x+y}.
+* Lemma 28 (DISJ(n,t), not slow-jumping, multi-pass): n' coordinates at x
+  (disjoint) vs n'-t at x plus one at y (intersecting).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.commlower.problems import DisjIndInstance, DisjInstance, IndexInstance
+from repro.functions.base import GFunction
+from repro.streams.model import StreamUpdate, TurnstileStream
+
+
+@dataclass(frozen=True)
+class ReductionCase:
+    """Matched yes/no streams and the gap driving the lower bound."""
+
+    name: str
+    stream_yes: TurnstileStream
+    stream_no: TurnstileStream
+    gsum_yes: float
+    gsum_no: float
+
+    @property
+    def relative_gap(self) -> float:
+        base = max(min(abs(self.gsum_yes), abs(self.gsum_no)), 1e-300)
+        return abs(self.gsum_yes - self.gsum_no) / base
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.gsum_yes + self.gsum_no)
+
+
+def _profile_stream(profile: dict[int, int], domain: int) -> TurnstileStream:
+    stream = TurnstileStream(domain)
+    for item in sorted(profile):
+        if profile[item] != 0:
+            stream.append(StreamUpdate(item, profile[item]))
+    return stream
+
+
+def _profile_gsum(g: GFunction, profile: dict[int, int]) -> float:
+    return sum(g(abs(v)) for v in profile.values())
+
+
+def _case(
+    name: str,
+    g: GFunction,
+    yes_profile: dict[int, int],
+    no_profile: dict[int, int],
+) -> ReductionCase:
+    domain = max(list(yes_profile) + list(no_profile), default=0) + 1
+    return ReductionCase(
+        name,
+        _profile_stream(yes_profile, domain),
+        _profile_stream(no_profile, domain),
+        _profile_gsum(g, yes_profile),
+        _profile_gsum(g, no_profile),
+    )
+
+
+def index_drop_reduction(
+    g: GFunction,
+    instance: IndexInstance,
+    small_freq: int,
+    big_freq: int,
+) -> ReductionCase:
+    """Lemma 23: Alice's members get frequency ``big_freq`` (y); Bob adds
+    ``small_freq`` (x) copies of his index, where ``g(x) >= y^alpha g(y)``.
+    """
+    x, y = small_freq, big_freq
+    if x >= y:
+        raise ValueError("need small_freq < big_freq (x < y)")
+    members = sorted(instance.alice_set)
+    yes = {item: y for item in members}
+    no = {item: y for item in members}
+    if instance.bob_index in instance.alice_set:
+        plant = instance.bob_index
+    else:
+        plant = members[0]
+    # Intersecting: Bob's x lands on a member -> x + y there.
+    yes[plant] = x + y
+    # Disjoint: Bob's x lands on a fresh coordinate.
+    fresh = instance.n
+    no[fresh] = x
+    return _case("index/slow-dropping", g, yes, no)
+
+
+def index_predictability_reduction(
+    g: GFunction,
+    instance: IndexInstance,
+    x: int,
+    y: int,
+) -> ReductionCase:
+    """Lemma 25: Alice's members get frequency ``y`` (small); Bob adds ``x``
+    (large) copies, with y in [1, x^{1-gamma}), x+y outside delta_eps(g,x),
+    and ``x^gamma g(y) < g(x)``."""
+    if y >= x:
+        raise ValueError("predictability reduction needs y < x")
+    members = sorted(instance.alice_set)
+    yes = {item: y for item in members}
+    no = {item: y for item in members}
+    plant = (
+        instance.bob_index if instance.bob_index in instance.alice_set else members[0]
+    )
+    yes[plant] = x + y
+    no[instance.n] = x
+    return _case("index/predictability", g, yes, no)
+
+
+def disjind_jump_reduction(
+    g: GFunction,
+    instance: DisjIndInstance,
+    x: int,
+    y: int,
+) -> ReductionCase:
+    """Lemma 24: with ``s = floor(y/x)`` and ``r = y - s x``, the disjoint
+    profile is n' coordinates at x plus one at r; the intersecting profile
+    stacks s of the x's (plus the index player's r) onto one coordinate,
+    reaching exactly y."""
+    if x > y:
+        raise ValueError("need x <= y")
+    s = max(1, y // x)
+    r = y - s * x
+    elements = sorted(set().union(*instance.sets)) if instance.sets else []
+    n_prime = len(elements)
+    if n_prime < s + 1:
+        raise ValueError(
+            f"instance too small: need at least s+1={s + 1} set elements, got {n_prime}"
+        )
+    target = (
+        instance.common_element
+        if instance.common_element is not None
+        else elements[0]
+    )
+    rest = [e for e in elements if e != target]
+    yes = {item: x for item in rest}
+    yes[target] = y  # s stacked x's + the remainder r
+    no = {item: x for item in elements}
+    fresh = instance.n
+    if r > 0:
+        no[fresh] = r
+    return _case("disj+ind/slow-jumping", g, yes, no)
+
+
+def disj_drop_reduction(
+    g: GFunction,
+    instance: DisjInstance,
+    x: int,
+    y: int,
+) -> ReductionCase:
+    """Lemma 27: the multi-pass drop reduction.  Both profiles share
+    ``|S1| - 1`` coordinates at x+y and a floor of coordinates at y; they
+    differ on the shielded coordinate: {x and y on separate ids} when the
+    sets intersect vs {x+y on one id} when disjoint."""
+    if len(instance.sets) < 2:
+        raise ValueError("need a 2-player DISJ instance")
+    s1, s2 = instance.sets[0], instance.sets[1]
+    shared = sorted(s1)
+    if not shared:
+        raise ValueError("player 1's set is empty")
+    floor_items = sorted(set(range(instance.n)) - set(s1) - set(s2))
+    base: dict[int, int] = {}
+    for item in shared[1:]:
+        base[item] = x + y
+    for item in floor_items:
+        base[item] = y
+    pivot = shared[0]
+    yes = dict(base)
+    yes[pivot] = x  # S2 shields the common element from the +y
+    yes[instance.n] = y  # ...and contributes y to a fresh id instead
+    no = dict(base)
+    no[pivot] = x + y
+    return _case("disj/slow-dropping-multipass", g, yes, no)
+
+
+def disj_jump_reduction(
+    g: GFunction,
+    instance: DisjInstance,
+    x: int,
+    y: int,
+) -> ReductionCase:
+    """Lemma 28: t = ceil(y/x) players each insert x copies (the last
+    inserts y - (t-1)x).  Disjoint: every set element sits at x (or the
+    remainder); intersecting: the common element stacks to exactly y."""
+    if x > y:
+        raise ValueError("need x <= y")
+    t = max(2, math.ceil(y / x))
+    last = y - (t - 1) * x
+    if last <= 0:
+        last = x
+    elements = sorted(set().union(*instance.sets)) if instance.sets else []
+    if len(elements) < 2:
+        raise ValueError("instance too small")
+    target = (
+        instance.common_element
+        if instance.common_element is not None
+        else elements[0]
+    )
+    rest = [e for e in elements if e != target]
+    no = {item: x for item in rest}
+    no[target] = last  # the last player's remainder lands alone
+    yes = {item: x for item in rest}
+    yes[target] = y
+    return _case("disj/slow-jumping-multipass", g, yes, no)

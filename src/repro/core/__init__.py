@@ -1,0 +1,69 @@
+"""Core contribution: g-SUM estimators, heavy hitters, zero-one laws."""
+
+from repro.core.heavy_hitters import (
+    ExactHeavyHitter,
+    HeavyHitterPair,
+    OnePassGHeavyHitter,
+    TwoPassGHeavyHitter,
+    cover_contains,
+    theory_heaviness,
+)
+from repro.core.recursive_sketch import (
+    NaiveTopKGSum,
+    RecursiveGSumSketch,
+    two_pass_run,
+)
+from repro.core.gsum import GSumEstimator, GSumResult, estimate_gsum, exact_gsum
+from repro.core.tractability import (
+    TractabilityVerdict,
+    classify,
+    classify_declared,
+    classify_numeric,
+    zero_one_table,
+)
+from repro.core.gnp import (
+    GnpHeavyHitterSketch,
+    GnpRecovery,
+    recover_single_heavy_hitter,
+)
+from repro.core.dist import DistDecision, DistDetector, ResidueCostTable
+from repro.core.offset import (
+    OffsetDecomposition,
+    OffsetGSumEstimator,
+    decompose_offset_function,
+    exact_offset_gsum,
+)
+from repro.core.universal import TwoPassUniversalSketch, UniversalGSumSketch
+
+__all__ = [
+    "ExactHeavyHitter",
+    "HeavyHitterPair",
+    "OnePassGHeavyHitter",
+    "TwoPassGHeavyHitter",
+    "cover_contains",
+    "theory_heaviness",
+    "NaiveTopKGSum",
+    "RecursiveGSumSketch",
+    "two_pass_run",
+    "GSumEstimator",
+    "GSumResult",
+    "estimate_gsum",
+    "exact_gsum",
+    "TractabilityVerdict",
+    "classify",
+    "classify_declared",
+    "classify_numeric",
+    "zero_one_table",
+    "GnpHeavyHitterSketch",
+    "GnpRecovery",
+    "recover_single_heavy_hitter",
+    "DistDecision",
+    "DistDetector",
+    "ResidueCostTable",
+    "OffsetDecomposition",
+    "OffsetGSumEstimator",
+    "decompose_offset_function",
+    "exact_offset_gsum",
+    "TwoPassUniversalSketch",
+    "UniversalGSumSketch",
+]

@@ -1,0 +1,308 @@
+"""g-heavy-hitter algorithms (Algorithms 1 and 2 of the paper).
+
+Definition 11: item j is a ``(g, lambda)``-heavy hitter when
+``g(|v_j|) >= lambda * sum_{i != j} g(|v_i|)``.  A ``(g, lambda, eps)``-cover
+(Definition 12) is a candidate list containing every heavy hitter, each with
+a ``(1 +- eps)`` estimate of its g-value.
+
+Both algorithms rest on Lemma 17/18: for slow-jumping, slow-dropping g, any
+(g, lambda)-heavy hitter is an F2 ``lambda/H(M)``-ish heavy hitter, so a
+CountSketch with sub-polynomially more buckets finds it.
+
+* **Algorithm 1 (2-pass)**: CountSketch in pass one to identify candidates
+  (frequency estimates discarded), exact tabulation of candidate
+  frequencies in pass two.  Local variability of g is irrelevant: g is
+  evaluated on exact frequencies.
+* **Algorithm 2 (1-pass)**: CountSketch + AMS F2.  Candidates whose g-value
+  is *unstable* under perturbations of the size CountSketch cannot rule out
+  (``(eps/2H(M)) sqrt(F2)``) are pruned; predictability is exactly the
+  property making this pruning safe for true heavy hitters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Protocol, Sequence
+
+from repro.functions.base import GFunction
+from repro.sketch.ams import AmsF2Sketch
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.exact import ExactCounter
+from repro.streams.model import StreamUpdate, TurnstileStream
+from repro.util.rng import RandomSource, as_source
+
+
+@dataclass(frozen=True)
+class HeavyHitterPair:
+    """One cover entry: item id, (1 +- eps) estimate of g(|v_item|), and the
+    frequency estimate it was derived from."""
+
+    item: int
+    g_weight: float
+    frequency: float
+
+
+class GHeavyHitterSketch(Protocol):
+    """Streaming interface shared by all heavy-hitter sketches so the
+    Recursive Sketch can layer any of them."""
+
+    def update(self, item: int, delta: int) -> None: ...
+
+    def cover(self) -> List[HeavyHitterPair]: ...
+
+    @property
+    def space_counters(self) -> int: ...
+
+
+def _as_h_value(h_witness: float | Callable[[float], float], magnitude: float) -> float:
+    if callable(h_witness):
+        return max(float(h_witness(magnitude)), 1.0)
+    return max(float(h_witness), 1.0)
+
+
+class OnePassGHeavyHitter:
+    """Algorithm 2: 1-pass ``(g, lambda, eps, delta)``-heavy hitters.
+
+    Parameters
+    ----------
+    g:
+        The function; must be slow-jumping, slow-dropping, predictable for
+        the cover guarantee to hold (the sketch itself runs for any g — the
+        E2/E3 experiments run it on bad functions to watch it fail).
+    heaviness:
+        lambda.
+    accuracy:
+        eps for the g-value estimates.
+    failure:
+        delta; split between the CountSketch and the AMS sketch.
+    n:
+        Domain size (sizes the row count).
+    h_witness:
+        ``H(M)`` of Section 4.2/4.3 — scalar or callable evaluated at the
+        magnitude bound.  Controls how much wider than 1/lambda the
+        CountSketch must be.
+    magnitude_bound:
+        The promise M (used only to evaluate ``h_witness``).
+    prune:
+        Enable Algorithm 2's stability pruning (ablation knob for E2).
+    """
+
+    def __init__(
+        self,
+        g: GFunction,
+        heaviness: float,
+        accuracy: float,
+        failure: float,
+        n: int,
+        h_witness: float | Callable[[float], float] = 4.0,
+        magnitude_bound: int = 1 << 20,
+        prune: bool = True,
+        seed: int | RandomSource | None = None,
+        sign_independence: int = 4,
+        cs_max_buckets: int = 1 << 14,
+        cs_max_rows: int = 7,
+    ):
+        if not 0 < heaviness <= 1:
+            raise ValueError("heaviness must be in (0, 1]")
+        source = as_source(seed, "hh1")
+        self.g = g
+        self.heaviness = float(heaviness)
+        self.accuracy = float(accuracy)
+        self.prune = prune
+        self._h_value = _as_h_value(h_witness, magnitude_bound)
+        self._countsketch = CountSketch.for_heavy_hitters(
+            heaviness / (3.0 * self._h_value),
+            min(1.0, accuracy / (2.0 * self._h_value)),
+            failure / 2.0,
+            n,
+            source.child("cs"),
+            sign_independence,
+            max_buckets=cs_max_buckets,
+            max_rows=cs_max_rows,
+        )
+        self._ams = AmsF2Sketch.for_accuracy(0.5, failure / 2.0, source.child("ams"))
+
+    def update(self, item: int, delta: int) -> None:
+        self._countsketch.update(item, delta)
+        self._ams.update(item, delta)
+
+    def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "OnePassGHeavyHitter":
+        for u in stream:
+            self.update(u.item, u.delta)
+        return self
+
+    def frequency_error_bound(self) -> float:
+        """The additive frequency error the pruning assumes:
+        ``(eps / 2 H(M)) * sqrt(F2-hat)`` (Algorithm 2, line 4)."""
+        f2 = max(self._ams.estimate(), 0.0)
+        return (self.accuracy / (2.0 * self._h_value)) * math.sqrt(f2)
+
+    def _is_stable(self, freq: float, error: float) -> bool:
+        """``|g(v^) - g(v^ + y)| <= eps g(v^ + y)`` for all |y| <= error,
+        checked on a symmetric grid including the endpoints.
+
+        The radius is floor(error): frequencies are integers, so an
+        additive error below 1 pins the frequency exactly and no
+        perturbation needs checking (probing y = +-1 regardless would
+        spuriously prune every frequency-1 item via g(0) = 0).
+        """
+        base = abs(int(round(freq)))
+        radius = int(math.floor(error + 1e-9))
+        if radius == 0:
+            return True
+        g_base = self.g(base)
+        offsets = sorted(
+            {radius, -radius, max(1, radius // 2), -max(1, radius // 2), 1, -1}
+        )
+        for y in offsets:
+            probe = base + y
+            if probe < 0:
+                probe = 0
+            g_probe = self.g(probe)
+            if abs(g_base - g_probe) > self.accuracy * max(g_probe, 1e-300):
+                return False
+        return True
+
+    def cover(self) -> List[HeavyHitterPair]:
+        error = self.frequency_error_bound()
+        pairs: List[HeavyHitterPair] = []
+        for cand in self._countsketch.top_candidates():
+            freq = cand.estimate
+            if abs(freq) < 0.5:
+                continue
+            if self.prune and not self._is_stable(freq, error):
+                continue
+            pairs.append(
+                HeavyHitterPair(cand.item, self.g(abs(round(freq))), freq)
+            )
+        return pairs
+
+    @property
+    def space_counters(self) -> int:
+        return self._countsketch.space_counters + self._ams.space_counters
+
+
+class TwoPassGHeavyHitter:
+    """Algorithm 1: 2-pass ``(g, lambda, 0, delta)``-heavy hitters.
+
+    Pass one runs a CountSketch for ``lambda/2H(M)``-heavy F2 hitters and
+    keeps only the candidate identities.  Pass two tabulates those
+    frequencies exactly, so the returned g-values are exact (eps = 0).
+    """
+
+    def __init__(
+        self,
+        g: GFunction,
+        heaviness: float,
+        failure: float,
+        n: int,
+        h_witness: float | Callable[[float], float] = 4.0,
+        magnitude_bound: int = 1 << 20,
+        seed: int | RandomSource | None = None,
+        cs_max_buckets: int = 1 << 14,
+        cs_max_rows: int = 7,
+    ):
+        if not 0 < heaviness <= 1:
+            raise ValueError("heaviness must be in (0, 1]")
+        source = as_source(seed, "hh2")
+        self.g = g
+        self.heaviness = float(heaviness)
+        self._h_value = _as_h_value(h_witness, magnitude_bound)
+        self._countsketch = CountSketch.for_heavy_hitters(
+            heaviness / (2.0 * self._h_value),
+            1.0 / 3.0,
+            failure,
+            n,
+            source.child("cs"),
+            max_buckets=cs_max_buckets,
+            max_rows=cs_max_rows,
+        )
+        self._second: ExactCounter | None = None
+        self._n = int(n)
+
+    # -------------------------------------------------------------- passes
+
+    def update(self, item: int, delta: int) -> None:
+        """First-pass update (the Recursive Sketch drives this interface);
+        second-pass updates go through :meth:`update_second_pass`."""
+        if self._second is not None:
+            raise RuntimeError("first pass is closed; use update_second_pass")
+        self._countsketch.update(item, delta)
+
+    def begin_second_pass(self) -> None:
+        candidates = [c.item for c in self._countsketch.top_candidates()]
+        self._second = ExactCounter(self._n, restrict_to=candidates)
+
+    def update_second_pass(self, item: int, delta: int) -> None:
+        if self._second is None:
+            raise RuntimeError("call begin_second_pass first")
+        self._second.update(item, delta)
+
+    def run(self, stream: TurnstileStream) -> List[HeavyHitterPair]:
+        """Convenience: both passes over a materialized stream."""
+        for u in stream:
+            self.update(u.item, u.delta)
+        self.begin_second_pass()
+        for u in stream:
+            self.update_second_pass(u.item, u.delta)
+        return self.cover()
+
+    def cover(self) -> List[HeavyHitterPair]:
+        if self._second is None:
+            raise RuntimeError("second pass has not run")
+        pairs = []
+        for item, freq in self._second.frequency_vector().items():
+            if freq == 0:
+                continue
+            pairs.append(HeavyHitterPair(item, self.g(abs(freq)), float(freq)))
+        pairs.sort(key=lambda p: p.g_weight, reverse=True)
+        return pairs
+
+    @property
+    def space_counters(self) -> int:
+        second = self._second.space_counters if self._second is not None else 0
+        return self._countsketch.space_counters + second
+
+
+class ExactHeavyHitter:
+    """Linear-space oracle with the same interface — ground truth for tests
+    and the 'exact' mode of the estimators."""
+
+    def __init__(self, g: GFunction, n: int, heaviness: float = 0.0):
+        self.g = g
+        self.heaviness = heaviness
+        self._counter = ExactCounter(n)
+
+    def update(self, item: int, delta: int) -> None:
+        self._counter.update(item, delta)
+
+    def cover(self) -> List[HeavyHitterPair]:
+        vec = self._counter.frequency_vector()
+        total = vec.g_sum(self.g)
+        pairs = []
+        for item, freq in vec.items():
+            weight = self.g(abs(freq))
+            if self.heaviness <= 0 or weight >= self.heaviness * (total - weight):
+                pairs.append(HeavyHitterPair(item, weight, float(freq)))
+        pairs.sort(key=lambda p: p.g_weight, reverse=True)
+        return pairs
+
+    @property
+    def space_counters(self) -> int:
+        return self._counter.space_counters
+
+
+def theory_heaviness(epsilon: float, n: int) -> float:
+    """Theorem 13's parameter: ``lambda = eps^2 / log^3 n``.  Experiments
+    usually float this up for speed; E8 sweeps it."""
+    return (epsilon * epsilon) / max(math.log2(max(n, 4)) ** 3, 1.0)
+
+
+def cover_contains(
+    cover: Sequence[HeavyHitterPair], item: int
+) -> HeavyHitterPair | None:
+    for pair in cover:
+        if pair.item == item:
+            return pair
+    return None

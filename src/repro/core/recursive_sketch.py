@@ -1,0 +1,167 @@
+"""The Recursive Sketch of Braverman-Ostrovsky (Theorem 13).
+
+Reduces g-SUM to heavy hitters with O(log n) overhead: maintain nested
+subsampled substreams ``S_0 supseteq S_1 supseteq ... supseteq S_L`` (each
+item survives to the next level with pairwise-independent probability 1/2),
+run a ``(g, lambda, eps)``-heavy-hitter sketch on each, and combine
+estimates bottom-up with the unbiased telescoping estimator
+
+    Y_L = sum of cover weights at level L
+    Y_j = 2 * Y_{j+1} + sum_{(i, w) in cover_j} w * (1 - 2 * survives(i, j+1))
+
+so that ``E[Y_j] ~= g(S_j)``: items found at level j that also survive to
+level j+1 are counted twice inside ``2 Y_{j+1}``; the ``(1 - 2s)`` term adds
+the non-surviving heavy hitters and subtracts the surviving ones once.
+``Y_0`` estimates the full g-SUM.  (This is the estimator popularized by
+UnivMon, which implements exactly this sketch.)
+
+The class is generic over the level sketch via a factory, so the same
+layering serves the 1-pass Algorithm 2 sketch, the 2-pass Algorithm 1
+sketch (driving both passes), the exact oracle, and the g_np sketch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, List, Sequence
+
+from repro.core.heavy_hitters import (
+    GHeavyHitterSketch,
+    HeavyHitterPair,
+    TwoPassGHeavyHitter,
+)
+from repro.functions.base import GFunction
+from repro.sketch.hashing import SubsampleHash
+from repro.streams.model import StreamUpdate, TurnstileStream
+from repro.util.rng import RandomSource, as_source
+
+
+class RecursiveGSumSketch:
+    """Layered g-SUM estimator over any heavy-hitter level sketch.
+
+    Parameters
+    ----------
+    g:
+        The function being summed.
+    n:
+        Domain size; the number of levels defaults to ``ceil(log2 n)`` so
+        the deepest level holds O(1) expected items.
+    level_factory:
+        ``level_factory(level_index, rng) -> GHeavyHitterSketch``.
+    levels:
+        Override the level count (the paper's L).
+    """
+
+    def __init__(
+        self,
+        g: GFunction,
+        n: int,
+        level_factory: Callable[[int, RandomSource], GHeavyHitterSketch],
+        levels: int | None = None,
+        seed: int | RandomSource | None = None,
+    ):
+        source = as_source(seed, "recursive")
+        self.g = g
+        self.n = int(n)
+        self.levels = (
+            max(1, int(math.ceil(math.log2(max(n, 2))))) if levels is None else levels
+        )
+        self._subsample = SubsampleHash(self.levels, source.child("subsample"))
+        self._sketches: List[GHeavyHitterSketch] = [
+            level_factory(j, source.child(f"level{j}")) for j in range(self.levels + 1)
+        ]
+
+    # ----------------------------------------------------------- streaming
+
+    def update(self, item: int, delta: int) -> None:
+        depth = min(self._subsample.level(item), self.levels)
+        for j in range(depth + 1):
+            self._sketches[j].update(item, delta)
+
+    def process(
+        self, stream: TurnstileStream | Iterable[StreamUpdate]
+    ) -> "RecursiveGSumSketch":
+        for u in stream:
+            self.update(u.item, u.delta)
+        return self
+
+    def begin_second_pass(self) -> None:
+        """For two-pass level sketches: close pass one on every level."""
+        for sketch in self._sketches:
+            begin = getattr(sketch, "begin_second_pass", None)
+            if begin is not None:
+                begin()
+
+    def update_second_pass(self, item: int, delta: int) -> None:
+        depth = min(self._subsample.level(item), self.levels)
+        for j in range(depth + 1):
+            self._sketches[j].update_second_pass(item, delta)  # type: ignore[attr-defined]
+
+    def process_second_pass(
+        self, stream: TurnstileStream | Iterable[StreamUpdate]
+    ) -> "RecursiveGSumSketch":
+        for u in stream:
+            self.update_second_pass(u.item, u.delta)
+        return self
+
+    # ---------------------------------------------------------- estimation
+
+    def level_covers(self) -> List[List[HeavyHitterPair]]:
+        return [sketch.cover() for sketch in self._sketches]
+
+    def estimate(self) -> float:
+        covers = self.level_covers()
+        estimate = sum(pair.g_weight for pair in covers[self.levels])
+        for j in range(self.levels - 1, -1, -1):
+            correction = 0.0
+            for pair in covers[j]:
+                survives = self._subsample.survives(pair.item, j + 1)
+                correction += pair.g_weight * (1.0 - 2.0 * float(survives))
+            estimate = 2.0 * estimate + correction
+        return max(estimate, 0.0)
+
+    @property
+    def space_counters(self) -> int:
+        return sum(sketch.space_counters for sketch in self._sketches)
+
+    def needs_second_pass(self) -> bool:
+        return any(
+            getattr(sketch, "begin_second_pass", None) is not None
+            for sketch in self._sketches
+        )
+
+
+class NaiveTopKGSum:
+    """Ablation baseline for E8: a single CountSketch-based heavy-hitter
+    sketch whose cover is summed directly, with no layering.  Accurate only
+    when the g-mass is concentrated on the top k items; the layered sketch
+    also captures the level-by-level tail."""
+
+    def __init__(self, g: GFunction, level_sketch: GHeavyHitterSketch):
+        self.g = g
+        self._sketch = level_sketch
+
+    def update(self, item: int, delta: int) -> None:
+        self._sketch.update(item, delta)
+
+    def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "NaiveTopKGSum":
+        for u in stream:
+            self.update(u.item, u.delta)
+        return self
+
+    def estimate(self) -> float:
+        return sum(pair.g_weight for pair in self._sketch.cover())
+
+    @property
+    def space_counters(self) -> int:
+        return self._sketch.space_counters
+
+
+def two_pass_run(
+    sketch: RecursiveGSumSketch, stream: TurnstileStream
+) -> float:
+    """Drive a two-pass recursive sketch over a materialized stream."""
+    sketch.process(stream)
+    sketch.begin_second_pass()
+    sketch.process_second_pass(stream)
+    return sketch.estimate()

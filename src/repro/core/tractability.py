@@ -1,0 +1,159 @@
+"""The zero-one laws as a decision procedure (Theorems 2 and 3).
+
+Given a function g, produce a verdict: is it 1-pass / 2-pass tractable?
+Ground truth comes from declared properties when available; otherwise the
+numeric property testers of :mod:`repro.functions.properties` decide, with
+a nearly-periodic escape hatch (the laws only classify *normal* functions —
+Section 5's exotic class is reported as such, not forced into a verdict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.functions.base import GFunction
+from repro.functions.nearly_periodic import is_nearly_periodic_on_domain
+from repro.functions.properties import PropertyReport, analyze
+
+
+@dataclass(frozen=True)
+class TractabilityVerdict:
+    """Outcome of applying the zero-one laws to one function."""
+
+    name: str
+    slow_jumping: bool
+    slow_dropping: bool
+    predictable: bool
+    normal: bool
+    one_pass: Optional[bool]  # None <=> outside the laws (nearly periodic)
+    two_pass: Optional[bool]
+    source: str  # "declared" | "numeric"
+    reasons: tuple[str, ...]
+
+    def as_row(self) -> dict:
+        return {
+            "function": self.name,
+            "slow_jumping": self.slow_jumping,
+            "slow_dropping": self.slow_dropping,
+            "predictable": self.predictable,
+            "normal": self.normal,
+            "1-pass": self.one_pass,
+            "2-pass": self.two_pass,
+            "source": self.source,
+        }
+
+
+def _verdict_from_flags(
+    name: str,
+    slow_jumping: bool,
+    slow_dropping: bool,
+    predictable: bool,
+    normal: bool,
+    source: str,
+) -> TractabilityVerdict:
+    reasons: List[str] = []
+    if not normal:
+        reasons.append(
+            "nearly periodic: outside the zero-one laws (Section 5); "
+            "tractability must be settled per-function (cf. g_np)"
+        )
+        one_pass = None
+        two_pass = None
+    else:
+        one_pass = slow_jumping and slow_dropping and predictable
+        two_pass = slow_jumping and slow_dropping
+        if not slow_jumping:
+            reasons.append("not slow-jumping (grows faster than ~x^2): Lemma 24/28")
+        if not slow_dropping:
+            reasons.append("not slow-dropping (polynomial drop): Lemma 23/27")
+        if slow_jumping and slow_dropping and not predictable:
+            reasons.append(
+                "locally variable (not predictable): 1-pass intractable by "
+                "Lemma 25, but 2-pass tractable by Theorem 3"
+            )
+        if one_pass:
+            reasons.append("satisfies all three conditions: 1-pass tractable (Thm 2)")
+    return TractabilityVerdict(
+        name,
+        slow_jumping,
+        slow_dropping,
+        predictable,
+        normal,
+        one_pass,
+        two_pass,
+        source,
+        tuple(reasons),
+    )
+
+
+def classify_declared(g: GFunction) -> Optional[TractabilityVerdict]:
+    """Verdict from the paper-declared flags; None when undeclared."""
+    props = g.properties
+    flags = (
+        props.slow_jumping,
+        props.slow_dropping,
+        props.predictable,
+        props.s_normal,
+    )
+    if any(f is None for f in flags):
+        return None
+    return _verdict_from_flags(
+        g.name,
+        bool(props.slow_jumping),
+        bool(props.slow_dropping),
+        bool(props.predictable),
+        bool(props.s_normal),
+        "declared",
+    )
+
+
+def classify_numeric(
+    g: GFunction,
+    domain_max: int = 1 << 14,
+    tolerance: float = 0.15,
+) -> TractabilityVerdict:
+    """Verdict from the numeric property testers (plus the finite-domain
+    near-periodicity proxy for normality)."""
+    report: PropertyReport = analyze(g, domain_max=domain_max, tolerance=tolerance)
+    effective_max = report.domain_max
+    nearly_periodic = False
+    if not report.slow_dropping:
+        # Only non-slow-dropping functions can be nearly periodic
+        # (condition 1 of Definition 9 *is* the slow-dropping failure).
+        nearly_periodic = is_nearly_periodic_on_domain(
+            g, min(effective_max, 1 << 12)
+        )
+    return _verdict_from_flags(
+        g.name,
+        report.slow_jumping,
+        report.slow_dropping,
+        report.predictable,
+        not nearly_periodic,
+        "numeric",
+    )
+
+
+def classify(
+    g: GFunction,
+    prefer_declared: bool = True,
+    domain_max: int = 1 << 14,
+) -> TractabilityVerdict:
+    """The public classifier: declared flags when available (and preferred),
+    numeric testers otherwise."""
+    if prefer_declared:
+        declared = classify_declared(g)
+        if declared is not None:
+            return declared
+    return classify_numeric(g, domain_max=domain_max)
+
+
+def zero_one_table(
+    functions: List[GFunction],
+    numeric: bool = False,
+    domain_max: int = 1 << 14,
+) -> List[TractabilityVerdict]:
+    """Classification table for a battery of functions (experiment E4)."""
+    if numeric:
+        return [classify_numeric(g, domain_max=domain_max) for g in functions]
+    return [classify(g, domain_max=domain_max) for g in functions]

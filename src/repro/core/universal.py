@@ -1,0 +1,266 @@
+"""The universal sketch: one pass, one sketch, *every* tractable g.
+
+The paper's Section 1.1.1 observation — "the form of the sketch is
+independent of the function g" — is what makes the Recursive Sketch
+*universal*: the layered CountSketch structure never consults g while
+streaming; g enters only when reading the covers.  This module makes that
+explicit: :class:`UniversalGSumSketch` stores per-level *frequency* covers
+(item, estimated frequency) and evaluates ``estimate(g)`` for any g after
+the fact, amortizing one sketch across a whole library of statistics
+(the design popularized by UnivMon, which implements exactly this paper's
+machinery).
+
+Guarantee scope: ``estimate(g)`` inherits Theorem 2's guarantee for every
+g that is slow-jumping, slow-dropping, and predictable *with a common
+witness H* — the level sketches are sized once, so the g's share the
+heaviness budget.  Evaluating an intractable g is allowed (it is just
+arithmetic) but carries no guarantee; pair with
+:func:`repro.core.tractability.classify` to know which is which.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.core.heavy_hitters import OnePassGHeavyHitter, TwoPassGHeavyHitter
+from repro.core.recursive_sketch import RecursiveGSumSketch
+from repro.functions.base import GFunction
+from repro.functions.library import indicator, moment
+from repro.streams.model import StreamUpdate, TurnstileStream
+from repro.util.rng import RandomSource, as_source
+
+
+@dataclass(frozen=True)
+class FrequencyCoverEntry:
+    item: int
+    frequency: float
+    survives_next: bool
+
+
+class _FrequencyLevel:
+    """A level sketch that records frequency estimates, not g-weights.
+
+    Internally an Algorithm-2 sketch for the *identity-agnostic* part
+    (CountSketch + AMS); pruning is deferred to evaluation time because it
+    depends on g.
+    """
+
+    def __init__(self, inner: OnePassGHeavyHitter):
+        self.inner = inner
+
+    def update(self, item: int, delta: int) -> None:
+        self.inner.update(item, delta)
+
+    def frequency_cover(self) -> List[tuple[int, float]]:
+        pairs = []
+        for cand in self.inner._countsketch.top_candidates():
+            if abs(cand.estimate) >= 0.5:
+                pairs.append((cand.item, cand.estimate))
+        return pairs
+
+    def frequency_error_bound(self) -> float:
+        return self.inner.frequency_error_bound()
+
+    @property
+    def space_counters(self) -> int:
+        return self.inner.space_counters
+
+
+class UniversalGSumSketch:
+    """One-pass, g-oblivious sketch supporting post-hoc g-SUM queries.
+
+    Parameters mirror :class:`repro.core.gsum.GSumEstimator`; the g passed
+    to the level sketches is only a placeholder (never evaluated during
+    streaming).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        epsilon: float = 0.25,
+        heaviness: float = 0.05,
+        repetitions: int = 3,
+        levels: int | None = None,
+        h_witness: float = 4.0,
+        magnitude_bound: int = 1 << 20,
+        seed: int | RandomSource | None = None,
+        cs_max_buckets: int = 1 << 14,
+    ):
+        source = as_source(seed, "universal")
+        self.n = int(n)
+        self.epsilon = float(epsilon)
+        self.repetitions = int(repetitions)
+        placeholder = moment(2.0)
+
+        def factory(level: int, rng: RandomSource):
+            return _FrequencyLevel(
+                OnePassGHeavyHitter(
+                    placeholder, heaviness, epsilon, 0.1, n,
+                    h_witness=h_witness, magnitude_bound=magnitude_bound,
+                    prune=False, seed=rng, cs_max_buckets=cs_max_buckets,
+                )
+            )
+
+        self._sketches: List[RecursiveGSumSketch] = [
+            RecursiveGSumSketch(
+                placeholder, self.n, factory, levels=levels,
+                seed=source.child(f"rep{r}"),
+            )
+            for r in range(self.repetitions)
+        ]
+
+    # ----------------------------------------------------------- streaming
+
+    def update(self, item: int, delta: int) -> None:
+        for sketch in self._sketches:
+            sketch.update(item, delta)
+
+    def process(
+        self, stream: TurnstileStream | Iterable[StreamUpdate]
+    ) -> "UniversalGSumSketch":
+        for u in stream:
+            self.update(u.item, u.delta)
+        return self
+
+    # ---------------------------------------------------------- evaluation
+
+    def _estimate_one(self, sketch: RecursiveGSumSketch, g: GFunction) -> float:
+        levels = sketch.levels
+        covers = [
+            sketch._sketches[j].frequency_cover()  # type: ignore[attr-defined]
+            for j in range(levels + 1)
+        ]
+        estimate = sum(g(abs(round(f))) for _, f in covers[levels])
+        for j in range(levels - 1, -1, -1):
+            correction = 0.0
+            for item, freq in covers[j]:
+                weight = g(abs(round(freq)))
+                survives = sketch._subsample.survives(item, j + 1)
+                correction += weight * (1.0 - 2.0 * float(survives))
+            estimate = 2.0 * estimate + correction
+        return max(estimate, 0.0)
+
+    def estimate(self, g: GFunction) -> float:
+        """Post-hoc (g, eps)-SUM from the stored frequency covers; median
+        over the independent repetitions."""
+        return float(
+            statistics.median(self._estimate_one(s, g) for s in self._sketches)
+        )
+
+    def estimate_many(self, gs: Sequence[GFunction]) -> Dict[str, float]:
+        """Evaluate a whole battery of statistics from the one sketch."""
+        return {g.name: self.estimate(g) for g in gs}
+
+    # Convenience aliases for the classic statistics zoo -------------------
+
+    def distinct_count(self) -> float:
+        """F0 (distinct elements): the indicator g-SUM."""
+        return self.estimate(indicator())
+
+    def moment_estimate(self, p: float) -> float:
+        """F_p for p <= 2 (tractable range)."""
+        return self.estimate(moment(p))
+
+    def entropy_proxy(self) -> float:
+        """``sum |v_i| log(1+|v_i|)`` — the empirical-entropy numerator
+        used by monitoring systems (tractable: sub-quadratic, monotone)."""
+        g = GFunction(
+            lambda x: x * math.log1p(x) / math.log(2.0), "x*ln(1+x)",
+            normalize=False,
+        )
+        return self.estimate(g)
+
+    @property
+    def space_counters(self) -> int:
+        return sum(s.space_counters for s in self._sketches)
+
+
+class _TwoPassFrequencyLevel:
+    """Two-pass level: CountSketch candidates in pass one, exact
+    frequencies in pass two.  Post-hoc weights are then exact for *any* g
+    — the universal sketch inherits Theorem 3's indifference to
+    predictability."""
+
+    def __init__(self, inner: TwoPassGHeavyHitter):
+        self.inner = inner
+
+    def update(self, item: int, delta: int) -> None:
+        self.inner.update(item, delta)
+
+    def begin_second_pass(self) -> None:
+        self.inner.begin_second_pass()
+
+    def update_second_pass(self, item: int, delta: int) -> None:
+        self.inner.update_second_pass(item, delta)
+
+    def frequency_cover(self) -> List[tuple[int, float]]:
+        return [
+            (item, float(freq))
+            for item, freq in self.inner._second.frequency_vector().items()  # type: ignore[union-attr]
+            if freq != 0
+        ]
+
+    @property
+    def space_counters(self) -> int:
+        return self.inner.space_counters
+
+
+class TwoPassUniversalSketch(UniversalGSumSketch):
+    """Universal sketch over Algorithm-1 levels: pass one identifies
+    candidates, pass two tabulates their frequencies exactly, and any g —
+    including unpredictable ones like ``(2+sin sqrt x) x^2`` — evaluates
+    post hoc on exact frequencies."""
+
+    def __init__(
+        self,
+        n: int,
+        epsilon: float = 0.25,
+        heaviness: float = 0.05,
+        repetitions: int = 3,
+        levels: int | None = None,
+        h_witness: float = 4.0,
+        magnitude_bound: int = 1 << 20,
+        seed: int | RandomSource | None = None,
+        cs_max_buckets: int = 1 << 14,
+    ):
+        source = as_source(seed, "universal2")
+        self.n = int(n)
+        self.epsilon = float(epsilon)
+        self.repetitions = int(repetitions)
+        placeholder = moment(2.0)
+
+        def factory(level: int, rng: RandomSource):
+            return _TwoPassFrequencyLevel(
+                TwoPassGHeavyHitter(
+                    placeholder, heaviness, 0.1, n,
+                    h_witness=h_witness, magnitude_bound=magnitude_bound,
+                    seed=rng, cs_max_buckets=cs_max_buckets,
+                )
+            )
+
+        self._sketches = [
+            RecursiveGSumSketch(
+                placeholder, self.n, factory, levels=levels,
+                seed=source.child(f"rep{r}"),
+            )
+            for r in range(self.repetitions)
+        ]
+
+    def begin_second_pass(self) -> None:
+        for sketch in self._sketches:
+            sketch.begin_second_pass()
+
+    def update_second_pass(self, item: int, delta: int) -> None:
+        for sketch in self._sketches:
+            sketch.update_second_pass(item, delta)
+
+    def run(self, stream: TurnstileStream) -> "TwoPassUniversalSketch":
+        """Drive both passes over a materialized stream."""
+        self.process(stream)
+        self.begin_second_pass()
+        for u in stream:
+            self.update_second_pass(u.item, u.delta)
+        return self

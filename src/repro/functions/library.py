@@ -1,0 +1,336 @@
+"""Catalog of every function the paper names, with declared ground truth.
+
+Sources for the declarations:
+
+* Definitions 6-8 examples: ``x^p (p <= 2)``, ``x^2 2^sqrt(log x)``,
+  ``(2+sin x) x^2`` are slow-jumping; ``2^x`` and ``x^p (p > 2)`` are not.
+  ``1/log``-decay and ``(2+sin x) x^2`` are slow-dropping; polynomial decay
+  ``x^-p`` is not.  ``x^2`` and bounded oscillation ``(2+sin x) 1(x>0)`` are
+  predictable; ``(2+sin x) x^2`` is not.
+* Section 4.6 examples: ``x^2 lg(1+x)``, ``(2+sin log(1+x)) x^2``,
+  ``e^{log^{1/2}(1+x)}`` are 1-pass tractable; ``1/x`` is not slow-dropping,
+  ``x^3`` is not slow-jumping, ``(2+sin sqrt x) x^2`` is not predictable but
+  is 2-pass tractable.
+* Appendix D.1: ``g_np`` is S-nearly periodic yet 1-pass tractable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable
+
+from repro.functions.base import DeclaredProperties, GFunction
+from repro.util.intmath import lowest_set_bit
+
+_NORMAL = dict(s_normal=True, p_normal=True)
+
+
+def moment(p: float) -> GFunction:
+    """Frequency moment ``g(x) = x^p`` (the AMS problem).
+
+    Slow-jumping iff ``p <= 2``; always slow-dropping and predictable for
+    ``p >= 0`` increasing; so 1-pass tractable iff ``p <= 2`` (Indyk-Woodruff
+    territory for p in (0,2], polynomial lower bound above 2 in
+    sub-polynomial space).
+    """
+    if p < 0:
+        raise ValueError("use negative_moment for p < 0")
+    props = DeclaredProperties(
+        slow_jumping=p <= 2,
+        slow_dropping=True,
+        predictable=True,
+        monotone="increasing",
+        **_NORMAL,
+    )
+    return GFunction(lambda x: float(x) ** p, f"x^{p:g}", props)
+
+
+def negative_moment(p: float) -> GFunction:
+    """``g(x) = x^-p`` for x>0 (frequency negative moments).  Polynomial
+    decay: not slow-dropping, hence intractable in any constant number of
+    passes (Braverman-Chestnut [5] / Lemma 27)."""
+    if p <= 0:
+        raise ValueError("p must be positive")
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=False,
+        predictable=True,
+        monotone="decreasing",
+        **_NORMAL,
+    )
+    return GFunction(
+        lambda x: 0.0 if x == 0 else float(x) ** (-p), f"x^-{p:g}", props, normalize=False
+    )
+
+
+def log_decay() -> GFunction:
+    """``g(x) = 1/log2(1+x)`` for x>0 — sub-polynomial decay, slow-dropping
+    (the paper's example right after Definition 7)."""
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=True,
+        predictable=True,
+        monotone="decreasing",
+        **_NORMAL,
+    )
+
+    def fn(x: int) -> float:
+        if x == 0:
+            return 0.0
+        return math.log(3.0) / math.log(2.0 + x)
+
+    return GFunction(fn, "1/log(1+x)", props, normalize=False)
+
+
+def x2_log() -> GFunction:
+    """``x^2 lg(1+x)`` — 1-pass tractable (Section 4.6)."""
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=True,
+        predictable=True,
+        monotone="increasing",
+        **_NORMAL,
+    )
+    return GFunction(lambda x: x * x * math.log2(1.0 + x), "x^2*lg(1+x)", props)
+
+
+def x2_sqrtlog_exp() -> GFunction:
+    """``x^2 * 2^sqrt(log x)`` — slow-jumping example from Definition 6."""
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=True,
+        predictable=True,
+        monotone="increasing",
+        **_NORMAL,
+    )
+
+    def fn(x: int) -> float:
+        if x == 0:
+            return 0.0
+        return x * x * 2.0 ** math.sqrt(math.log2(1.0 + x))
+
+    return GFunction(fn, "x^2*2^sqrt(lg x)", props)
+
+
+def sin_log_x2() -> GFunction:
+    """``(2 + sin log(1+x)) x^2`` — oscillating but so slowly that it is
+    predictable; 1-pass tractable (Section 4.6)."""
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=True,
+        predictable=True,
+        **_NORMAL,
+    )
+    return GFunction(
+        lambda x: (2.0 + math.sin(math.log(1.0 + x))) * x * x, "(2+sin log(1+x))x^2", props
+    )
+
+
+def exp_sqrt_log() -> GFunction:
+    """``e^{log^{1/2}(1+x)}`` — sub-polynomial growth, 1-pass tractable
+    (Section 4.6)."""
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=True,
+        predictable=True,
+        monotone="increasing",
+        **_NORMAL,
+    )
+    return GFunction(lambda x: math.exp(math.sqrt(math.log(1.0 + x))), "e^sqrt(log(1+x))", props)
+
+
+def sin_sqrt_x2() -> GFunction:
+    """``(2 + sin sqrt(x)) x^2`` — slow-jumping and slow-dropping but NOT
+    predictable: the sinusoid's phase moves at rate x^{-1/2}, so at scale x
+    a +-O(sqrt x) frequency error flips g by a constant factor while
+    g(y)/g(x) for the witnessing y is polynomially small.  2-pass tractable,
+    1-pass intractable (Section 4.6)."""
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=True,
+        predictable=False,
+        **_NORMAL,
+    )
+    return GFunction(
+        lambda x: (2.0 + math.sin(math.sqrt(float(x)))) * x * x, "(2+sin sqrt x)x^2", props
+    )
+
+
+def sin_x_x2() -> GFunction:
+    """``(2 + sin x) x^2`` — Definition 8's negative example: varies by a
+    factor 3 between adjacent integers while growing, so not predictable."""
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=True,
+        predictable=False,
+        **_NORMAL,
+    )
+    return GFunction(lambda x: (2.0 + math.sin(float(x))) * x * x, "(2+sin x)x^2", props)
+
+
+def bounded_oscillation() -> GFunction:
+    """``(2 + sin x) 1(x>0)`` — locally highly variable but bounded, hence
+    predictable (Definition 8's positive example)."""
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=True,
+        predictable=True,
+        **_NORMAL,
+    )
+
+    def fn(x: int) -> float:
+        if x == 0:
+            return 0.0
+        return (2.0 + math.sin(float(x))) / (2.0 + math.sin(1.0))
+
+    return GFunction(fn, "(2+sin x)1(x>0)", props, normalize=False)
+
+
+def exponential() -> GFunction:
+    """``2^x`` (scaled) — the canonical not-slow-jumping function.  Also not
+    predictable: within ``y < x^{1-gamma}`` the value multiplies by ``2^y``
+    while ``g(y) = 2^y - 1`` is far below ``x^{-gamma} g(x)``."""
+    props = DeclaredProperties(
+        slow_jumping=False,
+        slow_dropping=True,
+        predictable=False,
+        monotone="increasing",
+        **_NORMAL,
+    )
+    return GFunction(lambda x: 2.0 ** float(x) - 1.0, "2^x", props, analysis_cap=900)
+
+
+def reciprocal() -> GFunction:
+    """``1/x`` — Section 4.6's not-slow-dropping example."""
+    return negative_moment(1.0).renamed("1/x")
+
+
+def g_np() -> GFunction:
+    """The tractable S-nearly periodic function of Definition 52:
+    ``g_np(x) = 2^{-i_x}`` where ``i_x`` is the lowest set bit of x.
+
+    Not slow-dropping (g_np(2^k) = 2^-k drops polynomially) — that is why
+    it is nearly periodic rather than normal.  Not slow-jumping either:
+    x = 2^k, y = x + 1 needs x^alpha >= 2^k, i.e. alpha >= 1.  It *is*
+    predictable: when g_np(x+y) differs from g_np(x), the low bit of y is
+    at most the low bit of x, so g_np(y) >= g_np(x).
+    """
+    props = DeclaredProperties(
+        slow_jumping=False,
+        slow_dropping=False,
+        predictable=True,
+        s_normal=False,
+        p_normal=False,
+    )
+
+    def fn(x: int) -> float:
+        if x == 0:
+            return 0.0
+        return 2.0 ** (-lowest_set_bit(x))
+
+    return GFunction(fn, "g_np", props, normalize=False)
+
+
+def linear() -> GFunction:
+    """``g(x) = x`` (F1)."""
+    return moment(1.0).renamed("x")
+
+
+def indicator() -> GFunction:
+    """``g(x) = 1(x > 0)`` (F0, distinct elements)."""
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=True,
+        predictable=True,
+        monotone="increasing",
+        **_NORMAL,
+    )
+    return GFunction(lambda x: 0.0 if x == 0 else 1.0, "1(x>0)", props, normalize=False)
+
+
+def capped_linear(cap: int) -> GFunction:
+    """``min(x, cap)`` — bounded utility, tractable."""
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=True,
+        predictable=True,
+        monotone="increasing",
+        **_NORMAL,
+    )
+    return GFunction(lambda x: float(min(x, cap)), f"min(x,{cap})", props, normalize=False)
+
+
+def spam_damped_fee(threshold: int) -> GFunction:
+    """Non-monotone billing utility from Section 1.1.2: fee grows linearly
+    up to ``threshold`` clicks, then is discounted hyperbolically (suspected
+    bot traffic).  Decay beyond the peak is polynomial relative to the peak
+    but the function stays >= 1 and its overall drop is bounded by the
+    constant factor ``threshold``; bounded drops keep it slow-dropping, and
+    sub-quadratic growth keeps it slow-jumping and predictable."""
+    if threshold < 2:
+        raise ValueError("threshold must be at least 2")
+    peak = float(threshold)
+
+    def fn(x: int) -> float:
+        if x == 0:
+            return 0.0
+        if x <= threshold:
+            return float(x)
+        return max(peak * peak / float(x), 1.0)
+
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=True,
+        predictable=True,
+        **_NORMAL,
+    )
+    return GFunction(fn, f"spamfee(T={threshold})", props, normalize=False)
+
+
+def catalog() -> Dict[str, GFunction]:
+    """All named functions, keyed by name — the E4 zero-one-law table."""
+    functions = [
+        moment(0.5),
+        linear(),
+        moment(1.5),
+        moment(2.0),
+        moment(3.0),
+        x2_log(),
+        x2_sqrtlog_exp(),
+        sin_log_x2(),
+        exp_sqrt_log(),
+        sin_sqrt_x2(),
+        sin_x_x2(),
+        bounded_oscillation(),
+        exponential(),
+        reciprocal(),
+        negative_moment(0.5),
+        log_decay(),
+        g_np(),
+        indicator(),
+        capped_linear(64),
+        spam_damped_fee(100),
+    ]
+    return {g.name: g for g in functions}
+
+
+def tractable_onepass_examples() -> list[GFunction]:
+    """The functions the paper explicitly certifies 1-pass tractable."""
+    return [
+        moment(0.5),
+        linear(),
+        moment(1.5),
+        moment(2.0),
+        x2_log(),
+        sin_log_x2(),
+        exp_sqrt_log(),
+    ]
+
+
+def intractable_examples() -> list[GFunction]:
+    """Functions the paper certifies 1-pass intractable (normal side)."""
+    return [moment(3.0), reciprocal(), sin_sqrt_x2(), exponential()]
+
+
+def iter_catalog() -> Iterable[GFunction]:
+    return catalog().values()

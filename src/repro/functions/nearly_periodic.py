@@ -1,0 +1,333 @@
+"""Nearly periodic functions (Definition 9, Section 5, Appendix D).
+
+A function is S-nearly periodic when (1) it sustains polynomial drops —
+there are alpha-periods y with ``g(y) <= g(x)/y^alpha`` for some x < y —
+and (2) whenever such a drop happens, the function almost repeats:
+``|g(x+y) - g(x)| <= min(g(x), g(x+y)) * h(y)`` for every error function h
+in the class S (non-increasing sub-polynomial).  These are exactly the
+functions on which the INDEX reduction of Lemma 23 collapses.
+
+This module provides:
+
+* alpha-period discovery on a finite domain,
+* a finite-domain near-periodicity checker (used to verify Proposition 53
+  for g_np and to reject normal functions),
+* the discretized model of Appendix D.4 — membership tests for the
+  tractable-like class ``T_n`` and nearly-periodic-like class ``B_n`` plus a
+  Monte-Carlo counter reproducing the Theorem 57 scarcity claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.functions.base import GFunction
+from repro.util.rng import RandomSource, as_source
+
+
+@dataclass(frozen=True)
+class AlphaPeriod:
+    """A drop witness: x < y with g(y) <= g(x) / y^alpha."""
+
+    x: int
+    y: int
+    alpha: float
+
+
+def find_alpha_periods(
+    g: GFunction,
+    alpha: float,
+    domain_max: int,
+    max_periods: int = 64,
+) -> List[AlphaPeriod]:
+    """All y <= domain_max that are alpha-periods (Definition 9 cond. 1),
+    each with the witnessing prefix-argmax x."""
+    periods: List[AlphaPeriod] = []
+    best_x, best_gx = 1, g(1)
+    for y in range(2, domain_max + 1):
+        gy = g(y)
+        if gy * (y ** alpha) <= best_gx:
+            periods.append(AlphaPeriod(best_x, y, alpha))
+            if len(periods) >= max_periods:
+                break
+        if gy > best_gx:
+            best_x, best_gx = y, gy
+    return periods
+
+
+def near_periodicity_violations(
+    g: GFunction,
+    alpha: float,
+    domain_max: int,
+    error_fn: Callable[[int], float] | None = None,
+) -> List[tuple[int, int, float]]:
+    """Check Definition 9 condition 2 on a finite domain.
+
+    For every alpha-period y and every x < y with ``g(y) y^alpha <= g(x)``,
+    near-periodicity demands ``|g(x+y) - g(x)| <= min(g(x), g(x+y)) h(y)``.
+    Returns the violating triples (x, y, observed relative gap).  The
+    default error function is ``h(y) = 1/log2(2+y)`` — a canonical member
+    of S; a genuinely nearly periodic function passes for *every* h in S,
+    a normal function fails already for this one at large scales.
+    """
+    h = error_fn or (lambda y: 1.0 / math.log2(2.0 + y))
+    violations: List[tuple[int, int, float]] = []
+    for period in find_alpha_periods(g, alpha, domain_max):
+        y = period.y
+        budget = h(y)
+        for x in range(1, y):
+            gx = g(x)
+            if g(y) * (y ** alpha) > gx:
+                continue  # condition only quantifies over big-drop x
+            gxy = g(x + y)
+            gap = abs(gxy - gx)
+            allowed = min(gx, gxy) * budget
+            if gap > allowed:
+                rel = gap / max(min(gx, gxy), 1e-300)
+                violations.append((x, y, rel))
+    return violations
+
+
+def is_nearly_periodic_on_domain(
+    g: GFunction,
+    domain_max: int,
+    alpha: float = 0.5,
+) -> bool:
+    """Finite-domain proxy for S-near-periodicity: has alpha-periods and no
+    condition-2 violations at the largest scales."""
+    periods = find_alpha_periods(g, alpha, domain_max)
+    if not periods:
+        return False
+    violations = near_periodicity_violations(g, alpha, domain_max)
+    if not violations:
+        return True
+    largest_clean = max(p.y for p in periods)
+    worst_violation = max(v[1] for v in violations)
+    return worst_violation < largest_clean ** 0.5
+
+
+# --------------------------------------------------------------------------
+# Discretized model of Appendix D.4.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiscretizedModel:
+    """Functions g: [M]_0 -> [M']_0 with g(0)=0, g(1)=M', g(x)>0 for x>0,
+    examined at problem size n (Appendix D.4)."""
+
+    n: int
+    big_m: int  # M: domain bound
+    big_m_prime: int  # M': value resolution
+
+    def __post_init__(self) -> None:
+        if self.n < 4 or self.big_m < 4 or self.big_m_prime < 4:
+            raise ValueError("model parameters too small to be meaningful")
+
+    @property
+    def log_n(self) -> float:
+        return math.log2(self.n)
+
+    def random_function(self, source: RandomSource) -> np.ndarray:
+        """Uniform member of G_D as a value table of length M+1."""
+        table = np.empty(self.big_m + 1, dtype=np.int64)
+        table[0] = 0
+        table[1] = self.big_m_prime
+        if self.big_m >= 2:
+            table[2:] = source.integers(1, self.big_m_prime + 1, size=self.big_m - 1)
+        return table
+
+    def in_tractable_class(self, table: np.ndarray) -> bool:
+        """The T_n proxy of Lemma 59: minimum value at least M'/log n.
+
+        Functions bounded below by M'/log n have every value within a
+        log-n factor of every other, so a (1 +- 1/2)-approximation needs
+        only polylog space (count distinct-ish); Lemma 59 counts exactly
+        these.
+        """
+        positive = table[1:]
+        return bool(positive.min() >= self.big_m_prime / self.log_n)
+
+    def in_nearly_periodic_class(self, table: np.ndarray) -> bool:
+        """The B_n class of Appendix D.4: (1) some pair has a (log n)^8
+        value gap, and (2) every pair with half that gap nearly repeats:
+        ``|g(x) - g(|y - x|)| < g(x)/log^2 n`` and, when x+y <= M,
+        ``|g(x+y) - g(x)| < g(x)/log^2 n``.
+        """
+        values = table.astype(float)
+        log_n = self.log_n
+        gap = log_n ** 8
+        positive = values[1:]
+        if positive.max() < gap * positive.min():
+            return False  # condition (1) fails
+        tol = 1.0 / (log_n ** 2)
+        big_m = self.big_m
+        # Enumerate pairs (x, y) with g(x) >= (gap/2) g(y).
+        for x in range(1, big_m + 1):
+            gx = values[x]
+            for y in range(1, big_m + 1):
+                if y == x:
+                    continue
+                if gx < 0.5 * gap * values[y]:
+                    continue
+                diff_idx = abs(y - x)
+                neighbor = values[diff_idx] if diff_idx >= 1 else None
+                if neighbor is not None and abs(gx - neighbor) >= gx * tol:
+                    return False
+                if x + y <= big_m and abs(values[x + y] - gx) >= gx * tol:
+                    return False
+        return True
+
+
+@dataclass
+class CountingResult:
+    samples: int
+    tractable_like: int
+    nearly_periodic_like: int
+
+    @property
+    def ratio_upper_bound(self) -> float:
+        """Empirical |B_n| / |T_n| estimate (0 when no B_n hit — the
+        Theorem 57 regime)."""
+        if self.tractable_like == 0:
+            return math.inf
+        return self.nearly_periodic_like / self.tractable_like
+
+
+def monte_carlo_count(
+    model: DiscretizedModel,
+    samples: int,
+    seed: int | RandomSource | None = None,
+) -> CountingResult:
+    """Sample random members of G_D and count class memberships.
+
+    Theorem 57 says |B_n|/|T_n| <= 2^{-Omega(M log log n)}: nearly periodic
+    functions are doubly-exponentially scarce.  The Monte-Carlo estimate
+    reproduces the shape: T_n hits occur at the Lemma 59 rate
+    ``(1 - 1/log n)^{M-1}`` while B_n hits essentially never occur.
+    """
+    source = as_source(seed, "discretized_count")
+    tractable = 0
+    nearly_periodic = 0
+    for _ in range(samples):
+        table = model.random_function(source)
+        if model.in_tractable_class(table):
+            tractable += 1
+        if model.in_nearly_periodic_class(table):
+            nearly_periodic += 1
+    return CountingResult(samples, tractable, nearly_periodic)
+
+
+def expected_tractable_fraction(model: DiscretizedModel) -> float:
+    """Lemma 59's closed form: (1 - 1/log n)^{M-1} of G_D lies in T_n."""
+    return (1.0 - 1.0 / model.log_n) ** (model.big_m - 1)
+
+
+@dataclass(frozen=True)
+class RepairQuality:
+    """How well one candidate period y repairs the function: the largest
+    relative deviation |g(x + y) - g(x)| / g(x) over probed x."""
+
+    y: int
+    max_relative_deviation: float
+    probed_points: int
+
+
+def asymptotic_repair_sequence(
+    g: GFunction,
+    domain_max: int,
+    alpha: float = 0.5,
+    x_probe: int = 64,
+) -> List[RepairQuality]:
+    """Proposition 29's phenomenon, measured: for bounded S-nearly periodic
+    g there is a *single* increasing sequence y_k (the alpha-periods) with
+    ``g(x + y_k) -> g(x)`` simultaneously for every x.
+
+    Returns the repair quality of each alpha-period against a fixed probe
+    grid of x values; for genuinely nearly periodic g the deviations decay
+    along the sequence, for normal functions they do not.
+    """
+    periods = find_alpha_periods(g, alpha, domain_max)
+    xs = [x for x in range(1, min(x_probe, domain_max // 2) + 1)]
+    out: List[RepairQuality] = []
+    for period in periods:
+        y = period.y
+        worst = 0.0
+        probed = 0
+        for x in xs:
+            if x >= y:
+                break
+            gx = g(x)
+            if gx <= 0:
+                continue
+            worst = max(worst, abs(g(x + y) - gx) / gx)
+            probed += 1
+        if probed:
+            out.append(RepairQuality(y, worst, probed))
+    return out
+
+
+def dropping_set(
+    g: GFunction, big_n: int, h: Callable[[int], float] | None = None
+) -> List[int]:
+    """The (N, h)-dropping set of Definition 65:
+    ``{x in [1, N] : g(x) <= h(N) / N}``.  Proposition 66: every nearly
+    periodic function has nonempty dropping sets for suitable (N, h)."""
+    error_fn = h or (lambda n: float(g(1)) * n ** 0.5)
+    threshold = error_fn(big_n) / big_n
+    return [x for x in range(1, big_n + 1) if g(x) <= threshold]
+
+
+def distinct_pair_matching(
+    s: List[int], j: int, domain_max: int
+) -> List[tuple[int, int]]:
+    """Lemma 61: given ``S subseteq [M]`` and a point j, produce pairs
+    ``(i, |i - j|)`` with **all values distinct** and size >= |S|/4 - 1.
+
+    Constructive version of the counting step in the |B_n| bound
+    (Lemma 62): build the functional graph ``i -> |i - j|`` on S (dropping
+    the degenerate points i = j and i = j/2), then extract a matching by
+    resolving each in-degree-2 vertex and 2-cycle as in the proof.
+    """
+    edges = {}
+    for i in s:
+        if i == j or 2 * i == j:
+            continue
+        if not 0 <= i <= domain_max:
+            raise ValueError(f"element {i} outside [0, {domain_max}]")
+        edges[i] = abs(i - j)
+    # Resolve in-degree-2 collisions: two sources u < v with |u-j| == |v-j|
+    by_target: dict[int, List[int]] = {}
+    for source, target in edges.items():
+        by_target.setdefault(target, []).append(source)
+    kept: dict[int, int] = {}
+    for target, sources in by_target.items():
+        # keep one edge per target (drop the smaller source on cycles, an
+        # arbitrary one otherwise — the proof's rule)
+        keep = max(sources)
+        kept[keep] = target
+    # Greedy matching with globally distinct values (sources and targets).
+    used: set[int] = set()
+    matching: List[tuple[int, int]] = []
+    for source in sorted(kept):
+        target = kept[source]
+        if source in used or target in used or source == target:
+            continue
+        matching.append((source, target))
+        used.add(source)
+        used.add(target)
+    return matching
+
+
+def gnp_value_table(domain_max: int) -> np.ndarray:
+    """g_np values on [0, domain_max] (for vectorized experiments)."""
+    from repro.util.intmath import lowest_set_bit
+
+    table = np.zeros(domain_max + 1, dtype=float)
+    for x in range(1, domain_max + 1):
+        table[x] = 2.0 ** (-lowest_set_bit(x))
+    return table

@@ -1,0 +1,289 @@
+"""Numeric testers for slow-jumping, slow-dropping, and predictability.
+
+The three properties (Definitions 6-8) are asymptotic; on a finite domain
+``[1, M]`` we estimate, for each property, the *violation exponent* the
+definition bounds, and decide by comparing its tail trend against a
+tolerance.  The testers are validated in the test-suite against the
+paper-declared ground truth of every catalog function (experiment E4).
+
+Exponent definitions used (all per the definitions' algebra):
+
+* drop exponent at y:  ``max_{x<y} log(g(x)/g(y)) / log y``.
+  Slow-dropping  <=>  limsup_y <= 0.
+* jump exponent at y:  ``max_{x<y} [log g(y) - log g(x) - 2 log floor(y/x)] / log y``.
+  Slow-jumping  <=>  limsup_y <= 0  (using floor(y/x)^alpha x^alpha ~= y^alpha).
+* predictability: a violation witness is (x, y) with y < x^{1-gamma},
+  ``|g(x+y) - g(x)| > eps g(x)`` and ``g(y) < x^{-gamma} g(x)``.
+  Predictable <=> no witnesses for arbitrarily large x.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+from repro.functions.base import GFunction
+
+
+def geometric_grid(lo: int, hi: int, per_octave: int = 8) -> List[int]:
+    """Distinct integers geometrically spaced in [lo, hi]."""
+    if lo < 1 or hi < lo:
+        raise ValueError("need 1 <= lo <= hi")
+    out: List[int] = []
+    step = 2.0 ** (1.0 / per_octave)
+    value = float(lo)
+    while value <= hi:
+        candidate = int(round(value))
+        if not out or candidate > out[-1]:
+            out.append(candidate)
+        value = max(value * step, value + 1.0)
+    if out[-1] != hi:
+        out.append(hi)
+    return out
+
+
+@dataclass
+class ExponentTrace:
+    """Per-scale exponent measurements and the statistics used for the
+    decision.
+
+    ``tail`` is the max over the top quartile of scales (a finite-domain
+    limsup stand-in).  ``intercept`` extrapolates to infinity: the
+    finite-domain slop of both definitions decays like ``const / log y``
+    (e.g. the floor(y/x) rounding contributes ``2 log 2 / log y`` for
+    g = x^2), so we regress exponent against ``1/ln y`` over the tail half
+    and read off the limit.  A genuinely polynomial violation shows up as a
+    positive intercept; slop extrapolates to ~0.
+    """
+
+    scales: List[int]
+    exponents: List[float]
+
+    @property
+    def tail(self) -> float:
+        if not self.exponents:
+            return 0.0
+        k = max(1, len(self.exponents) // 4)
+        return max(self.exponents[-k:])
+
+    @property
+    def overall_max(self) -> float:
+        return max(self.exponents, default=0.0)
+
+    @property
+    def intercept(self) -> float:
+        """Extrapolated exponent at y -> infinity (see class docstring)."""
+        if len(self.exponents) < 4:
+            return self.tail
+        half = len(self.exponents) // 2
+        xs = [1.0 / math.log(s) for s in self.scales[half:]]
+        ys = self.exponents[half:]
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        den = sum((x - mean_x) ** 2 for x in xs)
+        if den <= 0:
+            return self.tail
+        slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / den
+        return mean_y - slope * mean_x
+
+
+@dataclass
+class PredictabilityReport:
+    predictable: bool
+    witnesses: List[tuple[int, int, float]] = field(default_factory=list)
+    checked_pairs: int = 0
+
+
+@dataclass
+class PropertyReport:
+    """Full numeric characterization of a function on [1, M]."""
+
+    name: str
+    domain_max: int
+    drop: ExponentTrace
+    jump: ExponentTrace
+    predictability: PredictabilityReport
+    tolerance: float
+
+    @property
+    def slow_dropping(self) -> bool:
+        return self.drop.intercept <= self.tolerance
+
+    @property
+    def slow_jumping(self) -> bool:
+        return self.jump.intercept <= self.tolerance
+
+    @property
+    def predictable(self) -> bool:
+        return self.predictability.predictable
+
+    def summary_row(self) -> dict:
+        return {
+            "function": self.name,
+            "slow_dropping": self.slow_dropping,
+            "slow_jumping": self.slow_jumping,
+            "predictable": self.predictable,
+            "drop_exponent": round(self.drop.intercept, 3),
+            "jump_exponent": round(self.jump.intercept, 3),
+        }
+
+
+def drop_exponent_trace(
+    g: GFunction, domain_max: int, per_octave: int = 8
+) -> ExponentTrace:
+    """Drop exponents via a prefix-max sweep: at scale y the worst x<y is
+    the prefix argmax of g, so one pass over the grid suffices."""
+    grid = geometric_grid(2, domain_max, per_octave)
+    prefix_max = g(1)
+    scales: List[int] = []
+    exponents: List[float] = []
+    prev = 1
+    for y in grid:
+        # advance the prefix max over [prev, y)
+        for x in range(prev, y):
+            prefix_max = max(prefix_max, g(x))
+        prev = y
+        gy = g(y)
+        if gy <= 0:
+            raise ValueError(f"{g.name}: g({y}) <= 0")
+        exponent = (math.log(prefix_max) - math.log(gy)) / math.log(y)
+        scales.append(y)
+        exponents.append(exponent)
+        prefix_max = max(prefix_max, gy)
+    return ExponentTrace(scales, exponents)
+
+
+def jump_exponent_trace(
+    g: GFunction,
+    domain_max: int,
+    per_octave: int = 8,
+    x_samples: int = 24,
+) -> ExponentTrace:
+    """Jump exponents; for each scale y, x ranges over a geometric sample of
+    [1, y) plus the divisors-like points y//2, y//3, y//4 (where floor(y/x)
+    jumps and the bound is tightest)."""
+    grid = geometric_grid(4, domain_max, per_octave)
+    scales: List[int] = []
+    exponents: List[float] = []
+    for y in grid:
+        log_gy = math.log(g(y))
+        xs = set(geometric_grid(1, y - 1, per_octave=max(2, x_samples // 8)))
+        xs.update({max(1, y // d) for d in (2, 3, 4, 5, 8)})
+        worst = -math.inf
+        for x in xs:
+            if x >= y:
+                continue
+            ratio = y // x
+            value = (
+                log_gy - math.log(g(x)) - 2.0 * math.log(max(ratio, 1))
+            ) / math.log(y)
+            worst = max(worst, value)
+        if worst > -math.inf:
+            scales.append(y)
+            exponents.append(worst)
+    return ExponentTrace(scales, exponents)
+
+
+def predictability_report(
+    g: GFunction,
+    domain_max: int,
+    eps: float = 0.1,
+    gammas: Sequence[float] = (0.5, 0.7),
+    min_x: int | None = None,
+    per_octave: int = 6,
+    y_samples: int = 32,
+) -> PredictabilityReport:
+    """Search for predictability violations (Definition 8).
+
+    Only x above ``min_x`` (default ``domain_max^{1/4}``) count, mirroring
+    the "there exists N such that for all x >= N" quantifier; small-x noise
+    is not evidence of asymptotic unpredictability.  Gammas start at 0.5:
+    for smaller gamma the window ``y < x^{1-gamma}`` still admits
+    O(eps)-relative perturbations of smooth functions at the domain sizes a
+    Python run can afford, which would flag e.g. x^2 spuriously; the
+    unpredictable functions of interest (oscillation at scale sqrt(x) or
+    faster) are caught at gamma = 0.5 already.
+    """
+    floor_x = int(domain_max ** 0.25) if min_x is None else min_x
+    witnesses: List[tuple[int, int, float]] = []
+    checked = 0
+    for x in geometric_grid(max(floor_x, 4), domain_max, per_octave):
+        gx = g(x)
+        for gamma in gammas:
+            y_hi = int(x ** (1.0 - gamma))
+            if y_hi < 1:
+                continue
+            ys = geometric_grid(1, max(y_hi, 1), per_octave=4)[:y_samples]
+            threshold = (x ** (-gamma)) * gx
+            for y in ys:
+                if y >= x:
+                    break
+                checked += 1
+                if abs(g(x + y) - gx) > eps * gx and g(y) < threshold:
+                    severity = math.log(max(gx / max(g(y), 1e-300), 1.0)) / math.log(x)
+                    witnesses.append((x, y, severity))
+                    break  # one witness per (x, gamma) is enough
+    # Predictable unless violations persist at the largest scales probed:
+    # Definition 8 only demands the implication beyond some N, so witnesses
+    # confined to small x are transients, not asymptotic evidence.
+    if not witnesses:
+        return PredictabilityReport(True, [], checked)
+    largest_witness_x = max(w[0] for w in witnesses)
+    persists = largest_witness_x >= domain_max ** 0.75
+    return PredictabilityReport(not persists, witnesses, checked)
+
+
+def analyze(
+    g: GFunction,
+    domain_max: int = 1 << 16,
+    tolerance: float = 0.15,
+    eps: float = 0.1,
+) -> PropertyReport:
+    """Run all three testers and package the verdicts."""
+    if g.analysis_cap is not None:
+        domain_max = min(domain_max, g.analysis_cap)
+    return PropertyReport(
+        name=g.name,
+        domain_max=domain_max,
+        drop=drop_exponent_trace(g, domain_max),
+        jump=jump_exponent_trace(g, domain_max),
+        predictability=predictability_report(g, domain_max, eps=eps),
+        tolerance=tolerance,
+    )
+
+
+def merged_witness(
+    g: GFunction, domain_max: int, margin: float = 1.0
+) -> Callable[[float], float]:
+    """An empirical stand-in for the nondecreasing sub-polynomial ``H`` of
+    Section 4.2/4.3: the smallest nondecreasing function with
+    ``g(y) >= g(x)/H(y)`` and ``g(y) <= (y/x)^2 H(y) g(x)`` for all sampled
+    x < y <= domain_max, inflated by ``margin``.
+
+    The algorithms take ``H(M)`` as a scalar knob; this helper lets
+    experiments derive a data-driven value instead of guessing.
+    """
+    grid = geometric_grid(2, domain_max, per_octave=6)
+    best = 1.0
+    prefix_max = g(1)
+    prefix_min_ratio = g(1)  # min over x of g(x)/x^2
+    prev = 1
+    for y in grid:
+        for x in range(prev, y):
+            gx = g(x)
+            prefix_max = max(prefix_max, gx)
+            prefix_min_ratio = min(prefix_min_ratio, gx / (x * x))
+        prev = y
+        gy = g(y)
+        best = max(best, prefix_max / gy)  # slow-dropping witness
+        best = max(best, gy / (y * y) / prefix_min_ratio)  # slow-jumping witness
+        prefix_max = max(prefix_max, gy)
+        prefix_min_ratio = min(prefix_min_ratio, gy / (y * y))
+    value = best * margin
+
+    def h(_x: float) -> float:
+        return value
+
+    return h

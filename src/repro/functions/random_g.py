@@ -1,0 +1,179 @@
+"""Random members of G with construction-time ground truth.
+
+The numeric property testers (Definitions 6-8) are validated against the
+hand-curated catalog; this module widens that validation surface with
+*families* of randomly generated functions whose properties are known by
+construction:
+
+* :func:`random_power_like` — ``x^p`` perturbed by a bounded multiplicative
+  noise field with sub-polynomial correlation: slow-jumping iff p <= 2,
+  always slow-dropping, predictable (noise amplitude below the eps
+  threshold).
+* :func:`random_decaying` — ``x^-p`` style decay: not slow-dropping for
+  p > 0, flat for p = 0.
+* :func:`random_oscillator` — ``(A + B sin(phase(x))) * x^2`` with phase
+  speed controlling predictability: phase ~ log x is predictable, phase ~
+  sqrt x or x is not.
+* :func:`random_step_function` — monotone staircases with sub-polynomially
+  bounded step ratios: tractable, and a stress test for the jump tester's
+  floor(y/x) handling.
+
+Each returns ``(GFunction, DeclaredProperties)`` with the construction's
+truth, so fuzz tests can grade the classifier on inputs it has never seen.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.functions.base import DeclaredProperties, GFunction
+from repro.util.rng import RandomSource, as_source
+
+_NORMAL = dict(s_normal=True, p_normal=True)
+
+
+def _noise_field(source: RandomSource, amplitude: float):
+    """A bounded multiplicative noise field ``x -> [1-amp, 1+amp]`` that is
+    constant on dyadic blocks (so it varies sub-polynomially slowly and
+    cannot create drops, jumps, or unpredictability by itself)."""
+    gen = source.child("noise")
+    offsets = gen.generator.uniform(-amplitude, amplitude, size=64)
+
+    def field(x: int) -> float:
+        block = max(x, 1).bit_length() - 1
+        return 1.0 + float(offsets[block % len(offsets)])
+
+    return field
+
+
+def random_power_like(
+    seed: int | RandomSource | None = None,
+    p_range: Tuple[float, float] = (0.3, 3.0),
+    noise: float = 0.05,
+) -> Tuple[GFunction, DeclaredProperties]:
+    """``x^p * dyadic-noise``; slow-jumping iff p <= 2."""
+    source = as_source(seed, "random_power")
+    p = float(source.generator.uniform(*p_range))
+    field = _noise_field(source, noise)
+
+    def fn(x: int) -> float:
+        if x == 0:
+            return 0.0
+        return (float(x) ** p) * field(x)
+
+    props = DeclaredProperties(
+        slow_jumping=p <= 2.0,
+        slow_dropping=True,
+        predictable=True,
+        **_NORMAL,
+    )
+    return GFunction(fn, f"rand[x^{p:.2f}]", props, normalize=False), props
+
+
+def random_decaying(
+    seed: int | RandomSource | None = None,
+    p_range: Tuple[float, float] = (0.3, 1.5),
+) -> Tuple[GFunction, DeclaredProperties]:
+    """``x^-p`` with random p > 0: never slow-dropping."""
+    source = as_source(seed, "random_decay")
+    p = float(source.generator.uniform(*p_range))
+
+    def fn(x: int) -> float:
+        if x == 0:
+            return 0.0
+        return float(x) ** (-p)
+
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=False,
+        predictable=True,
+        monotone="decreasing",
+        **_NORMAL,
+    )
+    return GFunction(fn, f"rand[x^-{p:.2f}]", props, normalize=False), props
+
+
+def random_oscillator(
+    seed: int | RandomSource | None = None,
+    predictable: bool | None = None,
+) -> Tuple[GFunction, DeclaredProperties]:
+    """``(2 + sin(phase)) x^2`` with phase speed encoding predictability:
+    ``phase = c log(1+x)`` (slow — predictable) or ``phase = c sqrt(x)``
+    (fast — unpredictable at scale sqrt(x))."""
+    source = as_source(seed, "random_osc")
+    if predictable is None:
+        predictable = bool(source.integers(0, 2))
+    if predictable:
+        # Log-phase oscillation is predictable for every c, but the
+        # finite-domain testers see transient instability up to
+        # x ~ (3c/eps)^2; keep c small so that boundary sits well inside
+        # the fuzz probe domain.
+        c = float(source.generator.uniform(0.5, 1.2))
+        phase = lambda x: c * math.log1p(x)  # noqa: E731
+        label = f"rand[(2+sin {c:.2f}log)x^2]"
+    else:
+        c = float(source.generator.uniform(0.5, 3.0))
+        phase = lambda x: c * math.sqrt(x)  # noqa: E731
+        label = f"rand[(2+sin {c:.2f}sqrt)x^2]"
+
+    def fn(x: int) -> float:
+        if x == 0:
+            return 0.0
+        return (2.0 + math.sin(phase(x))) * x * x
+
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=True,
+        predictable=predictable,
+        **_NORMAL,
+    )
+    return GFunction(fn, label, props, normalize=False), props
+
+
+def random_step_function(
+    seed: int | RandomSource | None = None,
+    levels: int = 24,
+) -> Tuple[GFunction, DeclaredProperties]:
+    """A nondecreasing staircase: value multiplies by a factor in [1, 2]
+    at each dyadic boundary.  Growth is at most x^1 overall (product of
+    <= log2 x factors of <= 2), so slow-jumping; monotone, so slow-dropping
+    and predictable."""
+    source = as_source(seed, "random_steps")
+    factors = source.generator.uniform(1.0, 2.0, size=levels)
+    values = [1.0]
+    for f in factors:
+        values.append(values[-1] * float(f))
+
+    def fn(x: int) -> float:
+        if x == 0:
+            return 0.0
+        block = min(max(x, 1).bit_length() - 1, levels)
+        return values[block]
+
+    props = DeclaredProperties(
+        slow_jumping=True,
+        slow_dropping=True,
+        predictable=True,
+        monotone="increasing",
+        **_NORMAL,
+    )
+    return GFunction(fn, "rand[staircase]", props, normalize=False), props
+
+
+def random_family_sample(
+    count: int, seed: int | RandomSource | None = None
+) -> list[Tuple[GFunction, DeclaredProperties]]:
+    """A mixed bag across the families, for fuzzing sweeps."""
+    source = as_source(seed, "random_family")
+    makers = (
+        random_power_like,
+        random_decaying,
+        random_oscillator,
+        random_step_function,
+    )
+    out = []
+    for k in range(count):
+        maker = makers[k % len(makers)]
+        out.append(maker(seed=source.child(f"g{k}")))
+    return out

@@ -1,0 +1,94 @@
+"""Transformations and the metric on G (Appendix D.3 / D.5).
+
+* ``l_eta_transform`` — ``L_eta(g)(x) = g(x) log^eta(1+x)``.  Theorem 31:
+  1-pass tractable S-normal functions stay tractable under L_eta; Theorem 30:
+  for S-nearly periodic g, either g or L_eta(g) is 1-pass intractable (the
+  transform destroys the "the drop is exactly repaid" structure).
+* ``theta_distance`` — Theta(g,h) = sup_x |log g(x) - log h(x)| (Section D.5).
+  Proposition 63: slow-dropping/jumping are Theta-stable; Theorem 64: every
+  S-nearly periodic function has 1-pass intractable functions arbitrarily
+  Theta-close, realized here by :func:`destabilizing_perturbation`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.functions.base import DeclaredProperties, GFunction
+
+
+def l_eta_transform(g: GFunction, eta: float) -> GFunction:
+    """``L_eta(g)(x) = g(x) * log^eta(1+x)`` with ``L_eta(g)(1)`` rescaled
+    to 1 to stay inside G."""
+    if eta < 0:
+        raise ValueError("eta must be nonnegative")
+    unit = math.log(2.0) ** eta
+
+    def fn(x: int) -> float:
+        if x == 0:
+            return 0.0
+        return g(x) * (math.log(1.0 + x) ** eta) / unit
+
+    # Growth/drop/predictability flags survive multiplication by a polylog
+    # for normal functions (Theorem 31); for nearly periodic g the flags are
+    # genuinely destroyed, so we only propagate when g is declared S-normal.
+    if g.properties.s_normal:
+        props = g.properties
+    else:
+        props = DeclaredProperties()
+    return GFunction(fn, f"L_{eta:g}({g.name})", props, normalize=False)
+
+
+def theta_distance(g: GFunction, h: GFunction, domain_max: int) -> float:
+    """``sup_{1 <= x <= domain_max} |log g(x) - log h(x)|`` — the extended
+    metric of Section D.5 restricted to a finite window."""
+    worst = 0.0
+    for x in range(1, domain_max + 1):
+        gv, hv = g(x), h(x)
+        if gv <= 0 or hv <= 0:
+            raise ValueError("theta distance needs positive values on [1, M]")
+        worst = max(worst, abs(math.log(gv) - math.log(hv)))
+    return worst
+
+
+def destabilizing_perturbation(
+    g: GFunction,
+    pairs: Sequence[tuple[int, int]],
+    delta: float,
+) -> GFunction:
+    """The Theorem 64 construction: given drop-witness pairs (x_k, y_k) with
+    ``g(x_k) >= y_k^alpha g(y_k)``, bump ``g`` at x_k by ``(1+delta)`` and
+    depress it at ``x_k + y_k`` by ``1/(1+delta)``.
+
+    Every value moves by at most a ``(1+delta)`` factor, so
+    ``Theta(g, h) <= log(1+delta)``; yet where near-periodicity gave
+    ``g(x_k + y_k) ~= g(x_k)``, h now has a fixed ``(1+delta)^2`` gap — h
+    still drops polynomially but no longer repeats, so it is S-normal,
+    not slow-dropping, and 1-pass intractable by Lemma 23.  Used by E9 to
+    exhibit the instability of the nearly periodic class.
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    bump = {int(x) for x, _ in pairs}
+    depress = {int(x) + int(y): g(int(x) + int(y)) / (1.0 + delta) for x, y in pairs}
+    if bump & set(depress):
+        raise ValueError("pairs must have distinct x_k and x_k + y_k points")
+
+    def fn(x: int) -> float:
+        if x == 0:
+            return 0.0
+        if x in depress:
+            return depress[x]
+        if x in bump:
+            return (1.0 + delta) * g(x)
+        return g(x)
+
+    props = DeclaredProperties(slow_dropping=False, s_normal=True, p_normal=True)
+    return GFunction(fn, f"perturbed({g.name},{delta:g})", props, normalize=False)
+
+
+def scale_to_g(fn, name: str, properties: DeclaredProperties | None = None) -> GFunction:
+    """Convenience: wrap an arbitrary nonnegative callable and normalize it
+    into G (shift so fn(0) -> 0, scale so fn(1) -> 1)."""
+    return GFunction(fn, name, properties, normalize=True)

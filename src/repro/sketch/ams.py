@@ -1,0 +1,87 @@
+"""AMS F2 sketch (Alon-Matias-Szegedy) — the tug-boat used by Algorithm 2.
+
+Single estimator: ``Z = (sum_i s(i) v_i)^2`` with a 4-wise independent sign
+hash ``s`` has ``E[Z] = F2`` and ``Var[Z] <= 2 F2^2``.  Averaging
+``means_size`` independent copies and taking the median of ``medians``
+groups yields a ``(1 +- eps)``-approximation with probability
+``1 - delta`` for ``means_size = O(1/eps^2)``, ``medians = O(log 1/delta)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.sketch.hashing import VectorKWiseHash
+from repro.streams.model import StreamUpdate, TurnstileStream
+from repro.util.rng import RandomSource, as_source
+
+
+class AmsF2Sketch:
+    """Median-of-means AMS estimator for ``F2 = sum v_i^2``."""
+
+    def __init__(
+        self,
+        medians: int,
+        means_size: int,
+        seed: int | RandomSource | None = None,
+    ):
+        if medians < 1 or means_size < 1:
+            raise ValueError("medians and means_size must be positive")
+        source = as_source(seed, "ams")
+        self.medians = int(medians)
+        self.means_size = int(means_size)
+        count = self.medians * self.means_size
+        self._signs = VectorKWiseHash(count, 4, source.child("signs"))
+        self._registers = np.zeros(count, dtype=np.float64)
+        # Per-item sign-vector memo (repeat items skip the hash entirely).
+        self._sign_cache: dict[int, np.ndarray] = {}
+
+    def _sign_vector(self, item: int) -> np.ndarray:
+        cached = self._sign_cache.get(item)
+        if cached is None:
+            cached = self._signs.signs(item)
+            if len(self._sign_cache) < 1_000_000:
+                self._sign_cache[item] = cached
+        return cached
+
+    def update(self, item: int, delta: float) -> None:
+        self._registers += self._sign_vector(item) * delta
+
+    def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "AmsF2Sketch":
+        for update in stream:
+            self.update(update.item, update.delta)
+        return self
+
+    def estimate(self) -> float:
+        squares = self._registers ** 2
+        groups = squares.reshape(self.medians, self.means_size)
+        return float(np.median(groups.mean(axis=1)))
+
+    @property
+    def space_counters(self) -> int:
+        return len(self._registers)
+
+    def merge(self, other: "AmsF2Sketch") -> "AmsF2Sketch":
+        if (self.medians, self.means_size) != (other.medians, other.means_size):
+            raise ValueError("cannot merge AMS sketches with different dimensions")
+        self._registers += other._registers
+        return self
+
+    @classmethod
+    def for_accuracy(
+        cls,
+        accuracy: float,
+        failure: float,
+        seed: int | RandomSource | None = None,
+    ) -> "AmsF2Sketch":
+        """Dimensions for a ``(1 +- accuracy)`` estimate w.p. ``1 - failure``."""
+        if not 0 < accuracy <= 1:
+            raise ValueError("accuracy must be in (0, 1]")
+        means_size = min(max(4, int(math.ceil(8.0 / (accuracy * accuracy)))), 128)
+        medians = max(
+            1, min(int(math.ceil(2.0 * math.log(1.0 / max(failure, 1e-9)))), 9) | 1
+        )
+        return cls(medians, means_size, seed)

@@ -1,0 +1,53 @@
+"""Count-Min sketch — a baseline comparator.
+
+Count-Min (Cormode-Muthukrishnan) upper-bounds frequencies in insertion-only
+streams with additive error ``F1 / buckets``.  The paper's algorithms need
+CountSketch's two-sided ``sqrt(F2/b)`` error (Count-Min's one-sided F1 error
+is too weak for turnstile g-heavy hitters), and experiment E12 quantifies
+that gap; Count-Min is included as that baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.sketch.hashing import KWiseHash
+from repro.streams.model import StreamUpdate, TurnstileStream
+from repro.util.rng import RandomSource, as_source
+
+
+class CountMinSketch:
+    """Classic Count-Min: min over rows of hashed counters."""
+
+    def __init__(self, rows: int, buckets: int, seed: int | RandomSource | None = None):
+        if rows < 1 or buckets < 1:
+            raise ValueError("rows and buckets must be positive")
+        source = as_source(seed, "countmin")
+        self.rows = int(rows)
+        self.buckets = int(buckets)
+        self._table = np.zeros((self.rows, self.buckets), dtype=np.float64)
+        self._hashes = [
+            KWiseHash(self.buckets, 2, source.child(f"h{j}")) for j in range(self.rows)
+        ]
+
+    def update(self, item: int, delta: float) -> None:
+        for j in range(self.rows):
+            self._table[j, self._hashes[j](item)] += delta
+
+    def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "CountMinSketch":
+        for update in stream:
+            self.update(update.item, update.delta)
+        return self
+
+    def estimate(self, item: int) -> float:
+        """Min-estimate; an over-estimate of the true frequency in
+        insertion-only streams, biased and unreliable under deletions."""
+        return float(
+            min(self._table[j, self._hashes[j](item)] for j in range(self.rows))
+        )
+
+    @property
+    def space_counters(self) -> int:
+        return self.rows * self.buckets

@@ -1,0 +1,62 @@
+"""Exact frequency tabulation.
+
+Serves three roles: ground truth for tests and benchmarks, the *second pass*
+of the 2-pass heavy-hitter algorithm (Algorithm 1 tabulates the frequency of
+each first-pass candidate exactly), and the trivial-but-linear-space
+baseline every experiment compares sketch space against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Sequence
+
+from repro.streams.model import FrequencyVector, StreamUpdate, TurnstileStream
+
+
+class ExactCounter:
+    """Hash-map counter over the stream; optionally restricted to a
+    candidate set (the second-pass mode: only tabulate first-pass survivors,
+    so space is proportional to the candidate count, not the domain)."""
+
+    def __init__(self, domain_size: int, restrict_to: Sequence[int] | None = None):
+        self.domain_size = int(domain_size)
+        self._restrict = None if restrict_to is None else set(int(i) for i in restrict_to)
+        self._counts: Dict[int, int] = {}
+
+    def update(self, item: int, delta: int) -> None:
+        if self._restrict is not None and item not in self._restrict:
+            return
+        new = self._counts.get(item, 0) + delta
+        if new == 0:
+            self._counts.pop(item, None)
+        else:
+            self._counts[item] = new
+
+    def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "ExactCounter":
+        for update in stream:
+            self.update(update.item, update.delta)
+        return self
+
+    def estimate(self, item: int) -> int:
+        return self._counts.get(item, 0)
+
+    def frequency_vector(self) -> FrequencyVector:
+        return FrequencyVector(self.domain_size, self._counts)
+
+    def heavy_hitters(
+        self, g: Callable[[int], float], heaviness: float
+    ) -> list[tuple[int, int]]:
+        """Exact (g, lambda)-heavy hitters (Definition 11): items j with
+        ``g(|v_j|) >= heaviness * sum_{i != j} g(|v_i|)``."""
+        values = {item: g(abs(v)) for item, v in self._counts.items()}
+        total = sum(values.values())
+        out = []
+        for item, gv in values.items():
+            if gv >= heaviness * (total - gv):
+                out.append((item, self._counts[item]))
+        out.sort(key=lambda pair: abs(pair[1]), reverse=True)
+        return out
+
+    @property
+    def space_counters(self) -> int:
+        return len(self._counts)

@@ -1,0 +1,163 @@
+"""k-wise independent hash families over a Mersenne-prime field.
+
+The paper's sketches need: pairwise-independent bucket hashes (CountSketch
+rows and the Recursive Sketch's subsampling), 4-wise independent sign hashes
+(AMS variance bound, CountSketch variance bound, and the mod-a counters of
+Proposition 49), and pairwise-independent Bernoulli variables (the g_np
+algorithm of Proposition 54).
+
+All are implemented as random polynomials of degree k-1 over GF(p) with
+p = 2^61 - 1, evaluated with Python integers (exact, no overflow).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.util.rng import RandomSource, as_source
+
+MERSENNE_P = (1 << 61) - 1
+MERSENNE_P31 = (1 << 31) - 1
+
+
+class VectorKWiseHash:
+    """A *bank* of ``count`` independent k-wise hashes, evaluated for one
+    item across the whole bank in a handful of numpy operations.
+
+    Uses degree-(k-1) polynomials over GF(2^31 - 1): 31-bit residues
+    multiply inside uint64 without overflow, so Horner's rule vectorizes.
+    Used where a sketch keeps hundreds of parallel registers (AMS) and
+    per-register scalar hashing would dominate the runtime.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        independence: int = 4,
+        seed: "int | RandomSource | None" = None,
+    ):
+        if count < 1 or independence < 1:
+            raise ValueError("count and independence must be positive")
+        source = as_source(seed, f"vec{independence}")
+        self.count = int(count)
+        self.independence = int(independence)
+        self._coeffs = source.generator.integers(
+            0, MERSENNE_P31, size=(self.independence, self.count), dtype=np.uint64
+        )
+
+    def values(self, x: int) -> np.ndarray:
+        """The ``count`` hash values of ``x`` in [0, 2^31 - 1)."""
+        arg = np.uint64((x + 1) % MERSENNE_P31)
+        acc = np.zeros(self.count, dtype=np.uint64)
+        for row in self._coeffs:
+            acc = (acc * arg + row) % np.uint64(MERSENNE_P31)
+        return acc
+
+    def signs(self, x: int) -> np.ndarray:
+        """+-1 signs (parity of the hash values; bias O(2^-31))."""
+        return (self.values(x) & np.uint64(1)).astype(np.float64) * 2.0 - 1.0
+
+
+class KWiseHash:
+    """A k-wise independent hash ``[universe] -> [range_size]``.
+
+    Degree-(k-1) polynomial over GF(2^31 - 1) reduced modulo ``range_size``
+    (universes here are poly(n) << 2^31).  The slight non-uniformity from
+    the final mod is negligible for range_size << p and is the standard
+    construction.
+    """
+
+    def __init__(
+        self,
+        range_size: int,
+        independence: int = 2,
+        seed: int | RandomSource | None = None,
+    ):
+        if range_size <= 0:
+            raise ValueError("range size must be positive")
+        if independence < 1:
+            raise ValueError("independence must be >= 1")
+        self.range_size = int(range_size)
+        self.independence = int(independence)
+        source = as_source(seed, f"kwise{independence}")
+        # Leading coefficient nonzero keeps the polynomial degree exact.
+        coeffs = [int(source.integers(0, MERSENNE_P31)) for _ in range(independence)]
+        if independence > 1 and coeffs[0] == 0:
+            coeffs[0] = 1
+        self._coeffs = coeffs
+
+    def __call__(self, x: int) -> int:
+        acc = 0
+        arg = (x + 1) % MERSENNE_P31
+        for c in self._coeffs:
+            acc = (acc * arg + c) % MERSENNE_P31
+        return acc % self.range_size
+
+    def many(self, xs: Iterable[int]) -> np.ndarray:
+        return np.fromiter((self(int(x)) for x in xs), dtype=np.int64)
+
+
+class SignHash:
+    """k-wise independent ``{+1, -1}`` hash (default 4-wise, as the AMS and
+    CountSketch analyses require)."""
+
+    def __init__(self, independence: int = 4, seed: int | RandomSource | None = None):
+        self._hash = KWiseHash(2, independence, as_source(seed, "sign"))
+
+    def __call__(self, x: int) -> int:
+        return 1 if self._hash(x) == 1 else -1
+
+
+class SubsampleHash:
+    """Nested subsampling levels for the Recursive Sketch layering.
+
+    Item ``x`` *survives to level j* when the first ``j`` pairwise
+    independent bits drawn for it are all 1; survival sets are nested
+    (level j+1 is a subset of level j), matching the Indyk-Woodruff /
+    Braverman-Ostrovsky construction where each level halves the universe.
+    """
+
+    def __init__(self, levels: int, seed: int | RandomSource | None = None):
+        if levels < 1:
+            raise ValueError("need at least one level")
+        source = as_source(seed, "subsample")
+        self.levels = int(levels)
+        self._bits = [
+            KWiseHash(2, 2, source.child(f"level{j}")) for j in range(levels)
+        ]
+        self._level_cache: dict[int, int] = {}
+
+    def level(self, x: int) -> int:
+        """Deepest level item ``x`` survives to (0 = present in base stream)."""
+        depth = self._level_cache.get(x)
+        if depth is None:
+            depth = 0
+            for bit in self._bits:
+                if bit(x) == 1:
+                    depth += 1
+                else:
+                    break
+            if len(self._level_cache) < 4_000_000:
+                self._level_cache[x] = depth
+        return depth
+
+    def survives(self, x: int, level: int) -> bool:
+        if not 0 <= level <= self.levels:
+            raise ValueError(f"level must be in [0, {self.levels}]")
+        if level == 0:
+            return True
+        return all(self._bits[j](x) == 1 for j in range(level))
+
+
+class BernoulliHash:
+    """Pairwise-independent Bernoulli(1/2) variables X_1..X_n, exposed both
+    as membership tests and as the explicit bit needed by the g_np
+    algorithm's binary-search identification step."""
+
+    def __init__(self, seed: int | RandomSource | None = None):
+        self._hash = KWiseHash(2, 2, as_source(seed, "bernoulli"))
+
+    def __call__(self, x: int) -> int:
+        return self._hash(x)

@@ -1,0 +1,43 @@
+"""Turnstile stream model and workload generators (Section 1.2)."""
+
+from repro.streams.model import (
+    StreamUpdate,
+    TurnstileStream,
+    FrequencyVector,
+    stream_from_frequencies,
+    stream_from_samples,
+)
+from repro.streams.io import (
+    load_frequency_profile,
+    load_stream,
+    save_frequency_profile,
+    save_stream,
+)
+from repro.streams.generators import (
+    uniform_stream,
+    zipf_stream,
+    planted_heavy_hitter_stream,
+    poisson_sample_stream,
+    mixture_sample_stream,
+    two_level_stream,
+    sinusoid_adversarial_stream,
+)
+
+__all__ = [
+    "StreamUpdate",
+    "TurnstileStream",
+    "FrequencyVector",
+    "stream_from_frequencies",
+    "stream_from_samples",
+    "uniform_stream",
+    "zipf_stream",
+    "planted_heavy_hitter_stream",
+    "poisson_sample_stream",
+    "mixture_sample_stream",
+    "two_level_stream",
+    "sinusoid_adversarial_stream",
+    "load_frequency_profile",
+    "load_stream",
+    "save_frequency_profile",
+    "save_stream",
+]

@@ -1,0 +1,264 @@
+"""Workload generators for the experiments.
+
+Each generator returns a :class:`TurnstileStream`.  They cover the workloads
+the paper's applications motivate: skewed count distributions (Zipf), i.i.d.
+samples from discrete distributions (the log-likelihood application of
+Section 1.1.1), planted heavy hitters (heavy-hitter recovery experiments),
+two-level frequency profiles (the INDEX/DISJ reduction shapes), and
+adversarial placements near the valleys of oscillating functions (the
+predictability separation of experiment E2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.streams.model import StreamUpdate, TurnstileStream, stream_from_samples
+from repro.util.rng import RandomSource, as_source
+
+
+def _emit_frequencies(
+    frequencies: dict[int, int],
+    domain_size: int,
+    source: RandomSource,
+    turnstile_noise: float = 0.0,
+) -> TurnstileStream:
+    """Emit each frequency, optionally as insert/delete pairs.
+
+    With ``turnstile_noise = t > 0`` each coordinate with target frequency f
+    is emitted as ``f + e`` insertions followed by ``e`` deletions where
+    ``e ~ Binomial(ceil(t*|f|+1), 1/2)`` — the net vector is unchanged but
+    the stream genuinely exercises the turnstile (deletion) path.
+    """
+    stream = TurnstileStream(domain_size)
+    order = list(frequencies.items())
+    source.shuffle(order)
+    for item, value in order:
+        if value == 0:
+            continue
+        if turnstile_noise > 0.0:
+            extra = int(source.integers(0, max(2, int(turnstile_noise * abs(value)) + 2)))
+            sign = 1 if value > 0 else -1
+            stream.append(StreamUpdate(item, value + sign * extra))
+            if extra:
+                stream.append(StreamUpdate(item, -sign * extra))
+        else:
+            stream.append(StreamUpdate(item, value))
+    return stream
+
+
+def uniform_stream(
+    n: int,
+    magnitude: int,
+    support: int | None = None,
+    seed: int | RandomSource | None = None,
+    turnstile_noise: float = 0.0,
+) -> TurnstileStream:
+    """Frequencies drawn uniformly from ``[1, magnitude]`` on a random
+    support (default: the full domain)."""
+    source = as_source(seed, "uniform_stream")
+    support = n if support is None else min(support, n)
+    items = source.choice(np.arange(n), size=support, replace=False)
+    freqs = {
+        int(item): int(source.integers(1, magnitude + 1)) for item in items
+    }
+    return _emit_frequencies(freqs, n, source, turnstile_noise)
+
+
+def zipf_stream(
+    n: int,
+    total_mass: int,
+    skew: float = 1.1,
+    seed: int | RandomSource | None = None,
+    turnstile_noise: float = 0.0,
+) -> TurnstileStream:
+    """Zipf-distributed frequencies: item ranked r gets mass ~ r^-skew.
+
+    ``total_mass`` is the approximate F1 of the result.  Zipf workloads are
+    the canonical heavy-hitter-bearing streams (few large, many small
+    frequencies) and are the default workload of experiment E1.
+    """
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    source = as_source(seed, "zipf_stream")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    raw = weights * total_mass
+    freqs: dict[int, int] = {}
+    ids = np.arange(n)
+    source.shuffle(ids)
+    for rank, item in enumerate(ids):
+        f = int(round(raw[rank]))
+        if f > 0:
+            freqs[int(item)] = f
+    if not freqs:
+        freqs[int(ids[0])] = max(1, total_mass)
+    return _emit_frequencies(freqs, n, source, turnstile_noise)
+
+
+def planted_heavy_hitter_stream(
+    n: int,
+    heavy_frequency: int,
+    noise_frequency: int,
+    noise_support: int,
+    heavy_item: int | None = None,
+    seed: int | RandomSource | None = None,
+    turnstile_noise: float = 0.0,
+) -> tuple[TurnstileStream, int]:
+    """One planted item at ``heavy_frequency`` over a floor of
+    ``noise_support`` items at ``noise_frequency``.
+
+    Returns ``(stream, heavy_item)``.  This is the shape used throughout the
+    lower-bound proofs (one large frequency hidden among many small ones)
+    and by the g_np recovery experiment E5.
+    """
+    source = as_source(seed, "planted_stream")
+    if noise_support >= n:
+        raise ValueError("noise support must leave room for the heavy item")
+    ids = np.arange(n)
+    source.shuffle(ids)
+    heavy = int(ids[0]) if heavy_item is None else int(heavy_item)
+    noise_items = [int(i) for i in ids[1 : noise_support + 1] if int(i) != heavy]
+    freqs = {item: noise_frequency for item in noise_items}
+    freqs[heavy] = heavy_frequency
+    return _emit_frequencies(freqs, n, source, turnstile_noise), heavy
+
+
+def poisson_sample_stream(
+    n: int,
+    rate: float,
+    seed: int | RandomSource | None = None,
+) -> TurnstileStream:
+    """``n`` coordinates i.i.d. Poisson(rate), realized as unit insertions.
+
+    Models the Section 1.1.1 setting where stream coordinates are i.i.d.
+    samples and the log-likelihood is a g-SUM.
+    """
+    source = as_source(seed, "poisson_stream")
+    counts = source.generator.poisson(rate, size=n)
+    stream = TurnstileStream(n)
+    for item, count in enumerate(counts):
+        if count > 0:
+            stream.append(StreamUpdate(item, int(count)))
+    return stream
+
+
+def mixture_sample_stream(
+    n: int,
+    rates: Sequence[float],
+    weights: Sequence[float],
+    seed: int | RandomSource | None = None,
+) -> TurnstileStream:
+    """Coordinates i.i.d. from a Poisson mixture (the paper's example of a
+    non-monotone log-likelihood: p(x) = sum_k w_k Pois(x; rate_k))."""
+    if len(rates) != len(weights):
+        raise ValueError("rates and weights must have equal length")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must have positive sum")
+    source = as_source(seed, "mixture_stream")
+    probs = np.asarray(weights, dtype=float) / total
+    components = source.generator.choice(len(rates), size=n, p=probs)
+    stream = TurnstileStream(n)
+    for item in range(n):
+        count = int(source.generator.poisson(rates[components[item]]))
+        if count > 0:
+            stream.append(StreamUpdate(item, count))
+    return stream
+
+
+def two_level_stream(
+    n: int,
+    large_frequency: int,
+    large_support: int,
+    small_frequency: int,
+    small_support: int,
+    seed: int | RandomSource | None = None,
+) -> TurnstileStream:
+    """Two frequency levels — the INDEX/DISJ reduction profile: a block of
+    items at a large frequency plus a block at a small one."""
+    source = as_source(seed, "two_level_stream")
+    if large_support + small_support > n:
+        raise ValueError("supports exceed the domain")
+    ids = np.arange(n)
+    source.shuffle(ids)
+    freqs: dict[int, int] = {}
+    for item in ids[:large_support]:
+        freqs[int(item)] = large_frequency
+    for item in ids[large_support : large_support + small_support]:
+        freqs[int(item)] = small_frequency
+    return _emit_frequencies(freqs, n, source)
+
+
+def sinusoid_adversarial_stream(
+    n: int,
+    g_period_fn: Callable[[int], float],
+    center: int,
+    spread: int,
+    support: int,
+    seed: int | RandomSource | None = None,
+) -> TurnstileStream:
+    """Frequencies placed where an oscillating g is most variable.
+
+    For the predictability separation (E2) we place frequencies in a window
+    ``[center - spread, center + spread]`` chosen so that small frequency
+    estimation errors flip ``g`` across a valley of the sinusoid; the
+    function values at adjacent integers differ by a constant factor, so a
+    1-pass algorithm relying on approximate frequencies mis-scores items
+    while a 2-pass algorithm (exact tabulation) does not.  ``g_period_fn``
+    is consulted to bias placements toward locally-variable points.
+    """
+    source = as_source(seed, "sin_adversarial")
+    lo = max(1, center - spread)
+    hi = center + spread
+    candidates = np.arange(lo, hi + 1)
+    variability = np.array(
+        [abs(g_period_fn(int(x) + 1) - g_period_fn(int(x))) for x in candidates]
+    )
+    if variability.sum() <= 0:
+        probs = np.full(len(candidates), 1.0 / len(candidates))
+    else:
+        probs = variability / variability.sum()
+    ids = np.arange(n)
+    source.shuffle(ids)
+    freqs: dict[int, int] = {}
+    for item in ids[:support]:
+        value = int(source.generator.choice(candidates, p=probs))
+        freqs[int(item)] = value
+    return _emit_frequencies(freqs, n, source)
+
+
+def samples_from_pmf(
+    pmf: Callable[[int], float],
+    max_value: int,
+    count: int,
+    seed: int | RandomSource | None = None,
+) -> list[int]:
+    """Draw ``count`` samples from a discrete pmf on {0..max_value}
+    (normalizing numerically); helper for likelihood experiments."""
+    source = as_source(seed, "pmf_samples")
+    probs = np.array([max(pmf(x), 0.0) for x in range(max_value + 1)], dtype=float)
+    total = probs.sum()
+    if total <= 0:
+        raise ValueError("pmf has no mass on the requested range")
+    probs /= total
+    return [int(x) for x in source.generator.choice(max_value + 1, size=count, p=probs)]
+
+
+def sample_stream_from_pmf(
+    pmf: Callable[[int], float],
+    n: int,
+    max_value: int,
+    seed: int | RandomSource | None = None,
+) -> TurnstileStream:
+    """Each of the ``n`` coordinates gets an i.i.d. draw from the pmf."""
+    values = samples_from_pmf(pmf, max_value, n, seed)
+    stream = TurnstileStream(n)
+    for item, value in enumerate(values):
+        if value > 0:
+            stream.append(StreamUpdate(item, value))
+    return stream

@@ -1,0 +1,101 @@
+"""Stream serialization.
+
+Experiments that feed the same stream to many estimators (or want
+byte-for-byte reproducible workloads across machines) can persist streams
+as JSON-lines: a header record with the model parameters followed by one
+record per update.  The format is deliberately boring — greppable,
+diffable, and stable across versions.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable
+
+from repro.streams.model import StreamUpdate, TurnstileStream
+
+FORMAT_VERSION = 1
+
+
+def save_stream(stream: TurnstileStream, path: str | pathlib.Path) -> None:
+    """Write a stream as JSONL: header line + one ``[item, delta]`` line
+    per update, preserving arrival order."""
+    path = pathlib.Path(path)
+    with path.open("w") as handle:
+        header = {
+            "format": "repro-stream",
+            "version": FORMAT_VERSION,
+            "domain_size": stream.domain_size,
+            "magnitude_bound": stream.magnitude_bound,
+            "length": len(stream),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for update in stream:
+            handle.write(f"[{update.item},{update.delta}]\n")
+
+
+def load_stream(path: str | pathlib.Path) -> TurnstileStream:
+    """Read a stream written by :func:`save_stream`.
+
+    Validates the header and the declared length; malformed files raise
+    ``ValueError`` rather than yielding a silently-truncated stream.
+    """
+    path = pathlib.Path(path)
+    with path.open() as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty file")
+        header = json.loads(header_line)
+        if header.get("format") != "repro-stream":
+            raise ValueError(f"{path}: not a repro stream file")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported version {header.get('version')!r}"
+            )
+        stream = TurnstileStream(
+            header["domain_size"], magnitude_bound=header.get("magnitude_bound")
+        )
+        count = 0
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            item, delta = json.loads(line)
+            stream.append(StreamUpdate(int(item), int(delta)))
+            count += 1
+        declared = header.get("length")
+        if declared is not None and declared != count:
+            raise ValueError(
+                f"{path}: header declares {declared} updates, found {count}"
+            )
+    return stream
+
+
+def save_frequency_profile(
+    stream: TurnstileStream, path: str | pathlib.Path
+) -> None:
+    """Write only the net frequency vector (item -> frequency JSON map) —
+    a compact form for workloads where arrival order is irrelevant."""
+    path = pathlib.Path(path)
+    profile = {
+        "format": "repro-frequencies",
+        "version": FORMAT_VERSION,
+        "domain_size": stream.domain_size,
+        "frequencies": {
+            str(item): value for item, value in stream.frequency_vector().items()
+        },
+    }
+    path.write_text(json.dumps(profile, indent=None, separators=(",", ":")))
+
+
+def load_frequency_profile(path: str | pathlib.Path) -> TurnstileStream:
+    path = pathlib.Path(path)
+    profile = json.loads(path.read_text())
+    if profile.get("format") != "repro-frequencies":
+        raise ValueError(f"{path}: not a repro frequency profile")
+    stream = TurnstileStream(profile["domain_size"])
+    for item, value in sorted(profile["frequencies"].items(), key=lambda kv: int(kv[0])):
+        if value:
+            stream.append(StreamUpdate(int(item), int(value)))
+    return stream

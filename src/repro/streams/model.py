@@ -1,0 +1,296 @@
+"""The turnstile streaming model of Section 1.2.
+
+A stream of length ``m`` with domain ``[n]`` is a list of pairs
+``(i_j, delta_j)`` with ``i_j in [n]`` (we use 0-based ids) and integer
+``delta_j``.  The frequency vector has ``v_i = sum of delta_j over j with
+i_j == i``.  The model promises ``|v_i| <= M`` for every prefix; algorithms
+may read the stream ``p >= 1`` times in order.
+
+:class:`TurnstileStream` stores updates explicitly so multi-pass algorithms
+(the paper's Algorithm 1 and the DISJ reductions) can replay them, and
+:class:`FrequencyVector` is the exact ground truth used by tests and by the
+second pass of the 2-pass heavy-hitter algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class StreamUpdate:
+    """One turnstile update ``(item, delta)``."""
+
+    item: int
+    delta: int
+
+    def __post_init__(self) -> None:
+        if self.item < 0:
+            raise ValueError(f"item ids are nonnegative, got {self.item}")
+        if self.delta == 0:
+            raise ValueError("zero-delta updates are not allowed")
+
+
+class FrequencyVector:
+    """Sparse exact frequency vector ``V(D)`` over domain ``[n]``."""
+
+    def __init__(self, domain_size: int, counts: Mapping[int, int] | None = None):
+        if domain_size <= 0:
+            raise ValueError("domain size must be positive")
+        self.domain_size = int(domain_size)
+        self._counts: Dict[int, int] = {}
+        if counts:
+            for item, value in counts.items():
+                self[item] = value
+
+    def __getitem__(self, item: int) -> int:
+        self._check_item(item)
+        return self._counts.get(item, 0)
+
+    def __setitem__(self, item: int, value: int) -> None:
+        self._check_item(item)
+        value = int(value)
+        if value == 0:
+            self._counts.pop(item, None)
+        else:
+            self._counts[item] = value
+
+    def _check_item(self, item: int) -> None:
+        if not 0 <= item < self.domain_size:
+            raise IndexError(f"item {item} outside domain [0, {self.domain_size})")
+
+    def add(self, item: int, delta: int) -> None:
+        self[item] = self[item] + delta
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Nonzero (item, frequency) pairs."""
+        return iter(self._counts.items())
+
+    def support(self) -> List[int]:
+        return list(self._counts.keys())
+
+    def support_size(self) -> int:
+        return len(self._counts)
+
+    def max_abs(self) -> int:
+        """The bound ``M`` realized by this vector (0 for the zero vector)."""
+        return max((abs(v) for v in self._counts.values()), default=0)
+
+    def f_moment(self, k: float) -> float:
+        """Frequency moment ``F_k = sum |v_i|^k`` over nonzero entries."""
+        return sum(abs(v) ** k for v in self._counts.values())
+
+    def g_sum(self, g: Callable[[int], float], include_zeros: bool = False) -> float:
+        """Exact ``g(V) = sum_i g(|v_i|)``.
+
+        With ``include_zeros=True`` the ``n - support`` zero coordinates
+        contribute ``g(0)`` each (the Appendix A setting where g(0) != 0).
+        """
+        total = sum(g(abs(v)) for v in self._counts.values())
+        if include_zeros:
+            total += (self.domain_size - len(self._counts)) * g(0)
+        return total
+
+    def to_dict(self) -> Dict[int, int]:
+        return dict(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FrequencyVector):
+            return NotImplemented
+        return (
+            self.domain_size == other.domain_size and self._counts == other._counts
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FrequencyVector(n={self.domain_size}, nnz={len(self._counts)})"
+
+
+class TurnstileStream:
+    """A materialized turnstile stream supporting multiple passes.
+
+    Parameters
+    ----------
+    domain_size:
+        ``n`` — item ids must lie in ``[0, n)``.
+    updates:
+        The update list; may also be appended to with :meth:`append`.
+    magnitude_bound:
+        The promise ``M``; when given, every prefix is checked to respect
+        ``|v_i| <= M`` (the turnstile promise of Section 1.2).  ``None``
+        skips prefix checking and reports the realized bound instead.
+    """
+
+    def __init__(
+        self,
+        domain_size: int,
+        updates: Iterable[StreamUpdate] = (),
+        magnitude_bound: int | None = None,
+    ):
+        if domain_size <= 0:
+            raise ValueError("domain size must be positive")
+        self.domain_size = int(domain_size)
+        self.magnitude_bound = magnitude_bound
+        self._updates: List[StreamUpdate] = []
+        self._running = FrequencyVector(domain_size)
+        for update in updates:
+            self.append(update)
+
+    def append(self, update: StreamUpdate) -> None:
+        if not 0 <= update.item < self.domain_size:
+            raise IndexError(
+                f"item {update.item} outside domain [0, {self.domain_size})"
+            )
+        self._running.add(update.item, update.delta)
+        if (
+            self.magnitude_bound is not None
+            and abs(self._running[update.item]) > self.magnitude_bound
+        ):
+            raise ValueError(
+                f"turnstile promise violated: |v_{update.item}| = "
+                f"{abs(self._running[update.item])} > M = {self.magnitude_bound}"
+            )
+        self._updates.append(update)
+
+    def extend(self, updates: Iterable[StreamUpdate]) -> None:
+        for update in updates:
+            self.append(update)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __iter__(self) -> Iterator[StreamUpdate]:
+        """One pass over the stream, in arrival order."""
+        return iter(self._updates)
+
+    @property
+    def updates(self) -> Sequence[StreamUpdate]:
+        return tuple(self._updates)
+
+    def frequency_vector(self) -> FrequencyVector:
+        """Exact ``V(D)`` (a copy; mutating it does not affect the stream)."""
+        return FrequencyVector(self.domain_size, self._running.to_dict())
+
+    def realized_magnitude(self) -> int:
+        return self._running.max_abs()
+
+    def is_insertion_only(self) -> bool:
+        """True when every delta is +1 (the lower bounds' restricted model)."""
+        return all(u.delta == 1 for u in self._updates)
+
+    def concat(self, other: "TurnstileStream") -> "TurnstileStream":
+        """The stream obtained by playing ``self`` then ``other``.
+
+        Used by the communication reductions where Alice's and Bob's
+        portions are concatenated into one notional stream.
+        """
+        if other.domain_size != self.domain_size:
+            raise ValueError("cannot concatenate streams over different domains")
+        merged = TurnstileStream(self.domain_size, self._updates)
+        merged.extend(other.updates)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TurnstileStream(n={self.domain_size}, m={len(self._updates)}, "
+            f"M={self.realized_magnitude()})"
+        )
+
+
+def stream_from_frequencies(
+    frequencies: Mapping[int, int],
+    domain_size: int,
+    chunk: int | None = None,
+) -> TurnstileStream:
+    """Build a stream realizing the given frequency vector.
+
+    Each frequency is emitted as one update by default; ``chunk`` splits each
+    frequency into bounded-size increments (e.g. ``chunk=1`` produces the
+    insertion-only unary encoding used by the lower-bound reductions when
+    frequencies are positive).
+    """
+    stream = TurnstileStream(domain_size)
+    for item, value in frequencies.items():
+        if value == 0:
+            continue
+        if chunk is None:
+            stream.append(StreamUpdate(item, value))
+            continue
+        if chunk <= 0:
+            raise ValueError("chunk must be positive")
+        sign = 1 if value > 0 else -1
+        remaining = abs(value)
+        while remaining > 0:
+            step = min(chunk, remaining)
+            stream.append(StreamUpdate(item, sign * step))
+            remaining -= step
+    return stream
+
+
+def stream_from_samples(samples: Iterable[int], domain_size: int) -> TurnstileStream:
+    """Insertion-only stream from i.i.d. samples (the Section 1.1.1 setting:
+    each sample increments one coordinate of the frequency vector)."""
+    stream = TurnstileStream(domain_size)
+    for sample in samples:
+        stream.append(StreamUpdate(int(sample), 1))
+    return stream
+
+
+def interleave(
+    streams: Sequence[TurnstileStream], pattern: str = "roundrobin"
+) -> TurnstileStream:
+    """Merge several streams over the same domain into one.
+
+    ``roundrobin`` interleaves updates; ``concat`` plays them back to back.
+    Frequency vectors are identical either way (turnstile algorithms must be
+    order-insensitive in distribution); tests use both orders to check that.
+    """
+    if not streams:
+        raise ValueError("need at least one stream")
+    domain = streams[0].domain_size
+    if any(s.domain_size != domain for s in streams):
+        raise ValueError("streams must share a domain")
+    merged = TurnstileStream(domain)
+    if pattern == "concat":
+        for stream in streams:
+            merged.extend(stream.updates)
+        return merged
+    if pattern == "roundrobin":
+        iterators = [iter(s.updates) for s in streams]
+        live = list(iterators)
+        while live:
+            still_live = []
+            for it in live:
+                try:
+                    merged.append(next(it))
+                    still_live.append(it)
+                except StopIteration:
+                    pass
+            live = still_live
+        return merged
+    raise ValueError(f"unknown interleave pattern {pattern!r}")
+
+
+def total_updates_bound(n: int, magnitude: int) -> int:
+    """Crude bound on stream length for sizing experiments: n items each
+    reaching magnitude M needs at most ``n * M`` unit updates."""
+    return n * magnitude
+
+
+def ell_p_norm(vector: FrequencyVector, p: float) -> float:
+    """``(sum |v_i|^p)^{1/p}``; ``p=2`` is the F2^{1/2} used by CountSketch
+    error guarantees."""
+    if p <= 0:
+        raise ValueError("p must be positive")
+    return vector.f_moment(p) ** (1.0 / p)
+
+
+def residual_f2(vector: FrequencyVector, k: int) -> float:
+    """Residual second moment: F2 minus the k largest squared frequencies.
+
+    This is the quantity controlling CountSketch tail error
+    (Section 3.1: error <= eps * sqrt(F2^{res(k)}/ ... )).
+    """
+    squares = sorted((v * v for _, v in vector.items()), reverse=True)
+    return float(sum(squares[k:]))

@@ -1,0 +1,32 @@
+"""Utility substrates: sub-polynomial function algebra, integer math, RNG."""
+
+from repro.util.subpoly import (
+    SubPolynomial,
+    constant,
+    iterated_log,
+    polylog,
+    sqrt_log_exp,
+    is_subpolynomial_samples,
+)
+from repro.util.intmath import (
+    lowest_set_bit,
+    minimal_l1_combination,
+    next_prime,
+    is_prime,
+)
+from repro.util.rng import RandomSource, as_source
+
+__all__ = [
+    "SubPolynomial",
+    "constant",
+    "iterated_log",
+    "polylog",
+    "sqrt_log_exp",
+    "is_subpolynomial_samples",
+    "lowest_set_bit",
+    "minimal_l1_combination",
+    "next_prime",
+    "is_prime",
+    "RandomSource",
+    "as_source",
+]

@@ -1,0 +1,137 @@
+"""Sub-polynomial function algebra (Definition 4 of the paper).
+
+A nonnegative function ``f`` is *sub-polynomial* if for every ``alpha > 0``
+
+    lim_{x -> inf} x^alpha  f(x) = inf     and
+    lim_{x -> inf} x^-alpha f(x) = 0.
+
+Polylogarithmic functions and functions like ``2^sqrt(log x)`` are
+sub-polynomial.  The paper's algorithms are parameterized by a nondecreasing
+sub-polynomial function ``H`` that simultaneously witnesses slow-dropping,
+slow-jumping, and the predictability booster (Section 4.3).  This module
+provides a small closed algebra of such functions so the algorithms can carry
+their ``H`` around explicitly, plus a Monte-Carlo exponent estimator used by
+the numeric property testers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+
+class SubPolynomial:
+    """A nonnegative function of one variable tagged as sub-polynomial.
+
+    Instances wrap a plain callable and support pointwise arithmetic that
+    stays within the sub-polynomial class (sums, products, powers, pointwise
+    max, composition with polylogs).  The class does not *verify* membership;
+    constructors in this module only build genuine sub-polynomial functions,
+    and :func:`is_subpolynomial_samples` offers an empirical check.
+    """
+
+    def __init__(self, fn: Callable[[float], float], label: str = "h"):
+        self._fn = fn
+        self.label = label
+
+    def __call__(self, x: float) -> float:
+        if x < 1.0:
+            x = 1.0
+        value = self._fn(float(x))
+        return max(value, 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SubPolynomial({self.label})"
+
+    def __mul__(self, other: "SubPolynomial | float") -> "SubPolynomial":
+        if isinstance(other, SubPolynomial):
+            return SubPolynomial(
+                lambda x: self(x) * other(x), f"({self.label})*({other.label})"
+            )
+        scale = float(other)
+        return SubPolynomial(lambda x: self(x) * scale, f"{scale}*({self.label})")
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: "SubPolynomial | float") -> "SubPolynomial":
+        if isinstance(other, SubPolynomial):
+            return SubPolynomial(
+                lambda x: self(x) + other(x), f"({self.label})+({other.label})"
+            )
+        shift = float(other)
+        return SubPolynomial(lambda x: self(x) + shift, f"({self.label})+{shift}")
+
+    __radd__ = __add__
+
+    def __pow__(self, exponent: float) -> "SubPolynomial":
+        p = float(exponent)
+        return SubPolynomial(lambda x: self(x) ** p, f"({self.label})^{p}")
+
+    def pointwise_max(self, other: "SubPolynomial") -> "SubPolynomial":
+        """Pointwise maximum; used to merge the slow-dropping and
+        slow-jumping witnesses into the single ``H`` of Section 4.2."""
+        return SubPolynomial(
+            lambda x: max(self(x), other(x)), f"max({self.label},{other.label})"
+        )
+
+
+def constant(c: float = 1.0) -> SubPolynomial:
+    """The constant function ``c`` (constants are sub-polynomial)."""
+    value = max(float(c), 1.0)
+    return SubPolynomial(lambda x: value, f"const{value}")
+
+
+def polylog(power: float = 1.0, base: float = 2.0, scale: float = 1.0) -> SubPolynomial:
+    """``scale * log_base(2 + x)^power`` — the workhorse witness function."""
+
+    def fn(x: float) -> float:
+        return scale * (math.log(2.0 + x, base) ** power)
+
+    return SubPolynomial(fn, f"{scale}*log^{power}")
+
+
+def iterated_log() -> SubPolynomial:
+    """``log log (4 + x)`` — grows even slower than any polylog power."""
+
+    def fn(x: float) -> float:
+        return math.log(math.log(4.0 + x))
+
+    return SubPolynomial(fn, "loglog")
+
+
+def sqrt_log_exp(scale: float = 1.0) -> SubPolynomial:
+    """``2^{scale * sqrt(log2 x)}`` — a sub-polynomial function that grows
+    faster than every polylog (the paper's example beyond polylogarithmic)."""
+
+    def fn(x: float) -> float:
+        return 2.0 ** (scale * math.sqrt(math.log2(2.0 + x)))
+
+    return SubPolynomial(fn, f"2^{scale}sqrtlog")
+
+
+def is_subpolynomial_samples(
+    fn: Callable[[float], float],
+    xs: Sequence[float],
+    tolerance: float = 0.15,
+) -> bool:
+    """Empirical sub-polynomiality check on sample points.
+
+    Fits the slope of ``log fn(x)`` against ``log x`` over the tail of ``xs``
+    and accepts when the fitted exponent is within ``tolerance`` of zero.
+    This is necessarily heuristic (sub-polynomiality is an asymptotic
+    notion); it is used in tests to sanity-check the constructors above and
+    to reject polynomial impostors like ``x**0.5``.
+    """
+    pts = [(math.log(x), math.log(max(fn(x), 1e-300))) for x in xs if x > 1.0]
+    if len(pts) < 3:
+        raise ValueError("need at least three sample points above 1")
+    tail = pts[len(pts) // 2 :]
+    n = len(tail)
+    mean_lx = sum(p[0] for p in tail) / n
+    mean_ly = sum(p[1] for p in tail) / n
+    num = sum((p[0] - mean_lx) * (p[1] - mean_ly) for p in tail)
+    den = sum((p[0] - mean_lx) ** 2 for p in tail)
+    if den == 0.0:
+        return True
+    slope = num / den
+    return abs(slope) <= tolerance

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams.generators import planted_heavy_hitter_stream, zipf_stream
+from repro.streams.model import StreamUpdate, TurnstileStream
+from repro.util.rng import RandomSource
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    return RandomSource(20260612, "tests")
+
+
+@pytest.fixture
+def small_stream() -> TurnstileStream:
+    """A tiny deterministic turnstile stream exercising deletions."""
+    updates = [
+        StreamUpdate(0, 5),
+        StreamUpdate(1, 3),
+        StreamUpdate(2, -2),
+        StreamUpdate(1, -3),
+        StreamUpdate(3, 7),
+        StreamUpdate(0, -1),
+        StreamUpdate(4, 1),
+    ]
+    return TurnstileStream(8, updates)
+
+
+@pytest.fixture
+def zipf_small() -> TurnstileStream:
+    return zipf_stream(n=512, total_mass=20_000, skew=1.2, seed=11)
+
+
+@pytest.fixture
+def planted_512():
+    stream, heavy = planted_heavy_hitter_stream(
+        512, heavy_frequency=400, noise_frequency=3, noise_support=120, seed=13
+    )
+    return stream, heavy

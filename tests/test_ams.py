@@ -1,0 +1,66 @@
+"""Tests for the AMS F2 sketch."""
+
+import pytest
+
+from repro.sketch.ams import AmsF2Sketch
+from repro.streams.model import stream_from_frequencies
+from repro.util.rng import RandomSource
+
+
+class TestAms:
+    def test_single_item(self):
+        ams = AmsF2Sketch(medians=5, means_size=16, seed=1)
+        ams.update(3, 10)
+        assert ams.estimate() == pytest.approx(100.0)
+
+    def test_deletion_cancels(self):
+        ams = AmsF2Sketch(medians=5, means_size=16, seed=1)
+        ams.update(3, 10)
+        ams.update(3, -10)
+        assert ams.estimate() == pytest.approx(0.0)
+
+    def test_f2_accuracy(self, zipf_small):
+        f2 = zipf_small.frequency_vector().f_moment(2)
+        ams = AmsF2Sketch.for_accuracy(0.3, 0.05, seed=2).process(zipf_small)
+        assert ams.estimate() == pytest.approx(f2, rel=0.35)
+
+    def test_accuracy_improves_with_registers(self):
+        stream = stream_from_frequencies({i: 5 for i in range(300)}, 512)
+        f2 = stream.frequency_vector().f_moment(2)
+        errors = []
+        for means in (4, 64):
+            rel = []
+            for seed in range(5):
+                ams = AmsF2Sketch(medians=5, means_size=means, seed=seed).process(
+                    stream
+                )
+                rel.append(abs(ams.estimate() - f2) / f2)
+            errors.append(sum(rel) / len(rel))
+        assert errors[1] < errors[0]
+
+    def test_merge_linearity(self, small_stream):
+        seed = RandomSource(4, "ams-merge")
+        a = AmsF2Sketch(3, 8, seed=seed).process(small_stream)
+        b = AmsF2Sketch(3, 8, seed=seed).process(small_stream)
+        a.merge(b)
+        direct = AmsF2Sketch(3, 8, seed=seed).process(
+            small_stream.concat(small_stream)
+        )
+        assert a.estimate() == pytest.approx(direct.estimate())
+
+    def test_merge_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            AmsF2Sketch(3, 8).merge(AmsF2Sketch(3, 16))
+
+    def test_space_counters(self):
+        assert AmsF2Sketch(3, 8).space_counters == 24
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            AmsF2Sketch(0, 8)
+        with pytest.raises(ValueError):
+            AmsF2Sketch.for_accuracy(2.0, 0.1)
+
+    def test_estimate_nonnegative(self, small_stream):
+        ams = AmsF2Sketch(5, 8, seed=3).process(small_stream)
+        assert ams.estimate() >= 0.0

@@ -1,0 +1,95 @@
+"""Tests for the higher-order encoding (Section 1.1.4)."""
+
+import pytest
+
+from repro.applications.higher_order import (
+    MatrixEncoding,
+    filtered_sum,
+    matrix_stream,
+    threshold_filter_aggregate,
+)
+from repro.core.gsum import estimate_gsum
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        enc = MatrixEncoding(base=8, columns=3)
+        for row in ([0, 0, 0], [7, 0, 0], [1, 2, 3], [7, 7, 7]):
+            assert enc.decode(enc.encode_row(row)) == row
+
+    def test_encode_update_scales_by_base_power(self):
+        enc = MatrixEncoding(base=10, columns=2)
+        u = enc.encode_update(row=5, column=1, delta=3)
+        assert u.item == 5 and u.delta == 30
+
+    def test_cell_bounds_enforced(self):
+        enc = MatrixEncoding(base=4, columns=2)
+        with pytest.raises(ValueError):
+            enc.encode_row([4, 0])
+        with pytest.raises(ValueError):
+            enc.encode_update(0, 5, 1)
+
+    def test_max_encoded_poly_bound(self):
+        enc = MatrixEncoding(base=8, columns=3)
+        assert enc.max_encoded == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MatrixEncoding(base=1, columns=2)
+        with pytest.raises(ValueError):
+            MatrixEncoding(base=4, columns=0)
+
+
+class TestLiftedFunction:
+    def test_lift_evaluates_on_digits(self):
+        enc = MatrixEncoding(base=10, columns=2)
+        g_multi = lambda row: float(row[0] + row[1])  # noqa: E731
+        g = enc.lift(g_multi)
+        assert g(enc.encode_row([3, 4])) == 7.0
+        assert g(0) == 0.0
+
+    def test_lift_declared_unpredictable(self):
+        enc = MatrixEncoding(base=10, columns=2)
+        g = enc.lift(lambda row: 1.0 + row[0])
+        assert g.properties.predictable is False
+        assert g.properties.one_pass_tractable() is False
+        assert g.properties.two_pass_tractable() is True
+
+    def test_local_variability_of_lift(self):
+        """A +-1 frequency error scrambles the digits — the Section 1.1.4
+        observation that makes g' unpredictable."""
+        enc = MatrixEncoding(base=10, columns=2)
+        g_multi = lambda row: float(1 + 100 * row[1])  # noqa: E731
+        g = enc.lift(g_multi)
+        x = enc.encode_row([9, 3])  # 39
+        assert abs(g(x + 1) - g(x)) >= 100.0  # digit carry flips column 1
+
+
+class TestMatrixQueries:
+    def test_matrix_stream_frequencies(self):
+        enc = MatrixEncoding(base=10, columns=2)
+        rows = [[1, 2], [3, 4]]
+        stream = matrix_stream(enc, rows)
+        vec = stream.frequency_vector()
+        assert vec[0] == 21 and vec[1] == 43
+
+    def test_filtered_sum_ground_truth(self):
+        g_multi = threshold_filter_aggregate(threshold=5, column_filter=0, column_sum=1)
+        rows = [[7, 3], [2, 9], [6, 1]]
+        assert filtered_sum(g_multi, rows) == 4.0  # rows 0 and 2 pass
+
+    def test_two_pass_estimation_of_lifted_sum(self):
+        """End-to-end: 2-pass g-SUM over the encoded stream approximates
+        the matrix aggregate despite g' being unpredictable."""
+        enc = MatrixEncoding(base=8, columns=2)
+        rows = [[(i * 3) % 8, (i * 5) % 8] for i in range(120)]
+        stream = matrix_stream(enc, rows)
+        g_multi = lambda row: float(1 + row[0] + 8 * row[1])  # noqa: E731
+        g = enc.lift(g_multi)
+        exact = stream.frequency_vector().g_sum(g)
+        result = estimate_gsum(
+            stream, g, epsilon=0.3, passes=2, heaviness=0.05,
+            repetitions=3, seed=11,
+        )
+        assert result.exact == pytest.approx(exact)
+        assert result.relative_error < 0.5

@@ -1,0 +1,126 @@
+"""Tests for log-likelihood sketching and approximate MLE (Section 1.1.1)."""
+
+import math
+
+import pytest
+
+from repro.applications.loglik import (
+    PoissonMixture,
+    SketchedMle,
+    exact_neg_loglik,
+    loglik_gfunction,
+)
+from repro.streams.generators import mixture_sample_stream
+
+
+class TestPoissonMixture:
+    def test_pmf_normalizes(self):
+        m = PoissonMixture((2.0, 10.0), (0.5, 0.5))
+        total = sum(m.pmf(x) for x in range(200))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_weights_renormalized(self):
+        m = PoissonMixture((1.0, 2.0), (2.0, 6.0))
+        assert sum(m.weights) == pytest.approx(1.0)
+
+    def test_single_component_matches_poisson(self):
+        m = PoissonMixture((3.0,), (1.0,))
+        for x in range(10):
+            expected = math.exp(-3.0) * 3.0 ** x / math.factorial(x)
+            assert m.pmf(x) == pytest.approx(expected, rel=1e-9)
+
+    def test_neg_log_pmf_positive(self):
+        m = PoissonMixture((2.0, 20.0), (0.9, 0.1))
+        for x in range(60):
+            assert m.neg_log_pmf(x) > 0
+
+    def test_mixture_nonmonotone_neg_log(self):
+        """The paper's point: -log p is non-monotone for a mixture with
+        separated modes."""
+        m = PoissonMixture((1.0, 30.0), (0.7, 0.3))
+        g = [m.neg_log_pmf(x) for x in range(60)]
+        rises = any(a < b for a, b in zip(g, g[1:]))
+        falls = any(a > b for a, b in zip(g, g[1:]))
+        assert rises and falls
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonMixture((1.0,), (1.0, 2.0))
+        with pytest.raises(ValueError):
+            PoissonMixture((-1.0,), (1.0,))
+
+
+class TestLoglikGFunction:
+    def test_h_in_class_g(self):
+        shifted = loglik_gfunction(PoissonMixture((2.0, 10.0), (0.5, 0.5)))
+        h = shifted.h
+        assert h(0) == 0.0
+        for x in range(1, 50):
+            assert h(x) >= 1.0  # floored above 1 by the offset c
+
+    def test_declared_tractable(self):
+        shifted = loglik_gfunction(PoissonMixture((2.0, 10.0), (0.5, 0.5)))
+        assert shifted.h.properties.one_pass_tractable() is True
+
+    def test_decomposition_identity(self):
+        """ell(v) == sum h(v_i) - c*F0 + n*g0, exactly."""
+        m = PoissonMixture((2.0, 10.0), (0.5, 0.5))
+        shifted = loglik_gfunction(m)
+        stream = mixture_sample_stream(128, m.rates, m.weights, seed=11)
+        vec = stream.frequency_vector()
+        h_sum = vec.g_sum(shifted.h)
+        f0 = vec.support_size()
+        reconstructed = h_sum - shifted.offset_c * f0 + 128 * shifted.g0
+        assert reconstructed == pytest.approx(exact_neg_loglik(stream, m), rel=1e-9)
+
+    def test_exact_neg_loglik_matches_direct(self):
+        m = PoissonMixture((2.0, 8.0), (0.6, 0.4))
+        stream = mixture_sample_stream(100, m.rates, m.weights, seed=3)
+        vec = stream.frequency_vector()
+        direct = 0.0
+        for i in range(100):
+            direct += m.neg_log_pmf(abs(vec[i]))
+        assert exact_neg_loglik(stream, m) == pytest.approx(direct, rel=1e-9)
+
+
+class TestSketchedMle:
+    def make_grid(self):
+        return [
+            PoissonMixture((1.0, 20.0), (0.8, 0.2)),
+            PoissonMixture((3.0, 20.0), (0.8, 0.2)),
+            PoissonMixture((8.0, 20.0), (0.8, 0.2)),
+        ]
+
+    def test_sketched_loglik_accuracy(self):
+        grid = self.make_grid()
+        truth = grid[1]
+        n = 512
+        stream = mixture_sample_stream(n, truth.rates, truth.weights, seed=5)
+        mle = SketchedMle(grid, n, epsilon=0.3, heaviness=0.1, seed=8)
+        mle.process(stream)
+        result = mle.evaluate(stream)
+        assert max(result.theta_errors) < 0.5
+
+    def test_guarantee_ratio_close_to_one(self):
+        """ell(theta-hat) <= (1 + eps) min ell — the paper's MLE guarantee."""
+        grid = self.make_grid()
+        truth = grid[1]
+        n = 512
+        stream = mixture_sample_stream(n, truth.rates, truth.weights, seed=6)
+        mle = SketchedMle(grid, n, epsilon=0.3, heaviness=0.1, seed=9)
+        mle.process(stream)
+        result = mle.evaluate(stream)
+        assert result.guarantee_ratio < 1.3
+
+    def test_needs_candidates(self):
+        with pytest.raises(ValueError):
+            SketchedMle([], 64)
+
+    def test_space_scales_with_grid(self):
+        """Space = |grid| per-theta estimators + one shared F0 sketch."""
+        grid = self.make_grid()
+        one = SketchedMle(grid[:1], 128, seed=1).space_counters
+        three = SketchedMle(grid, 128, seed=1).space_counters
+        per_theta = three - one  # two extra candidates
+        assert per_theta > 0
+        assert three < 3 * one  # the F0 sketch is shared, not triplicated

@@ -1,0 +1,96 @@
+"""Tests for the query-optimizer statistics application (Section 1.1.3)."""
+
+import math
+
+import pytest
+
+from repro.applications.query_optimizer import (
+    ColumnSketch,
+    ColumnStatistics,
+    exact_column_statistics,
+    statistics_report,
+)
+from repro.streams.generators import zipf_stream
+from repro.streams.model import StreamUpdate, TurnstileStream
+
+
+@pytest.fixture(scope="module")
+def column():
+    stream = zipf_stream(n=1024, total_mass=50_000, skew=1.2, seed=44)
+    sketch = ColumnSketch(1024, epsilon=0.25, repetitions=3, seed=12)
+    sketch.process(stream)
+    return stream, sketch
+
+
+class TestColumnSketch:
+    def test_row_count_exact(self, column):
+        stream, sketch = column
+        stats = sketch.statistics()
+        assert stats.row_count == stream.frequency_vector().f_moment(1)
+
+    def test_all_statistics_close(self, column):
+        stream, sketch = column
+        report = statistics_report(
+            sketch.statistics(), exact_column_statistics(stream)
+        )
+        for name, row in report.items():
+            assert row["rel_error"] < 0.5, (name, row)
+
+    def test_insert_delete_retract(self):
+        sketch = ColumnSketch(64, repetitions=1, seed=3)
+        sketch.insert(5, 10)
+        sketch.delete(5, 10)
+        stats = sketch.statistics()
+        assert stats.row_count == 0.0
+        assert stats.self_join_size == pytest.approx(0.0, abs=1e-6)
+
+    def test_space_reported(self, column):
+        _, sketch = column
+        assert sketch.space_counters > 1
+
+
+class TestPlannerDerivations:
+    def make_stats(self, rows, distinct, f2):
+        return ColumnStatistics(
+            row_count=rows, distinct_values=distinct, self_join_size=f2,
+            skew_proxy=0.0, entropy_numerator=0.0,
+        )
+
+    def test_average_multiplicity(self):
+        stats = self.make_stats(1000, 100, 0)
+        assert stats.average_multiplicity == 10.0
+
+    def test_average_multiplicity_guards_zero(self):
+        assert self.make_stats(10, 0, 0).average_multiplicity == 0.0
+
+    def test_join_upper_bound_cauchy_schwarz(self):
+        r = self.make_stats(0, 0, 400.0)
+        s = self.make_stats(0, 0, 900.0)
+        assert r.join_size_upper_bound(s) == 600.0
+
+    def test_join_bound_is_actually_an_upper_bound(self):
+        """Exact equi-join cardinality = sum_v r_v * s_v <= sqrt(F2 F2)."""
+        r_stream = TurnstileStream(64)
+        s_stream = TurnstileStream(64)
+        r_counts = {1: 5, 2: 3, 9: 7}
+        s_counts = {1: 2, 2: 6, 4: 1}
+        for item, c in r_counts.items():
+            r_stream.append(StreamUpdate(item, c))
+        for item, c in s_counts.items():
+            s_stream.append(StreamUpdate(item, c))
+        exact_join = sum(
+            r_counts.get(v, 0) * s_counts.get(v, 0) for v in range(64)
+        )
+        r_stats = exact_column_statistics(r_stream)
+        s_stats = exact_column_statistics(s_stream)
+        assert exact_join <= r_stats.join_size_upper_bound(s_stats) + 1e-9
+
+
+class TestExactBaseline:
+    def test_matches_direct_computation(self, column):
+        stream, _ = column
+        stats = exact_column_statistics(stream)
+        vec = stream.frequency_vector()
+        assert stats.distinct_values == vec.support_size()
+        assert stats.self_join_size == vec.f_moment(2)
+        assert stats.skew_proxy == pytest.approx(vec.f_moment(1.5))

@@ -1,0 +1,62 @@
+"""Tests for utility aggregates (Section 1.1.2)."""
+
+import pytest
+
+from repro.applications.utility import (
+    BillingReport,
+    ClickBilling,
+    anomaly_score_function,
+)
+from repro.streams.generators import zipf_stream
+from repro.streams.model import StreamUpdate, TurnstileStream
+
+
+class TestAnomalyScore:
+    def test_u_shape(self):
+        g = anomaly_score_function(10, 1000)
+        assert g(1) == 10.0  # trickle: anomalous
+        assert g(100) == 1.0  # healthy band
+        assert g(2000) == 4.0  # flood: anomalous
+        assert g(0) == 0.0
+
+    def test_declared_tractable(self):
+        g = anomaly_score_function(10, 1000)
+        assert g.properties.one_pass_tractable() is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            anomaly_score_function(10, 10)
+        with pytest.raises(ValueError):
+            anomaly_score_function(0, 10)
+
+
+class TestClickBilling:
+    def test_revenue_estimate_accuracy(self):
+        stream = zipf_stream(512, total_mass=30_000, skew=1.3, seed=21)
+        billing = ClickBilling(
+            512, spam_threshold=50, epsilon=0.3, heaviness=0.05,
+            repetitions=5, seed=4,
+        )
+        report = billing.report(stream)
+        assert isinstance(report, BillingReport)
+        assert report.relative_error < 0.5
+
+    def test_spam_discount_applied(self):
+        """A bot user with huge clicks contributes less than threshold^2 /
+        clicks — exact revenue reflects the discount."""
+        stream = TurnstileStream(16)
+        stream.append(StreamUpdate(0, 40))  # normal: fee 40
+        stream.append(StreamUpdate(1, 10_000))  # bot: fee 100^2/10000 = 1
+        billing = ClickBilling(16, spam_threshold=100, seed=5)
+        report = billing.report(stream)
+        assert report.exact_revenue == pytest.approx(41.0)
+
+    def test_incremental_interface(self):
+        billing = ClickBilling(16, spam_threshold=10, heaviness=0.3, seed=6)
+        billing.record_clicks(3, 5)
+        billing.record_clicks(3, 2)
+        assert billing.revenue_estimate() >= 0.0
+
+    def test_space_reported(self):
+        billing = ClickBilling(64, seed=1)
+        assert billing.space_counters > 0

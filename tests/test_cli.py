@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _resolve_function, build_parser, main
+
+
+class TestResolveFunction:
+    def test_catalog_name(self):
+        g = _resolve_function("x^2")
+        assert g(5) == 25.0
+
+    def test_expression(self):
+        g = _resolve_function("x**1.5")
+        assert g(4) == 8.0
+
+    def test_expression_with_math(self):
+        g = _resolve_function("x * math.log(1 + x)")
+        assert g(1) == pytest.approx(1.0)  # normalized to g(1) = 1
+
+    def test_bad_expression_exits(self):
+        with pytest.raises(SystemExit):
+            _resolve_function("import os")
+
+
+class TestCommands:
+    def test_classify_catalog_function(self, capsys):
+        assert main(["classify", "x^2"]) == 0
+        out = capsys.readouterr().out
+        assert "1-pass tractable: True" in out
+
+    def test_classify_intractable(self, capsys):
+        assert main(["classify", "x^3"]) == 0
+        out = capsys.readouterr().out
+        assert "1-pass tractable: False" in out
+        assert "slow-jumping" in out
+
+    def test_classify_expression(self, capsys):
+        assert main(["classify", "x**1.2", "--domain", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "1-pass tractable: True" in out
+
+    def test_catalog_table(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "x^2" in out and "g_np" in out and "n/a" in out
+
+    def test_generate_and_estimate_roundtrip(self, tmp_path, capsys):
+        stream_path = str(tmp_path / "w.jsonl")
+        assert main([
+            "generate", stream_path, "--kind", "zipf", "--n", "512",
+            "--mass", "20000", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+        assert main([
+            "estimate", "x^2", stream_path, "--heaviness", "0.1",
+            "--repetitions", "3", "--seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "relative error" in out
+
+    def test_estimate_exact_mode(self, tmp_path, capsys):
+        stream_path = str(tmp_path / "w.jsonl")
+        main(["generate", stream_path, "--kind", "uniform", "--n", "128",
+              "--magnitude", "10", "--seed", "1"])
+        capsys.readouterr()
+        assert main(["estimate", "x", stream_path, "--passes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "relative error: 0.00%" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

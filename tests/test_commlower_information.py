@@ -1,0 +1,140 @@
+"""Tests for the Appendix-C information accounting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.commlower.information import (
+    advantage_curve,
+    convolve_mod,
+    hellinger_squared,
+    information_pieces_estimate,
+    needle_advantage,
+    piece_message_distribution,
+    signed_step_distribution,
+    total_variation,
+)
+
+
+class TestDistributionPrimitives:
+    def test_signed_step_symmetric(self):
+        dist = signed_step_distribution(5, 17)
+        assert dist[5] == 0.5 and dist[12] == 0.5
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_signed_step_self_inverse_magnitude(self):
+        # magnitude with m == -m (mod a): all mass on one residue
+        dist = signed_step_distribution(8, 16)
+        assert dist[8] == 1.0
+
+    def test_convolution_preserves_mass(self):
+        a = signed_step_distribution(5, 17)
+        b = signed_step_distribution(3, 17)
+        c = convolve_mod(a, b)
+        assert c.sum() == pytest.approx(1.0)
+
+    def test_convolution_matches_enumeration(self):
+        a = signed_step_distribution(5, 11)
+        c = convolve_mod(a, a)
+        # sums: 10, 0, 0, -10 -> residues 10 (1/4), 0 (1/2), 1 (1/4)
+        assert c[10] == pytest.approx(0.25)
+        assert c[0] == pytest.approx(0.5)
+        assert c[1] == pytest.approx(0.25)
+
+    def test_piece_distribution_load_zero_is_delta(self):
+        dist = piece_message_distribution(5, 17, 0)
+        assert dist[0] == 1.0
+
+
+class TestHellinger:
+    def test_identical_distributions(self):
+        p = piece_message_distribution(5, 17, 3)
+        assert hellinger_squared(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_supports(self):
+        p = np.zeros(4); p[0] = 1.0
+        q = np.zeros(4); q[1] = 1.0
+        assert hellinger_squared(p, q) == pytest.approx(1.0)
+
+    def test_bounds(self):
+        p = piece_message_distribution(5, 17, 2)
+        q = piece_message_distribution(3, 17, 2)
+        h2 = hellinger_squared(p, q)
+        assert 0.0 <= h2 <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hellinger_squared(np.array([0.5, 0.5]), np.array([1.0, 0.0, 0.0]))
+        with pytest.raises(ValueError):
+            hellinger_squared(np.array([0.5, 0.4]), np.array([0.5, 0.5]))
+
+    def test_tv_le_sqrt_2_h(self):
+        """The standard inequality tv <= sqrt(2) h."""
+        p = piece_message_distribution(5, 101, 4)
+        q = convolve_mod(p, signed_step_distribution(1, 101))
+        tv = total_variation(p, q)
+        h2 = hellinger_squared(p, q)
+        assert tv <= math.sqrt(2.0 * h2) + 1e-9
+
+
+class TestNeedleAdvantage:
+    def test_empty_piece_fully_distinguishes(self):
+        """With no noise the transcripts have disjoint support: {0} vs
+        {+-d} (minimality of q means d !~ 0)."""
+        adv = needle_advantage(5, 101, 1, 0)
+        assert adv.hellinger_sq == pytest.approx(1.0)
+        assert adv.pieces_needed == 1.0
+
+    def test_advantage_decreases_with_load(self):
+        curve = advantage_curve(5, 101, 1, [0, 2, 8, 32, 128])
+        values = [c.hellinger_sq for c in curve]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        assert values[-1] < values[0]
+
+    def test_larger_needle_cost_keeps_advantage_longer(self):
+        """The q^2 law's information face: the larger the (parity-aware)
+        modular needle cost, the longer the supports stay disjoint, so the
+        advantage at a fixed load is larger.
+
+        Note the parity subtlety: a sum of k signed b's is b*z with
+        z = k (mod 2), so the relevant cost is the minimal |y| with
+        b*y = d (mod a) *of the right parity* — e.g. b=27 mod 101 has
+        naive cost 15 but its minimal solution is odd, pushing the
+        parity-consistent cost past 100 and keeping h^2 ~ 1 at every
+        realistic load.  We compare two even-cost cases: b=5 (cost 20)
+        vs b=37 (cost 30).
+        """
+        low_q = needle_advantage(5, 101, 1, 40).hellinger_sq
+        high_q = needle_advantage(37, 101, 1, 40).hellinger_sq
+        assert high_q > low_q
+        # and the parity-protected case dominates both
+        parity_protected = needle_advantage(27, 101, 1, 40).hellinger_sq
+        assert parity_protected > high_q - 1e-9
+
+    def test_pieces_needed_infinite_when_indistinguishable(self):
+        # b = a: everything vanishes mod a; the needle d = a likewise...
+        # use d expressible with zero mass: d = 0 residue via d = a
+        adv = needle_advantage(101, 101, 101, 3)
+        assert adv.hellinger_sq == pytest.approx(0.0, abs=1e-12)
+        assert adv.pieces_needed == math.inf
+
+
+class TestInformationSizing:
+    def test_estimate_tracks_operational_sizing(self):
+        """The information sizing and the operational detector sizing
+        (DistDetector.recommended_pieces) should agree within an order of
+        magnitude — two roads to n/q^2."""
+        from repro.core.dist import DistDetector
+
+        n = 4096
+        info = information_pieces_estimate(5, 101, 1, n)
+        operational = DistDetector.recommended_pieces([101, 5], 1, n)
+        assert info["pieces"] > 0
+        ratio = info["pieces"] / operational
+        assert 0.05 <= ratio <= 20.0
+
+    def test_returns_fields(self):
+        out = information_pieces_estimate(5, 101, 1, 1024, target_load=8)
+        assert set(out) == {"load", "hellinger_sq", "pieces"}
+        assert out["load"] == 8.0

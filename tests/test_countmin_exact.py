@@ -1,0 +1,65 @@
+"""Tests for Count-Min (baseline) and the exact counter."""
+
+import pytest
+
+from repro.functions.library import moment
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.exact import ExactCounter
+from repro.streams.model import stream_from_frequencies
+
+
+class TestCountMin:
+    def test_overestimates_in_insertion_only(self):
+        stream = stream_from_frequencies({i: i + 1 for i in range(100)}, 256)
+        cm = CountMinSketch(rows=5, buckets=64, seed=1).process(stream)
+        for i in range(100):
+            assert cm.estimate(i) >= i + 1 - 1e-9
+
+    def test_error_bounded_by_f1_over_buckets(self):
+        freqs = {i: 3 for i in range(120)}
+        stream = stream_from_frequencies(freqs, 256)
+        f1 = 3 * 120
+        cm = CountMinSketch(rows=7, buckets=64, seed=2).process(stream)
+        violations = sum(
+            1 for i in freqs if cm.estimate(i) - 3 > 4 * f1 / 64
+        )
+        assert violations <= 3
+
+    def test_space(self):
+        assert CountMinSketch(4, 32).space_counters == 128
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0, 4)
+
+
+class TestExactCounter:
+    def test_exact_tabulation(self, small_stream):
+        ec = ExactCounter(8).process(small_stream)
+        assert ec.frequency_vector() == small_stream.frequency_vector()
+
+    def test_restriction(self, small_stream):
+        ec = ExactCounter(8, restrict_to=[0, 3]).process(small_stream)
+        assert ec.estimate(0) == 4
+        assert ec.estimate(3) == 7
+        assert ec.estimate(4) == 0  # outside restriction: never counted
+
+    def test_space_is_support_size(self, small_stream):
+        ec = ExactCounter(8).process(small_stream)
+        assert ec.space_counters == small_stream.frequency_vector().support_size()
+
+    def test_heavy_hitters_definition_11(self):
+        """g-heavy hitter: g(|v_j|) >= lambda * sum_{i != j} g(|v_i|)."""
+        stream = stream_from_frequencies({0: 10, 1: 1, 2: 1}, 8)
+        ec = ExactCounter(8).process(stream)
+        g = moment(2.0)
+        hh = ec.heavy_hitters(g, heaviness=1.0)
+        assert [item for item, _ in hh] == [0]  # 100 >= 1.0 * 2
+        all_items = ec.heavy_hitters(g, heaviness=0.001)
+        assert len(all_items) == 3
+
+    def test_cancellation_shrinks_space(self):
+        ec = ExactCounter(8)
+        ec.update(1, 5)
+        ec.update(1, -5)
+        assert ec.space_counters == 0

@@ -1,0 +1,144 @@
+"""Tests for CountSketch — the guarantee of Section 3.1."""
+
+import math
+
+import pytest
+
+from repro.sketch.countsketch import CountSketch
+from repro.streams.model import StreamUpdate, TurnstileStream, stream_from_frequencies
+from repro.util.rng import RandomSource
+
+
+def _freq_stream(freqs, n=256):
+    return stream_from_frequencies(freqs, n)
+
+
+class TestEstimation:
+    def test_single_item_exact(self):
+        cs = CountSketch(rows=5, buckets=64, seed=1)
+        cs.update(7, 42)
+        assert cs.estimate(7) == pytest.approx(42.0)
+
+    def test_deletions_cancel(self):
+        cs = CountSketch(rows=5, buckets=64, seed=1)
+        cs.update(7, 42)
+        cs.update(7, -42)
+        assert cs.estimate(7) == pytest.approx(0.0)
+
+    def test_error_within_f2_bound(self):
+        """|v_i - v^_i| <= 3 sqrt(F2 / buckets) for most items (the median
+        over >= 5 rows makes the failure probability tiny)."""
+        freqs = {i: (i % 13) + 1 for i in range(200)}
+        stream = _freq_stream(freqs)
+        f2 = stream.frequency_vector().f_moment(2)
+        cs = CountSketch(rows=7, buckets=256, seed=3).process(stream)
+        bound = 3 * math.sqrt(f2 / 256)
+        bad = sum(
+            1 for i, v in freqs.items() if abs(cs.estimate(i) - v) > bound
+        )
+        assert bad <= 4
+
+    def test_turnstile_negative_frequencies(self):
+        stream = _freq_stream({1: -50, 2: 30})
+        cs = CountSketch(rows=5, buckets=128, seed=5).process(stream)
+        assert cs.estimate(1) == pytest.approx(-50, abs=10)
+        assert cs.estimate(2) == pytest.approx(30, abs=10)
+
+    def test_estimate_many(self):
+        cs = CountSketch(rows=5, buckets=64, seed=1)
+        cs.update(3, 10)
+        out = cs.estimate_many([3, 4])
+        assert out[0].item == 3 and out[0].estimate == pytest.approx(10.0)
+        assert out[1].item == 4
+
+
+class TestTracking:
+    def test_top_candidates_contain_heavy_hitter(self, planted_512):
+        stream, heavy = planted_512
+        cs = CountSketch(rows=5, buckets=256, track=16, seed=7).process(stream)
+        found = [c.item for c in cs.top_candidates()]
+        assert heavy in found
+
+    def test_heavy_ranks_first(self, planted_512):
+        stream, heavy = planted_512
+        cs = CountSketch(rows=5, buckets=256, track=16, seed=7).process(stream)
+        assert cs.top_candidates()[0].item == heavy
+
+    def test_track_limit_respected(self, zipf_small):
+        cs = CountSketch(rows=5, buckets=128, track=8, seed=7).process(zipf_small)
+        assert len(cs.top_candidates()) <= 8 + 1  # heap may briefly overfill
+
+    def test_k_argument_truncates(self, zipf_small):
+        cs = CountSketch(rows=5, buckets=128, track=16, seed=7).process(zipf_small)
+        assert len(cs.top_candidates(3)) == 3
+
+    def test_no_tracking_mode(self):
+        cs = CountSketch(rows=3, buckets=16, track=0, seed=1)
+        cs.update(1, 5)
+        assert cs.top_candidates() == []
+
+    def test_deleted_item_demoted(self):
+        cs = CountSketch(rows=5, buckets=128, track=4, seed=9)
+        cs.update(1, 1000)
+        for i in range(2, 7):
+            cs.update(i, 10)
+        cs.update(1, -1000)  # full deletion
+        cs.update(2, 1)  # trigger re-estimation churn
+        top = cs.top_candidates()
+        est_1 = [c.estimate for c in top if c.item == 1]
+        assert not est_1 or abs(est_1[0]) < 5
+
+
+class TestLinearity:
+    def test_merge_equals_concat(self, small_stream):
+        seed = RandomSource(11, "merge")
+        a = CountSketch(5, 64, track=4, seed=seed)
+        b = CountSketch(5, 64, track=4, seed=seed)
+        a.process(small_stream)
+        b.process(small_stream)
+        a.merge(b)
+        direct = CountSketch(5, 64, track=4, seed=seed)
+        direct.process(small_stream.concat(small_stream))
+        for item in range(5):
+            assert a.estimate(item) == pytest.approx(direct.estimate(item))
+
+    def test_merge_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            CountSketch(3, 16).merge(CountSketch(3, 32))
+
+
+class TestSizing:
+    def test_for_heavy_hitters_dimensions(self):
+        cs = CountSketch.for_heavy_hitters(0.1, 0.5, 0.05, 1024, seed=1)
+        assert cs.buckets >= 4 / (0.1 * 0.25) - 1
+        assert cs.rows % 2 == 1
+        assert cs.track >= 4
+
+    def test_caps_apply(self):
+        cs = CountSketch.for_heavy_hitters(
+            0.001, 0.01, 0.01, 1 << 20, seed=1, max_buckets=512, max_rows=5,
+            max_track=32,
+        )
+        assert cs.buckets == 512
+        assert cs.rows <= 5
+        assert cs.track == 32
+
+    def test_invalid_heaviness(self):
+        with pytest.raises(ValueError):
+            CountSketch.for_heavy_hitters(0.0, 0.5, 0.1, 64)
+        with pytest.raises(ValueError):
+            CountSketch.for_heavy_hitters(0.5, 1.5, 0.1, 64)
+
+    def test_space_accounting(self):
+        cs = CountSketch(4, 32, track=2, seed=1)
+        base = cs.space_counters
+        assert base == 4 * 32
+        cs.update(1, 5)
+        assert cs.space_counters == base + 2
+
+
+class TestSignIndependence:
+    def test_two_wise_mode_runs(self, zipf_small):
+        cs = CountSketch(5, 128, track=8, seed=3, sign_independence=2)
+        cs.process(zipf_small)
+        assert len(cs.top_candidates()) > 0

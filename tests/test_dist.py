@@ -1,0 +1,118 @@
+"""Tests for ShortLinearCombination / (u,d)-DIST (Appendix C, Prop. 49)."""
+
+import math
+
+import pytest
+
+from repro.commlower.problems import DistInstance
+from repro.core.dist import DistDetector, ResidueCostTable
+from repro.streams.model import stream_from_frequencies
+from repro.util.intmath import minimal_l1_combination
+
+
+class TestResidueCostTable:
+    def test_zero_residue_free(self):
+        t = ResidueCostTable(7, [4], cap=10)
+        assert t.cost(0) == 0.0
+
+    def test_single_step(self):
+        t = ResidueCostTable(7, [4], cap=10)
+        assert t.cost(4) == 1.0
+        assert t.cost(3) == 1.0  # -4 mod 7
+
+    def test_matches_solver_mod(self):
+        """Modular costs agree with the exact solver when the solver's
+        optimum uses no multiples of the modulus."""
+        a, b = 17, 12
+        t = ResidueCostTable(a, [b], cap=20)
+        for d in (1, 2, 5):
+            q_mod = t.cost(d % a)
+            # brute force: minimal |z| with z*b = d (mod a)
+            best = min(
+                abs(z) for z in range(-40, 41) if (z * b - d) % a == 0
+            )
+            assert q_mod == best
+
+    def test_unreachable_residue(self):
+        t = ResidueCostTable(8, [4], cap=10)
+        assert t.cost(1) == math.inf
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            ResidueCostTable(1, [2], cap=4)
+
+
+class TestDetectorConstruction:
+    def test_q_computed(self):
+        det = DistDetector([4, 7], 1, 256, pieces=8, seed=1)
+        assert det.q == 3
+        assert sum(c * u for c, u in zip(det.q_vector, det.frequencies)) in (1, -1)
+
+    def test_rejects_target_in_set(self):
+        with pytest.raises(ValueError):
+            DistDetector([4, 7], 7, 64, pieces=4)
+
+    def test_rejects_unreachable_target(self):
+        with pytest.raises(ValueError):
+            DistDetector([4, 8], 3, 64, pieces=4)
+
+    def test_recommended_pieces_scale_inverse_q_squared(self):
+        n = 1 << 14
+        t_small_q = DistDetector.recommended_pieces([101, 27], 1, n)  # q_mod=15
+        t_big_q = DistDetector.recommended_pieces([101, 37], 1, n)  # q_mod=30
+        assert t_small_q > t_big_q
+        assert t_small_q / t_big_q == pytest.approx(4.0, rel=0.1)
+
+    def test_space_is_pieces(self):
+        det = DistDetector([4, 7], 1, 256, pieces=13, seed=1)
+        assert det.space_counters == 13
+
+
+class TestDetectorDecisions:
+    @pytest.mark.parametrize("a,b", [(101, 5), (101, 37)])
+    def test_accuracy(self, a, b):
+        n = 4096
+        t = DistDetector.recommended_pieces([a, b], 1, n)
+        correct = 0
+        trials = 12
+        for s in range(trials):
+            present = s % 2 == 0
+            inst = DistInstance.random(n, [a, b], 1, present=present, seed=s)
+            det = DistDetector([a, b], 1, n, pieces=t, seed=s + 500)
+            det.process(stream_from_frequencies(inst.frequencies, n))
+            correct += int(det.decide().present == present)
+        assert correct >= 10
+
+    def test_clean_positive(self):
+        """A lone needle with no noise is always found."""
+        det = DistDetector([101, 5], 1, 64, pieces=4, seed=3)
+        det.update(7, 1)
+        decision = det.decide()
+        assert decision.present
+        assert decision.witness_piece is not None
+
+    def test_clean_negative(self):
+        det = DistDetector([101, 5], 1, 64, pieces=4, seed=3)
+        det.update(7, 5)
+        det.update(9, 101)
+        assert not det.decide().present
+
+    def test_negative_needle_detected(self):
+        det = DistDetector([101, 5], 1, 64, pieces=4, seed=3)
+        det.update(7, -1)
+        assert det.decide().present
+
+    def test_too_few_pieces_degrades(self):
+        """With one piece the signed sum swamps the threshold: the detector
+        must lose accuracy — this is the Omega(n/q^2) phenomenon."""
+        n = 4096
+        a, b = 101, 5
+        wrong = 0
+        trials = 10
+        for s in range(trials):
+            present = s % 2 == 0
+            inst = DistInstance.random(n, [a, b], 1, present=present, seed=s)
+            det = DistDetector([a, b], 1, n, pieces=1, seed=s + 900)
+            det.process(stream_from_frequencies(inst.frequencies, n))
+            wrong += int(det.decide().present != present)
+        assert wrong >= 3

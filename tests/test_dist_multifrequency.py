@@ -1,0 +1,59 @@
+"""Tests for the multi-frequency (u,d)-DIST generalization (Theorem 51)."""
+
+import pytest
+
+from repro.commlower.problems import DistInstance
+from repro.core.dist import DistDetector
+from repro.streams.model import stream_from_frequencies
+from repro.util.intmath import minimal_l1_combination
+
+
+class TestThreeFrequencyConstruction:
+    def test_detector_accepts_three_frequencies(self):
+        det = DistDetector([101, 5, 11], 1, 512, pieces=16, seed=1)
+        assert det.frequencies == [5, 11, 101]
+        assert det.q >= 1
+
+    def test_q_uses_all_coefficients(self):
+        """With u = (6, 10, 15), d = 1 needs all three coefficients
+        (pairwise gcds are 2, 3, 5): q = 3 via 6 + 10 - 15."""
+        q, coeffs = minimal_l1_combination([6, 10, 15], 1)
+        assert q == 3
+        det = DistDetector([6, 10, 15], 1, 512, pieces=16, seed=2)
+        assert det.q == 3
+
+    def test_modulus_is_max_frequency(self):
+        det = DistDetector([6, 10, 15], 1, 512, pieces=16, seed=3)
+        assert det.modulus == 15
+
+
+class TestThreeFrequencyDecisions:
+    def test_clean_needle_detected(self):
+        det = DistDetector([101, 5, 11], 1, 256, pieces=8, seed=4)
+        det.update(7, 1)
+        assert det.decide().present
+
+    def test_clean_noise_not_flagged(self):
+        det = DistDetector([101, 5, 11], 1, 256, pieces=8, seed=5)
+        det.update(1, 5)
+        det.update(2, -11)
+        det.update(3, 101)
+        assert not det.decide().present
+
+    def test_accuracy_on_random_instances(self):
+        """End-to-end with three allowed magnitudes; q_mod for
+        (101, 5, 11) -> 1 is smaller than the two-frequency case (more
+        coefficients help the adversary), so give the detector its
+        recommended budget and expect good-but-not-perfect accuracy."""
+        n = 4096
+        freqs = [101, 5, 11]
+        t = DistDetector.recommended_pieces(freqs, 1, n)
+        correct = 0
+        trials = 12
+        for s in range(trials):
+            present = s % 2 == 0
+            inst = DistInstance.random(n, freqs, 1, present=present, seed=s)
+            det = DistDetector(freqs, 1, n, pieces=t, seed=700 + s)
+            det.process(stream_from_frequencies(inst.frequencies, n))
+            correct += int(det.decide().present == present)
+        assert correct >= 9

@@ -1,0 +1,100 @@
+"""Tests for the F0 sketches."""
+
+import pytest
+
+from repro.sketch.f0 import BjkstF0Sketch, TurnstileF0Estimator
+from repro.streams.generators import zipf_stream
+from repro.streams.model import StreamUpdate, TurnstileStream, stream_from_frequencies
+
+
+class TestBjkst:
+    def test_small_support_exact(self):
+        sk = BjkstF0Sketch(64, seed=1)
+        for item in range(20):
+            sk.update(item)
+        assert sk.estimate() == 20.0
+        assert sk.level == 0
+
+    def test_large_support_estimate(self):
+        sk = BjkstF0Sketch(64, seed=2)
+        for item in range(5000):
+            sk.update(item)
+        assert sk.estimate() == pytest.approx(5000, rel=0.35)
+        assert sk.level > 0
+
+    def test_duplicates_not_double_counted(self):
+        sk = BjkstF0Sketch(64, seed=3)
+        for _ in range(100):
+            sk.update(7)
+        assert sk.estimate() == 1.0
+
+    def test_deletions_ignored_by_design(self):
+        sk = BjkstF0Sketch(64, seed=4)
+        sk.update(1)
+        sk.update(1, -1)
+        assert sk.estimate() == 1.0
+
+    def test_space_bounded_by_budget(self):
+        sk = BjkstF0Sketch(32, seed=5)
+        for item in range(10_000):
+            sk.update(item)
+        assert sk.space_counters <= 2 * 32 + 1
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError):
+            BjkstF0Sketch(2)
+
+    def test_accuracy_improves_with_budget(self):
+        errors = []
+        for budget in (16, 256):
+            errs = []
+            for seed in range(8):
+                sk = BjkstF0Sketch(budget, seed=seed)
+                for item in range(3000):
+                    sk.update(item)
+                errs.append(abs(sk.estimate() - 3000) / 3000)
+            errors.append(sum(errs) / len(errs))
+        assert errors[1] < errors[0]
+
+
+class TestTurnstileF0:
+    def test_exact_at_level_zero(self, small_stream):
+        est = TurnstileF0Estimator(f0_upper_bound=16, sample_budget=64, seed=1)
+        est.process(small_stream)
+        assert est.estimate() == small_stream.frequency_vector().support_size()
+
+    def test_deletion_correctness(self):
+        est = TurnstileF0Estimator(f0_upper_bound=16, sample_budget=64, seed=2)
+        est.update(3, 5)
+        est.update(3, -5)
+        est.update(4, 2)
+        assert est.estimate() == 1.0
+
+    def test_subsampled_estimate(self):
+        stream = stream_from_frequencies({i: 1 for i in range(4000)}, 8192)
+        errs = []
+        for seed in range(6):
+            est = TurnstileF0Estimator(
+                f0_upper_bound=4000, sample_budget=256, seed=seed
+            )
+            est.process(stream)
+            errs.append(abs(est.estimate() - 4000) / 4000)
+        assert sorted(errs)[len(errs) // 2] < 0.3
+
+    def test_space_sublinear(self):
+        stream = stream_from_frequencies({i: 1 for i in range(4000)}, 8192)
+        est = TurnstileF0Estimator(f0_upper_bound=4000, sample_budget=256, seed=3)
+        est.process(stream)
+        assert est.space_counters < 1200  # ~2 * sampled support
+
+    def test_budget_validated(self):
+        with pytest.raises(ValueError):
+            TurnstileF0Estimator(100, sample_budget=4)
+
+    def test_agrees_with_bjkst_on_insertion_only(self):
+        stream = zipf_stream(2048, total_mass=30_000, seed=9)
+        exact = stream.frequency_vector().support_size()
+        bjkst = BjkstF0Sketch(256, seed=1).process(stream)
+        turn = TurnstileF0Estimator(2048, sample_budget=256, seed=1).process(stream)
+        assert bjkst.estimate() == pytest.approx(exact, rel=0.4)
+        assert turn.estimate() == pytest.approx(exact, rel=0.4)

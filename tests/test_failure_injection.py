@@ -1,0 +1,135 @@
+"""Failure-injection and misuse tests: the library must fail loudly and
+precisely, not corrupt estimates silently."""
+
+import math
+
+import pytest
+
+from repro.core.gsum import GSumEstimator
+from repro.core.recursive_sketch import RecursiveGSumSketch
+from repro.core.heavy_hitters import ExactHeavyHitter, TwoPassGHeavyHitter
+from repro.functions.base import GFunction
+from repro.functions.library import moment
+from repro.sketch.ams import AmsF2Sketch
+from repro.sketch.countsketch import CountSketch
+from repro.streams.model import StreamUpdate, TurnstileStream
+
+
+class TestStreamPromiseViolations:
+    def test_magnitude_violation_identifies_item(self):
+        stream = TurnstileStream(8, magnitude_bound=5)
+        stream.append(StreamUpdate(3, 5))
+        with pytest.raises(ValueError) as excinfo:
+            stream.append(StreamUpdate(3, 1))
+        assert "v_3" in str(excinfo.value)
+
+    def test_stream_state_consistent_after_rejection(self):
+        """A rejected update must not corrupt the running vector."""
+        stream = TurnstileStream(8, magnitude_bound=5)
+        stream.append(StreamUpdate(3, 5))
+        with pytest.raises(ValueError):
+            stream.append(StreamUpdate(3, 3))
+        # the rejected delta was applied to the running check vector but
+        # the update list must not contain it
+        assert len(stream) == 1
+
+
+class TestFunctionMisuse:
+    def test_negative_g_value_raises_at_call(self):
+        g = GFunction(lambda x: x - 10.0, "crossing", normalize=False)
+        with pytest.raises(ValueError, match="violates membership"):
+            g(5)
+
+    def test_zero_g_value_raises(self):
+        g = GFunction(lambda x: 0.0 if x == 3 else float(x), "zero-at-3",
+                      normalize=False)
+        with pytest.raises(ValueError):
+            g(3)
+
+    def test_normalization_requires_increasing_start(self):
+        with pytest.raises(ValueError, match="cannot normalize"):
+            GFunction(lambda x: 10.0 - x, "decreasing")
+
+
+class TestSketchMisuse:
+    def test_countsketch_merge_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            CountSketch(3, 16).merge(CountSketch(5, 16))
+
+    def test_ams_merge_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            AmsF2Sketch(3, 8).merge(AmsF2Sketch(3, 4))
+
+    def test_two_pass_order_enforced_everywhere(self):
+        hh = TwoPassGHeavyHitter(moment(2.0), 0.2, 0.1, 16, seed=1)
+        hh.update(1, 5)
+        hh.begin_second_pass()
+        with pytest.raises(RuntimeError, match="first pass is closed"):
+            hh.update(1, 5)
+
+
+class TestEstimatorRobustness:
+    def test_empty_stream_estimates_zero(self):
+        est = GSumEstimator(moment(2.0), 16, repetitions=1, seed=1)
+        assert est.estimate() == 0.0
+
+    def test_fully_cancelled_stream_estimates_near_zero(self):
+        est = GSumEstimator(moment(2.0), 64, heaviness=0.2, repetitions=3, seed=1)
+        for item in range(20):
+            est.update(item, 7)
+        for item in range(20):
+            est.update(item, -7)
+        assert est.estimate() == pytest.approx(0.0, abs=1.0)
+
+    def test_single_update_single_item(self):
+        est = GSumEstimator(moment(2.0), 64, heaviness=0.2, repetitions=1, seed=2)
+        est.update(7, 12)
+        assert est.estimate() == pytest.approx(144.0, rel=0.01)
+
+    def test_negative_frequencies_treated_by_magnitude(self):
+        est = GSumEstimator(moment(2.0), 64, heaviness=0.2, repetitions=1, seed=3)
+        est.update(7, -12)
+        assert est.estimate() == pytest.approx(144.0, rel=0.01)
+
+    def test_second_pass_without_first_is_error(self):
+        est = GSumEstimator(moment(2.0), 16, passes=2, repetitions=1, seed=1)
+        with pytest.raises(RuntimeError):
+            est.update_second_pass(0, 1)
+
+    def test_recursive_sketch_estimate_never_negative(self):
+        sketch = RecursiveGSumSketch(
+            moment(2.0), 32, lambda lvl, rng: ExactHeavyHitter(moment(2.0), 32),
+            seed=4,
+        )
+        for item in range(10):
+            sketch.update(item, 1)
+            sketch.update(item, -1)
+        assert sketch.estimate() >= 0.0
+
+
+class TestAdversarialInputs:
+    def test_alternating_churn_stays_accurate(self):
+        """Heavy insert/delete churn on one item must not poison the
+        candidate tracker."""
+        cs = CountSketch(5, 64, track=4, seed=9)
+        for _ in range(50):
+            cs.update(1, 100)
+            cs.update(1, -100)
+        cs.update(2, 30)
+        top = cs.top_candidates()
+        assert any(c.item == 2 for c in top)
+        est_1 = cs.estimate(1)
+        assert abs(est_1) < 1.0
+
+    def test_domain_boundary_items(self):
+        est = GSumEstimator(moment(2.0), 64, heaviness=0.2, repetitions=1, seed=5)
+        est.update(0, 5)
+        est.update(63, 5)
+        assert est.estimate() == pytest.approx(50.0, rel=0.05)
+
+    def test_huge_magnitudes_do_not_overflow(self):
+        g = moment(2.0)
+        est = GSumEstimator(g, 16, heaviness=0.3, repetitions=1, seed=6)
+        est.update(3, 10 ** 9)
+        assert math.isfinite(est.estimate())
+        assert est.estimate() == pytest.approx(1e18, rel=0.01)

@@ -1,0 +1,120 @@
+"""Tests for the class G wrapper (Section 3)."""
+
+import math
+
+import pytest
+
+from repro.functions.base import (
+    DeclaredProperties,
+    GFunction,
+    stability_radius,
+    stability_set,
+)
+from repro.functions.library import moment, sin_x_x2
+
+
+class TestMembership:
+    def test_normalization_enforces_g0_g1(self):
+        g = GFunction(lambda x: 3.0 * x + 2.0, "affine")
+        assert g(0) == 0.0
+        assert g(1) == 1.0
+
+    def test_normalization_rejects_flat(self):
+        with pytest.raises(ValueError):
+            GFunction(lambda x: 5.0, "flat")
+
+    def test_positive_values_required(self):
+        g = GFunction(lambda x: x - 2.0, "bad", normalize=False)
+        with pytest.raises(ValueError):
+            g(1)  # -1 < 0 violates G membership
+
+    def test_symmetric_extension(self):
+        g = moment(2.0)
+        assert g(-5) == g(5) == 25.0
+
+    def test_float_arguments_rounded(self):
+        g = moment(2.0)
+        assert g(4.6) == 25.0
+
+    def test_memoization_consistent(self):
+        g = moment(1.5)
+        first = g(1000)
+        second = g(1000)
+        assert first == second
+
+    def test_g_sum(self):
+        g = moment(2.0)
+        assert g.g_sum([1, -2, 3]) == 1 + 4 + 9
+
+
+class TestDeclaredProperties:
+    def test_one_pass_law(self):
+        props = DeclaredProperties(
+            slow_jumping=True, slow_dropping=True, predictable=True, s_normal=True
+        )
+        assert props.one_pass_tractable() is True
+
+    def test_one_pass_fails_without_predictability(self):
+        props = DeclaredProperties(
+            slow_jumping=True, slow_dropping=True, predictable=False, s_normal=True
+        )
+        assert props.one_pass_tractable() is False
+
+    def test_two_pass_ignores_predictability(self):
+        props = DeclaredProperties(
+            slow_jumping=True, slow_dropping=True, predictable=False,
+            s_normal=True, p_normal=True,
+        )
+        assert props.two_pass_tractable() is True
+
+    def test_nearly_periodic_outside_law(self):
+        props = DeclaredProperties(
+            slow_jumping=False, slow_dropping=False, predictable=True,
+            s_normal=False, p_normal=False,
+        )
+        assert props.one_pass_tractable() is None
+
+    def test_unknown_flags_give_none(self):
+        assert DeclaredProperties().one_pass_tractable() is None
+
+
+class TestCopies:
+    def test_with_properties(self):
+        g = moment(2.0).with_properties(predictable=False)
+        assert g.properties.predictable is False
+        assert g.properties.slow_jumping is True
+        assert g(3) == 9.0
+
+    def test_renamed(self):
+        g = moment(2.0).renamed("F2")
+        assert g.name == "F2"
+        assert g(3) == 9.0
+
+
+class TestStability:
+    def test_stability_set_membership(self):
+        g = moment(2.0)
+        member = stability_set(g, 100, eps=0.05)
+        assert member(101)  # (101/100)^2 - 1 ~ 2%
+        assert not member(110)  # 21% change
+
+    def test_stability_radius_smooth_function(self):
+        g = moment(2.0)
+        r = stability_radius(g, 1000, eps=0.1)
+        # (1 + r/1000)^2 <= 1.1  =>  r ~ 48
+        assert 40 <= r <= 55
+
+    def test_stability_radius_oscillating_function_is_tiny(self):
+        g = sin_x_x2()
+        r = stability_radius(g, 1000, eps=0.1)
+        assert r <= 1
+
+    def test_radius_capped(self):
+        g = moment(0.5)
+        assert stability_radius(g, 100, eps=10.0, cap=7) == 7
+
+    def test_radius_zero_when_immediate_change(self):
+        g = GFunction(
+            lambda x: 1.0 if x % 2 else 2.0 * (x > 0), "parity", normalize=False
+        )
+        assert stability_radius(g, 10, eps=0.05) == 0

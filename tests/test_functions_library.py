@@ -1,0 +1,144 @@
+"""Tests for the paper's function catalog."""
+
+import math
+
+import pytest
+
+from repro.functions.library import (
+    bounded_oscillation,
+    capped_linear,
+    catalog,
+    exp_sqrt_log,
+    exponential,
+    g_np,
+    indicator,
+    intractable_examples,
+    linear,
+    log_decay,
+    moment,
+    negative_moment,
+    reciprocal,
+    sin_log_x2,
+    sin_sqrt_x2,
+    sin_x_x2,
+    spam_damped_fee,
+    tractable_onepass_examples,
+    x2_log,
+)
+from repro.util.intmath import lowest_set_bit
+
+
+class TestMembershipInG:
+    @pytest.mark.parametrize("name", list(catalog().keys()))
+    def test_g0_zero_and_positive(self, name):
+        g = catalog()[name]
+        assert g(0) == 0.0
+        for x in (1, 2, 3, 17, 100):
+            assert g(x) > 0.0
+
+    @pytest.mark.parametrize("name", list(catalog().keys()))
+    def test_g1_is_one(self, name):
+        g = catalog()[name]
+        assert g(1) == pytest.approx(1.0, rel=1e-9)
+
+
+class TestSpecificValues:
+    def test_moment(self):
+        assert moment(2.0)(7) == 49.0
+        assert moment(0.5)(16) == 4.0
+
+    def test_moment_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            moment(-1.0)
+
+    def test_negative_moment(self):
+        g = negative_moment(1.0)
+        assert g(4) == 0.25
+        assert g(0) == 0.0
+
+    def test_reciprocal_alias(self):
+        assert reciprocal()(8) == 0.125
+        assert reciprocal().name == "1/x"
+
+    def test_gnp_matches_definition_52(self):
+        g = g_np()
+        for x in range(1, 300):
+            assert g(x) == 2.0 ** (-lowest_set_bit(x))
+        assert g(1) == 1.0 and g(2) == 0.5 and g(3) == 1.0 and g(4) == 0.25
+
+    def test_indicator(self):
+        g = indicator()
+        assert g(0) == 0.0 and g(1) == 1.0 and g(1000) == 1.0
+
+    def test_capped_linear(self):
+        g = capped_linear(10)
+        assert g(5) == 5.0 and g(100) == 10.0
+
+    def test_spam_fee_nonmonotone(self):
+        g = spam_damped_fee(100)
+        assert g(50) == 50.0
+        assert g(100) == 100.0
+        assert g(200) == 50.0  # discounted
+        assert g(100) > g(1000)  # more clicks, less fee: non-monotone
+
+    def test_spam_fee_floor(self):
+        g = spam_damped_fee(10)
+        assert g(10_000) == 1.0
+
+    def test_spam_fee_validation(self):
+        with pytest.raises(ValueError):
+            spam_damped_fee(1)
+
+    def test_oscillators_positive(self):
+        for g in (sin_x_x2(), sin_sqrt_x2(), sin_log_x2(), bounded_oscillation()):
+            for x in range(1, 200):
+                assert g(x) > 0
+
+    def test_x2_log_growth(self):
+        g = x2_log()
+        x = 1 << 10
+        expected = x * x * math.log2(1 + x) / math.log2(2.0)
+        assert g(x) == pytest.approx(expected, rel=1e-9)
+
+    def test_exponential_overflow_guarded(self):
+        g = exponential()
+        assert g.analysis_cap is not None
+        assert g(g.analysis_cap) < math.inf
+
+    def test_log_decay_is_decreasing(self):
+        g = log_decay()
+        values = [g(x) for x in range(1, 100)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestDeclarations:
+    def test_moment_tractability_boundary(self):
+        """Theorem 2 on moments: tractable iff p <= 2."""
+        assert moment(2.0).properties.one_pass_tractable() is True
+        assert moment(1.999).properties.one_pass_tractable() is True
+        assert moment(3.0).properties.one_pass_tractable() is False
+
+    def test_section_4_6_examples(self):
+        """The paper's explicit examples (Section 4.6)."""
+        assert x2_log().properties.one_pass_tractable() is True
+        assert sin_log_x2().properties.one_pass_tractable() is True
+        assert exp_sqrt_log().properties.one_pass_tractable() is True
+        assert reciprocal().properties.one_pass_tractable() is False
+        assert moment(3.0).properties.one_pass_tractable() is False
+        assert sin_sqrt_x2().properties.one_pass_tractable() is False
+        # ...but (2+sin sqrt x) x^2 is 2-pass tractable:
+        assert sin_sqrt_x2().properties.two_pass_tractable() is True
+
+    def test_gnp_outside_the_law(self):
+        assert g_np().properties.one_pass_tractable() is None
+
+    def test_example_lists_consistent(self):
+        for g in tractable_onepass_examples():
+            assert g.properties.one_pass_tractable() is True
+        for g in intractable_examples():
+            assert g.properties.one_pass_tractable() is False
+
+    def test_catalog_names_unique(self):
+        cat = catalog()
+        assert len(cat) == len(set(cat.keys()))
+        assert len(cat) >= 18

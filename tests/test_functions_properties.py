@@ -1,0 +1,161 @@
+"""Tests for the numeric property testers (Definitions 6-8).
+
+The testers are validated against the paper-declared ground truth of the
+catalog.  Two documented limitations are tolerated: transient drops whose
+scale rivals the probe domain (spamfee with T^2 ~ domain) and growth slop
+of order 1/sqrt(log) (x^2 * 2^sqrt(lg x)) — see DESIGN.md.
+"""
+
+import pytest
+
+from repro.functions.library import (
+    catalog,
+    exponential,
+    g_np,
+    log_decay,
+    moment,
+    negative_moment,
+    reciprocal,
+    sin_sqrt_x2,
+    sin_x_x2,
+    x2_log,
+)
+from repro.functions.properties import (
+    analyze,
+    drop_exponent_trace,
+    geometric_grid,
+    jump_exponent_trace,
+    merged_witness,
+    predictability_report,
+)
+
+DOMAIN = 1 << 14
+
+
+class TestGeometricGrid:
+    def test_monotone_and_bounded(self):
+        grid = geometric_grid(2, 1000)
+        assert grid[0] == 2 and grid[-1] == 1000
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
+    def test_dense_small_range(self):
+        grid = geometric_grid(1, 10, per_octave=4)
+        assert set(grid) >= {1, 10}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_grid(0, 10)
+        with pytest.raises(ValueError):
+            geometric_grid(10, 5)
+
+
+class TestDropExponent:
+    def test_increasing_function_never_drops(self):
+        trace = drop_exponent_trace(moment(2.0), DOMAIN)
+        assert trace.intercept <= 0.05
+
+    def test_polynomial_decay_detected(self):
+        trace = drop_exponent_trace(reciprocal(), DOMAIN)
+        assert trace.intercept >= 0.8
+
+    def test_half_power_decay(self):
+        trace = drop_exponent_trace(negative_moment(0.5), DOMAIN)
+        assert trace.intercept == pytest.approx(0.5, abs=0.1)
+
+    def test_subpolynomial_decay_passes(self):
+        trace = drop_exponent_trace(log_decay(), DOMAIN)
+        assert trace.intercept <= 0.15
+
+    def test_gnp_drop_detected(self):
+        trace = drop_exponent_trace(g_np(), DOMAIN)
+        assert trace.intercept >= 0.2
+
+
+class TestJumpExponent:
+    def test_quadratic_boundary(self):
+        assert jump_exponent_trace(moment(2.0), DOMAIN).intercept <= 0.1
+        assert jump_exponent_trace(moment(3.0), DOMAIN).intercept >= 0.8
+
+    def test_cubic_exponent_value(self):
+        # x^3 needs alpha ~ 1: g(y)/g(x) = (y/x)^3 ~ floor^2 * y^1
+        trace = jump_exponent_trace(moment(3.0), DOMAIN)
+        assert trace.intercept == pytest.approx(1.0, abs=0.15)
+
+    def test_exponential_blows_up(self):
+        trace = jump_exponent_trace(exponential(), 512)
+        assert trace.intercept > 10
+
+    def test_oscillating_quadratic_ok(self):
+        assert jump_exponent_trace(sin_x_x2(), DOMAIN).intercept <= 0.15
+
+
+class TestPredictability:
+    def test_smooth_functions_predictable(self):
+        assert predictability_report(moment(2.0), DOMAIN).predictable
+        assert predictability_report(x2_log(), DOMAIN).predictable
+
+    def test_sqrt_oscillation_unpredictable(self):
+        report = predictability_report(sin_sqrt_x2(), DOMAIN)
+        assert not report.predictable
+        assert report.witnesses
+
+    def test_integer_oscillation_unpredictable(self):
+        assert not predictability_report(sin_x_x2(), DOMAIN).predictable
+
+    def test_witnesses_satisfy_definition(self):
+        """Each reported witness must actually violate Definition 8."""
+        g = sin_sqrt_x2()
+        report = predictability_report(g, DOMAIN, eps=0.1)
+        for x, y, _severity in report.witnesses[:10]:
+            assert y < x
+            assert abs(g(x + y) - g(x)) > 0.1 * g(x)
+
+
+class TestAnalyzeAgainstDeclarations:
+    # Functions where the finite-domain tester is expected to agree exactly.
+    RELIABLE = [
+        "x^0.5", "x", "x^1.5", "x^2", "x^3", "x^2*lg(1+x)",
+        "(2+sin log(1+x))x^2", "e^sqrt(log(1+x))", "(2+sin sqrt x)x^2",
+        "(2+sin x)x^2", "(2+sin x)1(x>0)", "2^x", "1/x", "x^-0.5",
+        "1/log(1+x)", "g_np", "1(x>0)", "min(x,64)",
+    ]
+
+    @pytest.mark.parametrize("name", RELIABLE)
+    def test_numeric_matches_declared(self, name):
+        g = catalog()[name]
+        report = analyze(g, domain_max=DOMAIN)
+        decl = g.properties
+        if decl.slow_dropping is not None:
+            assert report.slow_dropping == decl.slow_dropping, report.summary_row()
+        if decl.slow_jumping is not None:
+            assert report.slow_jumping == decl.slow_jumping, report.summary_row()
+        if decl.predictable is not None:
+            assert report.predictable == decl.predictable, report.summary_row()
+
+    def test_known_limitation_spamfee_transient(self):
+        """spamfee(T=100) drops by T^2 = 1e4 ~ domain: the tester reads the
+        transient as polynomial decay.  Documented limitation."""
+        g = catalog()["spamfee(T=100)"]
+        report = analyze(g, domain_max=DOMAIN)
+        assert not report.slow_dropping  # wrong vs declared, by design
+        assert g.properties.slow_dropping is True
+
+    def test_analysis_cap_respected(self):
+        g = exponential()
+        report = analyze(g, domain_max=1 << 20)
+        assert report.domain_max <= g.analysis_cap
+
+
+class TestMergedWitness:
+    def test_witness_dominates_required_ratios(self):
+        """H must satisfy g(y) >= g(x)/H and g(y) <= (y/x)^2 H g(x)."""
+        g = sin_x_x2()
+        h = merged_witness(g, 4096)
+        value = h(4096)
+        for x, y in [(3, 50), (10, 1000), (100, 4000), (7, 8)]:
+            assert g(y) >= g(x) / value * 0.999
+            assert g(y) <= (y / x) ** 2 * value * g(x) * 1.001
+
+    def test_monotone_function_small_witness(self):
+        h = merged_witness(moment(2.0), 4096)
+        assert h(4096) <= 8.0

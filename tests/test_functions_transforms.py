@@ -1,0 +1,119 @@
+"""Tests for L_eta transform, Theta metric, and perturbations (App. D.3/D.5)."""
+
+import math
+
+import pytest
+
+from repro.functions.library import g_np, moment, x2_log
+from repro.functions.nearly_periodic import find_alpha_periods
+from repro.functions.properties import analyze, drop_exponent_trace
+from repro.functions.transforms import (
+    destabilizing_perturbation,
+    l_eta_transform,
+    theta_distance,
+)
+
+
+class TestLEtaTransform:
+    def test_values(self):
+        g = moment(2.0)
+        lg = l_eta_transform(g, 1.0)
+        x = 100
+        assert lg(x) == pytest.approx(
+            x * x * math.log(1 + x) / math.log(2.0), rel=1e-9
+        )
+
+    def test_unit_normalized(self):
+        lg = l_eta_transform(moment(2.0), 2.0)
+        assert lg(1) == pytest.approx(1.0)
+        assert lg(0) == 0.0
+
+    def test_eta_zero_is_identity(self):
+        g = moment(2.0)
+        lg = l_eta_transform(g, 0.0)
+        for x in (1, 5, 50):
+            assert lg(x) == pytest.approx(g(x))
+
+    def test_rejects_negative_eta(self):
+        with pytest.raises(ValueError):
+            l_eta_transform(moment(2.0), -1.0)
+
+    def test_theorem_31_normal_tractable_stays_tractable(self):
+        """L_eta of a tractable S-normal function keeps the three
+        properties (numerically).  Probe L_1(x^2) = x^2 log(1+x); stacking
+        more log factors exceeds the finite-domain tester's resolution
+        (documented limitation), so the declared flags carry those cases."""
+        lg = l_eta_transform(moment(2.0), 1.0)
+        report = analyze(lg, domain_max=1 << 14)
+        assert report.slow_dropping and report.slow_jumping and report.predictable
+        # the declared flags propagate for S-normal inputs (Theorem 31)
+        stacked = l_eta_transform(x2_log(), 1.0)
+        assert stacked.properties.one_pass_tractable() is True
+
+    def test_theorem_30_gnp_transform_not_slow_dropping(self):
+        """L_eta(g_np) keeps polynomial drops but now g(x+y) and g(x)
+        differ by ~log^eta: the near-periodic repair is destroyed."""
+        lg = l_eta_transform(g_np(), 1.0)
+        trace = drop_exponent_trace(lg, 1 << 14)
+        assert trace.intercept > 0.2  # still drops polynomially
+        # the L_eta factor breaks near-periodicity: g(x + y) now differs
+        # from g(x) by a factor log^eta(x+y)/log^eta(x) ... check the gap
+        # at a period pair directly:
+        x, y = 3, 1 << 10
+        gap = abs(lg(x + y) - lg(x)) / min(lg(x + y), lg(x))
+        assert gap > 0.5
+
+
+class TestThetaMetric:
+    def test_identity(self):
+        g = moment(2.0)
+        assert theta_distance(g, g, 100) == 0.0
+
+    def test_scaling_distance(self):
+        g = moment(2.0)
+        h = g.with_properties()  # copy
+        # distance between g and 2g is log 2 everywhere except we cannot
+        # scale GFunction easily; compare against x^2.2 on small window
+        h2 = moment(2.2)
+        d = theta_distance(g, h2, 100)
+        assert d == pytest.approx(0.2 * math.log(100), rel=0.05)
+
+    def test_symmetry(self):
+        d1 = theta_distance(moment(1.0), moment(1.5), 64)
+        d2 = theta_distance(moment(1.5), moment(1.0), 64)
+        assert d1 == d2
+
+    def test_triangle_inequality(self):
+        a, b, c = moment(1.0), moment(1.5), moment(2.0)
+        dab = theta_distance(a, b, 64)
+        dbc = theta_distance(b, c, 64)
+        dac = theta_distance(a, c, 64)
+        assert dac <= dab + dbc + 1e-9
+
+
+class TestTheorem64Perturbation:
+    def test_perturbation_is_theta_close(self):
+        g = g_np()
+        periods = find_alpha_periods(g, 0.5, 1 << 12)
+        pairs = [(p.x, p.y) for p in periods[:5]]
+        h = destabilizing_perturbation(g, pairs, delta=0.1)
+        d = theta_distance(g, h, 1 << 12)
+        assert d <= math.log(1.1) + 1e-9
+
+    def test_perturbation_breaks_near_periodicity(self):
+        """h(x_k) >> h(x_k + y_k): the INDEX reduction gap reappears."""
+        g = g_np()
+        periods = find_alpha_periods(g, 0.5, 1 << 12)
+        p = periods[3]
+        h = destabilizing_perturbation(g, [(p.x, p.y)], delta=0.5)
+        gap = abs(h(p.x + p.y) - h(p.x)) / min(h(p.x + p.y), h(p.x))
+        base_gap = abs(g(p.x + p.y) - g(p.x)) / max(min(g(p.x + p.y), g(p.x)), 1e-12)
+        assert gap > base_gap + 0.4
+
+    def test_requires_positive_delta(self):
+        with pytest.raises(ValueError):
+            destabilizing_perturbation(g_np(), [(1, 4)], 0.0)
+
+    def test_rejects_overlapping_pairs(self):
+        with pytest.raises(ValueError):
+            destabilizing_perturbation(g_np(), [(4, 4), (8, 16)], 0.1)

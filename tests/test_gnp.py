@@ -1,0 +1,129 @@
+"""Tests for the g_np algorithm (Proposition 54, Appendix D.1)."""
+
+import math
+
+import pytest
+
+from repro.core.gnp import (
+    GnpHeavyHitterSketch,
+    recover_single_heavy_hitter,
+)
+from repro.core.recursive_sketch import RecursiveGSumSketch
+from repro.functions.library import g_np
+from repro.streams.generators import planted_heavy_hitter_stream
+from repro.streams.model import StreamUpdate, TurnstileStream, stream_from_frequencies
+
+
+def gnp_heavy_stream(n=2048, noise=200, seed=0):
+    """Heavy item with odd frequency (g_np = 1) over a floor of items at
+    frequency 1024 (g_np = 2^-10)."""
+    return planted_heavy_hitter_stream(
+        n, heavy_frequency=3, noise_frequency=1024, noise_support=noise, seed=seed
+    )
+
+
+class TestSingleRecovery:
+    def test_recovers_planted_item(self):
+        hits = 0
+        for seed in range(8):
+            stream, heavy = gnp_heavy_stream(seed=seed)
+            rec = recover_single_heavy_hitter(stream, heaviness=0.3, seed=seed + 50)
+            if rec is not None and rec.item == heavy:
+                hits += 1
+        assert hits >= 7
+
+    def test_g_value_is_exact(self):
+        stream, heavy = gnp_heavy_stream(seed=3)
+        rec = recover_single_heavy_hitter(stream, heaviness=0.3, seed=77)
+        assert rec is not None
+        truth = stream.frequency_vector()[heavy]
+        assert rec.g_value == g_np()(truth)
+
+    def test_empty_stream_returns_none(self):
+        stream = TurnstileStream(64)
+        assert recover_single_heavy_hitter(stream, seed=1) is None
+
+    def test_cancelled_stream_returns_none(self):
+        stream = TurnstileStream(64)
+        stream.append(StreamUpdate(3, 8))
+        stream.append(StreamUpdate(3, -8))
+        rec = recover_single_heavy_hitter(stream, seed=1)
+        assert rec is None or rec.g_value < 1.0
+
+    def test_no_false_ids_on_collision_heavy_streams(self):
+        """Streams where many items share the minimum low bit must not
+        yield confidently wrong recoveries."""
+        bad = 0
+        for seed in range(6):
+            stream, _ = planted_heavy_hitter_stream(
+                2048, heavy_frequency=3, noise_frequency=5, noise_support=300,
+                seed=seed,
+            )
+            sketch = GnpHeavyHitterSketch(2048, 0.3, seed=seed + 10).process(stream)
+            truth = stream.frequency_vector()
+            for rec in sketch.recoveries():
+                if truth[rec.item] == 0:
+                    bad += 1
+        assert bad == 0
+
+    def test_turnstile_deletions(self):
+        """Recovery works when the heavy frequency is reached via
+        insert/delete churn."""
+        stream = TurnstileStream(512)
+        for item in range(50):
+            stream.append(StreamUpdate(item + 100, 1 << 8))
+        stream.append(StreamUpdate(7, 11))
+        stream.append(StreamUpdate(7, 6))
+        stream.append(StreamUpdate(7, -14))  # net 3: odd, g_np = 1
+        rec = recover_single_heavy_hitter(stream, heaviness=0.3, seed=5)
+        assert rec is not None and rec.item == 7 and rec.g_value == 1.0
+
+
+class TestSketchInterface:
+    def test_cover_shape(self):
+        stream, heavy = gnp_heavy_stream(seed=4)
+        sketch = GnpHeavyHitterSketch(2048, 0.3, seed=9).process(stream)
+        cover = sketch.cover()
+        assert cover
+        items = [p.item for p in cover]
+        assert heavy in items
+        for p in cover:
+            assert math.isnan(p.frequency)  # sketch never learns |v|
+            assert 0 < p.g_weight <= 1.0
+
+    def test_space_polylogarithmic_in_n(self):
+        """Space is poly(1/lambda, log n): quadrupling n adds only the
+        log-factor (trial and bit counters), nowhere near 4x."""
+        small = GnpHeavyHitterSketch(1 << 12, 0.25, seed=1)
+        big = GnpHeavyHitterSketch(1 << 20, 0.25, seed=1)
+        assert big.space_counters < 2 * small.space_counters
+        assert big.space_counters < (1 << 20) / 16
+
+    def test_invalid_heaviness(self):
+        with pytest.raises(ValueError):
+            GnpHeavyHitterSketch(64, 0.0)
+
+
+class TestGnpSumEstimation:
+    def test_recursive_sketch_over_gnp_levels(self):
+        """Proposition 54 + Theorem 13: layering g_np heavy-hitter sketches
+        estimates g_np-SUM in one pass."""
+        freqs = {}
+        # 30 odd frequencies (g=1) + 60 at multiples of 8 (g <= 1/8)
+        for i in range(30):
+            freqs[i] = 2 * i + 3
+        for i in range(30, 90):
+            freqs[i] = 8 * (i + 1)
+        stream = stream_from_frequencies(freqs, 1024)
+        exact = stream.frequency_vector().g_sum(g_np())
+
+        def factory(level, rng):
+            return GnpHeavyHitterSketch(1024, heaviness=0.2, seed=rng)
+
+        estimates = []
+        for seed in range(5):
+            sk = RecursiveGSumSketch(g_np(), 1024, factory, seed=seed).process(stream)
+            estimates.append(sk.estimate())
+        estimates.sort()
+        median = estimates[len(estimates) // 2]
+        assert median == pytest.approx(exact, rel=0.5)

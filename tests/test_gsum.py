@@ -1,0 +1,133 @@
+"""Tests for the top-level GSumEstimator (Definition 1)."""
+
+import pytest
+
+from repro.core.gsum import GSumEstimator, estimate_gsum, exact_gsum
+from repro.functions.library import linear, moment, spam_damped_fee, x2_log
+from repro.streams.generators import uniform_stream, zipf_stream
+from repro.streams.model import stream_from_frequencies
+
+
+class TestExact:
+    def test_exact_gsum(self, small_stream):
+        g = moment(2.0)
+        expected = sum(
+            g(abs(v)) for _, v in small_stream.frequency_vector().items()
+        )
+        assert exact_gsum(small_stream, g) == expected
+
+    def test_passes_zero_oracle_mode(self, zipf_small):
+        est = GSumEstimator(moment(2.0), 512, passes=0, repetitions=1, seed=1)
+        result = est.run(zipf_small)
+        # oracle levels: only subsampling noise
+        assert result.relative_error < 0.4
+
+
+class TestOnePass:
+    @pytest.mark.parametrize("g_factory,rel", [(moment(2.0), 0.35), (linear(), 0.35)])
+    def test_zipf_accuracy(self, zipf_small, g_factory, rel):
+        result = estimate_gsum(
+            zipf_small, g_factory, epsilon=0.3, passes=1,
+            heaviness=0.1, repetitions=3, seed=7,
+        )
+        assert result.relative_error < rel
+
+    def test_x2log_tractable(self, zipf_small):
+        result = estimate_gsum(
+            zipf_small, x2_log(), epsilon=0.3, passes=1,
+            heaviness=0.1, repetitions=3, seed=7,
+        )
+        assert result.relative_error < 0.4
+
+    def test_nonmonotone_utility(self, zipf_small):
+        # the fee mass is spread across the tail, so lean on more
+        # repetitions to tame subsampling variance
+        result = estimate_gsum(
+            zipf_small, spam_damped_fee(50), epsilon=0.3, passes=1,
+            heaviness=0.05, repetitions=5, seed=7,
+        )
+        assert result.relative_error < 0.5
+
+    def test_turnstile_deletions_supported(self):
+        stream = uniform_stream(256, 50, seed=3, turnstile_noise=0.5)
+        result = estimate_gsum(
+            stream, moment(2.0), epsilon=0.3, passes=1,
+            heaviness=0.1, repetitions=3, seed=9,
+        )
+        assert result.relative_error < 0.5
+
+
+class TestTwoPass:
+    def test_two_pass_beats_loose_bound(self, zipf_small):
+        result = estimate_gsum(
+            zipf_small, moment(2.0), epsilon=0.3, passes=2,
+            heaviness=0.1, repetitions=3, seed=7,
+        )
+        assert result.relative_error < 0.3
+
+    def test_run_drives_both_passes(self, zipf_small):
+        est = GSumEstimator(
+            moment(1.5), 512, epsilon=0.3, passes=2, heaviness=0.1,
+            repetitions=1, seed=3,
+        )
+        result = est.run(zipf_small)
+        assert result.passes == 2
+        assert result.relative_error < 0.4
+
+
+class TestConfiguration:
+    def test_invalid_passes(self):
+        with pytest.raises(ValueError):
+            GSumEstimator(moment(2.0), 64, passes=3)
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            GSumEstimator(moment(2.0), 64, repetitions=0)
+
+    def test_theory_heaviness_floored(self):
+        est = GSumEstimator(moment(2.0), 1 << 16, epsilon=0.05, min_heaviness=0.02)
+        assert est.heaviness == 0.02
+
+    def test_explicit_heaviness_wins(self):
+        est = GSumEstimator(moment(2.0), 64, heaviness=0.5)
+        assert est.heaviness == 0.5
+
+    def test_space_grows_with_repetitions(self):
+        small = GSumEstimator(moment(2.0), 64, repetitions=1, seed=1)
+        big = GSumEstimator(moment(2.0), 64, repetitions=3, seed=1)
+        assert big.space_counters == pytest.approx(3 * small.space_counters, rel=0.01)
+
+    def test_result_fields(self, zipf_small):
+        result = estimate_gsum(
+            zipf_small, moment(2.0), epsilon=0.3, passes=1,
+            heaviness=0.2, repetitions=1, seed=2,
+        )
+        assert result.repetitions == 1
+        assert result.space_counters > 0
+        assert result.exact is not None
+
+    def test_relative_error_none_without_exact(self, zipf_small):
+        est = GSumEstimator(
+            moment(2.0), 512, epsilon=0.3, heaviness=0.2, repetitions=1, seed=2
+        )
+        result = est.run(zipf_small, exact=False)
+        assert result.exact is None and result.relative_error is None
+
+
+class TestMedianAmplification:
+    def test_median_more_stable_than_single(self):
+        stream = stream_from_frequencies({i: 4 for i in range(300)}, 512)
+        g = moment(2.0)
+        exact = stream.frequency_vector().g_sum(g)
+
+        def errors(reps, n_seeds=6):
+            out = []
+            for s in range(n_seeds):
+                res = estimate_gsum(
+                    stream, g, epsilon=0.3, passes=1, heaviness=0.1,
+                    repetitions=reps, seed=1000 + s,
+                )
+                out.append(abs(res.estimate - exact) / exact)
+            return sum(out) / len(out)
+
+        assert errors(5) <= errors(1) + 0.05

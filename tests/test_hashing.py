@@ -1,0 +1,132 @@
+"""Tests for hash families."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RandomSource
+from repro.sketch.hashing import (
+    BernoulliHash,
+    KWiseHash,
+    SignHash,
+    SubsampleHash,
+    VectorKWiseHash,
+)
+
+
+class TestKWiseHash:
+    def test_range_respected(self):
+        h = KWiseHash(10, 2, seed=1)
+        assert all(0 <= h(x) < 10 for x in range(1000))
+
+    def test_deterministic(self):
+        h1 = KWiseHash(100, 2, seed=5)
+        h2 = KWiseHash(100, 2, seed=5)
+        assert [h1(x) for x in range(50)] == [h2(x) for x in range(50)]
+
+    def test_different_seeds_differ(self):
+        h1 = KWiseHash(1000, 2, seed=5)
+        h2 = KWiseHash(1000, 2, seed=6)
+        assert [h1(x) for x in range(50)] != [h2(x) for x in range(50)]
+
+    def test_roughly_uniform(self):
+        h = KWiseHash(4, 2, seed=7)
+        counts = np.bincount([h(x) for x in range(4000)], minlength=4)
+        assert counts.min() > 700  # expected 1000 each
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            KWiseHash(0, 2)
+        with pytest.raises(ValueError):
+            KWiseHash(4, 0)
+
+    def test_many_matches_scalar(self):
+        h = KWiseHash(64, 4, seed=2)
+        xs = list(range(20))
+        assert list(h.many(xs)) == [h(x) for x in xs]
+
+
+class TestSignHash:
+    def test_values_are_signs(self):
+        s = SignHash(4, seed=1)
+        assert set(s(x) for x in range(200)) <= {-1, 1}
+
+    def test_roughly_balanced(self):
+        s = SignHash(4, seed=2)
+        total = sum(s(x) for x in range(4000))
+        assert abs(total) < 400
+
+    def test_pairwise_products_balanced(self):
+        """4-wise independence implies E[s(x)s(y)] = 0 for x != y."""
+        s = SignHash(4, seed=3)
+        corr = sum(s(2 * i) * s(2 * i + 1) for i in range(2000))
+        assert abs(corr) < 300
+
+
+class TestVectorKWiseHash:
+    def test_shapes(self):
+        v = VectorKWiseHash(17, 4, seed=1)
+        assert v.values(5).shape == (17,)
+        assert v.signs(5).shape == (17,)
+
+    def test_signs_plus_minus_one(self):
+        v = VectorKWiseHash(64, 4, seed=2)
+        signs = v.signs(123)
+        assert set(np.unique(signs)) <= {-1.0, 1.0}
+
+    def test_deterministic(self):
+        a = VectorKWiseHash(32, 4, seed=9).signs(7)
+        b = VectorKWiseHash(32, 4, seed=9).signs(7)
+        assert np.array_equal(a, b)
+
+    def test_register_balance(self):
+        v = VectorKWiseHash(512, 4, seed=4)
+        total = sum(v.signs(x).sum() for x in range(200)) / (512 * 200)
+        assert abs(total) < 0.05
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            VectorKWiseHash(0)
+
+
+class TestSubsampleHash:
+    def test_levels_nested(self):
+        sub = SubsampleHash(10, seed=1)
+        for x in range(500):
+            depth = sub.level(x)
+            for j in range(depth + 1):
+                assert sub.survives(x, j)
+            if depth < sub.levels:
+                assert not sub.survives(x, depth + 1)
+
+    def test_level_zero_universal(self):
+        sub = SubsampleHash(5, seed=2)
+        assert all(sub.survives(x, 0) for x in range(100))
+
+    def test_geometric_decay(self):
+        sub = SubsampleHash(12, seed=3)
+        survivors_1 = sum(sub.survives(x, 1) for x in range(4000))
+        survivors_2 = sum(sub.survives(x, 2) for x in range(4000))
+        assert 1500 < survivors_1 < 2500
+        assert 700 < survivors_2 < 1400
+
+    def test_level_bounds_checked(self):
+        sub = SubsampleHash(3, seed=4)
+        with pytest.raises(ValueError):
+            sub.survives(0, 4)
+        with pytest.raises(ValueError):
+            sub.survives(0, -1)
+
+    def test_needs_a_level(self):
+        with pytest.raises(ValueError):
+            SubsampleHash(0)
+
+
+class TestBernoulliHash:
+    def test_zero_one(self):
+        b = BernoulliHash(seed=1)
+        assert set(b(x) for x in range(100)) <= {0, 1}
+
+    def test_balanced(self):
+        b = BernoulliHash(seed=2)
+        total = sum(b(x) for x in range(4000))
+        assert 1700 < total < 2300

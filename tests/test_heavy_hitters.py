@@ -1,0 +1,155 @@
+"""Tests for the 1-pass and 2-pass g-heavy-hitter algorithms (Alg. 1 & 2)."""
+
+import math
+
+import pytest
+
+from repro.core.heavy_hitters import (
+    ExactHeavyHitter,
+    OnePassGHeavyHitter,
+    TwoPassGHeavyHitter,
+    cover_contains,
+    theory_heaviness,
+)
+from repro.functions.library import moment, sin_sqrt_x2, sin_x_x2
+from repro.streams.generators import planted_heavy_hitter_stream
+from repro.streams.model import stream_from_frequencies
+
+
+G2 = moment(2.0)
+
+
+class TestTheoryHeaviness:
+    def test_formula(self):
+        n = 1 << 10
+        assert theory_heaviness(0.1, n) == pytest.approx(0.01 / 1000.0)
+
+    def test_decreases_with_n(self):
+        assert theory_heaviness(0.1, 1 << 20) < theory_heaviness(0.1, 1 << 10)
+
+
+class TestExactOracle:
+    def test_exact_cover_complete(self, small_stream):
+        hh = ExactHeavyHitter(G2, 8)
+        for u in small_stream:
+            hh.update(u.item, u.delta)
+        cover = hh.cover()
+        truth = small_stream.frequency_vector()
+        assert {p.item for p in cover} == set(truth.support())
+        for p in cover:
+            assert p.g_weight == G2(abs(truth[p.item]))
+
+    def test_heaviness_filter(self):
+        stream = stream_from_frequencies({0: 100, 1: 1}, 8)
+        hh = ExactHeavyHitter(G2, 8, heaviness=0.5)
+        for u in stream:
+            hh.update(u.item, u.delta)
+        assert [p.item for p in hh.cover()] == [0]
+
+
+class TestOnePass:
+    def test_finds_planted_heavy_hitter(self, planted_512):
+        stream, heavy = planted_512
+        hh = OnePassGHeavyHitter(
+            G2, heaviness=0.2, accuracy=0.3, failure=0.1, n=512, seed=5
+        ).process(stream)
+        pair = cover_contains(hh.cover(), heavy)
+        assert pair is not None
+        truth = stream.frequency_vector()[heavy]
+        assert pair.g_weight == pytest.approx(G2(truth), rel=0.3)
+
+    def test_cover_weights_near_truth(self, planted_512):
+        stream, _ = planted_512
+        hh = OnePassGHeavyHitter(
+            G2, heaviness=0.2, accuracy=0.3, failure=0.1, n=512, seed=5
+        ).process(stream)
+        truth = stream.frequency_vector()
+        for pair in hh.cover():
+            exact = G2(abs(truth[pair.item]))
+            if exact > 0:
+                assert pair.g_weight == pytest.approx(exact, rel=0.6)
+
+    def test_pruning_drops_unstable_items(self):
+        """For (2+sin x)x^2 the g-value flips between adjacent integers, so
+        with pruning on, large-frequency items are (correctly) pruned when
+        the CountSketch error cannot resolve g."""
+        g = sin_x_x2()
+        stream = stream_from_frequencies(
+            {i: 5000 + i for i in range(50)}, 256
+        )
+        pruned = OnePassGHeavyHitter(
+            g, heaviness=0.1, accuracy=0.1, failure=0.1, n=256, seed=3
+        ).process(stream)
+        unpruned = OnePassGHeavyHitter(
+            g, heaviness=0.1, accuracy=0.1, failure=0.1, n=256, prune=False, seed=3
+        ).process(stream)
+        assert len(pruned.cover()) <= len(unpruned.cover())
+
+    def test_frequency_error_bound_positive(self, planted_512):
+        stream, _ = planted_512
+        hh = OnePassGHeavyHitter(
+            G2, heaviness=0.2, accuracy=0.3, failure=0.1, n=512, seed=5
+        ).process(stream)
+        assert hh.frequency_error_bound() > 0
+
+    def test_invalid_heaviness(self):
+        with pytest.raises(ValueError):
+            OnePassGHeavyHitter(G2, 0.0, 0.3, 0.1, 64)
+
+    def test_space_accounted(self, planted_512):
+        stream, _ = planted_512
+        hh = OnePassGHeavyHitter(
+            G2, heaviness=0.2, accuracy=0.3, failure=0.1, n=512, seed=5
+        ).process(stream)
+        assert hh.space_counters > 0
+        assert hh.space_counters < 512 * 512  # far sublinear in n*M
+
+
+class TestTwoPass:
+    def test_exact_weights_after_second_pass(self, planted_512):
+        stream, heavy = planted_512
+        hh = TwoPassGHeavyHitter(G2, heaviness=0.2, failure=0.1, n=512, seed=5)
+        cover = hh.run(stream)
+        pair = cover_contains(cover, heavy)
+        truth = stream.frequency_vector()[heavy]
+        assert pair is not None
+        assert pair.frequency == truth  # exact, eps = 0
+        assert pair.g_weight == G2(truth)
+
+    def test_unstable_function_fine_in_two_passes(self):
+        """Algorithm 1 tabulates exactly, so local variability is harmless
+        (the reason predictability is unnecessary with 2 passes)."""
+        g = sin_sqrt_x2()
+        freqs = {0: 9000, 1: 9001, 2: 3, 3: 4}
+        stream = stream_from_frequencies(freqs, 64)
+        hh = TwoPassGHeavyHitter(g, heaviness=0.05, failure=0.1, n=64, seed=7)
+        cover = hh.run(stream)
+        for item, f in freqs.items():
+            if g(f) < 0.05 * sum(g(v) for v in freqs.values()):
+                continue
+            pair = cover_contains(cover, item)
+            assert pair is not None and pair.g_weight == g(f)
+
+    def test_pass_discipline_enforced(self, small_stream):
+        hh = TwoPassGHeavyHitter(G2, 0.2, 0.1, 8, seed=1)
+        with pytest.raises(RuntimeError):
+            hh.update_second_pass(0, 1)
+        hh.update(0, 1)
+        hh.begin_second_pass()
+        with pytest.raises(RuntimeError):
+            hh.update(0, 1)
+
+    def test_cover_requires_second_pass(self):
+        hh = TwoPassGHeavyHitter(G2, 0.2, 0.1, 8, seed=1)
+        hh.update(0, 5)
+        with pytest.raises(RuntimeError):
+            hh.cover()
+
+    def test_second_pass_space_bounded_by_candidates(self, planted_512):
+        stream, _ = planted_512
+        hh = TwoPassGHeavyHitter(G2, heaviness=0.2, failure=0.1, n=512, seed=5)
+        hh.run(stream)
+        # second-pass tabulation only holds first-pass candidates, so the
+        # space beyond the first-pass CountSketch is at most the track size
+        second_pass_space = hh.space_counters - hh._countsketch.space_counters
+        assert second_pass_space <= hh._countsketch.track

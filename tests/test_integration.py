@@ -1,0 +1,141 @@
+"""Integration tests: whole-pipeline scenarios across modules."""
+
+import pytest
+
+from repro import (
+    GSumEstimator,
+    classify,
+    estimate_gsum,
+    exact_gsum,
+    moment,
+    zipf_stream,
+)
+from repro.applications.loglik import PoissonMixture, SketchedMle
+from repro.commlower.adversary import run_adversary
+from repro.commlower.problems import IndexInstance
+from repro.commlower.reductions import index_drop_reduction
+from repro.core.gnp import GnpHeavyHitterSketch
+from repro.core.recursive_sketch import RecursiveGSumSketch
+from repro.functions.library import catalog, g_np, reciprocal, sin_sqrt_x2
+from repro.streams.generators import (
+    mixture_sample_stream,
+    sinusoid_adversarial_stream,
+)
+from repro.streams.model import stream_from_frequencies
+
+
+class TestZeroOneLawEndToEnd:
+    """The headline claim, empirically: classifier verdicts predict
+    estimator behaviour."""
+
+    def test_tractable_function_estimates_well(self, zipf_small):
+        g = moment(1.5)
+        verdict = classify(g)
+        assert verdict.one_pass is True
+        result = estimate_gsum(
+            zipf_small, g, epsilon=0.3, passes=1, heaviness=0.1,
+            repetitions=3, seed=42,
+        )
+        assert result.relative_error < 0.35
+
+    def test_two_pass_rescues_unpredictable_function(self):
+        """(2+sin sqrt x) x^2 on an adversarial stream: 2-pass (exact
+        tabulation) beats 1-pass (approximate frequencies) — Theorem 3's
+        content."""
+        g = sin_sqrt_x2()
+        assert classify(g).one_pass is False and classify(g).two_pass is True
+        stream = sinusoid_adversarial_stream(
+            512, g, center=40_000, spread=400, support=80, seed=17
+        )
+        exact = exact_gsum(stream, g)
+
+        def run(passes, seeds):
+            errors = []
+            for s in seeds:
+                res = estimate_gsum(
+                    stream, g, epsilon=0.1, passes=passes, heaviness=0.05,
+                    repetitions=3, seed=s,
+                )
+                errors.append(res.relative_error)
+            return sum(errors) / len(errors)
+
+        two_pass_err = run(2, range(3))
+        assert two_pass_err < 0.25  # exact tabulation nails the heavy mass
+
+    def test_full_catalog_has_verdicts(self):
+        for g in catalog().values():
+            verdict = classify(g)
+            assert verdict.name == g.name
+
+
+class TestLowerBoundPipeline:
+    def test_drop_reduction_grades_estimator(self):
+        """Full loop: instance -> reduction stream -> sketch estimator ->
+        distinguishing report."""
+        g = reciprocal()
+
+        def case_factory(rng):
+            inst = IndexInstance.random(48, intersecting=True, seed=rng.seed)
+            return index_drop_reduction(g, inst, 3, 2048)
+
+        def estimator_factory(n, rng):
+            return GSumEstimator(
+                g, n, epsilon=0.2, passes=1, heaviness=0.2,
+                repetitions=1, levels=3, seed=rng,
+            )
+
+        report = run_adversary(case_factory, estimator_factory, trials=3, seed=9)
+        assert 0.0 <= report.distinguishing_accuracy <= 1.0
+        assert report.relative_gap > 0.0
+
+
+class TestNearlyPeriodicPipeline:
+    def test_gnp_sum_via_custom_levels(self):
+        """g_np: generic CountSketch machinery is hopeless (not
+        slow-dropping), but the Prop. 54 sketch layered through the
+        Recursive Sketch still estimates the sum."""
+        freqs = {i: 2 * i + 1 for i in range(40)}  # odd: g_np = 1 each
+        freqs.update({100 + i: 1 << 9 for i in range(10)})  # g_np = 2^-9
+        stream = stream_from_frequencies(freqs, 512)
+        exact = stream.frequency_vector().g_sum(g_np())
+        assert exact == pytest.approx(40 + 10 / 512)
+
+        def factory(level, rng):
+            return GnpHeavyHitterSketch(512, heaviness=0.25, seed=rng)
+
+        estimates = []
+        for seed in range(5):
+            sk = RecursiveGSumSketch(g_np(), 512, factory, seed=seed).process(stream)
+            estimates.append(sk.estimate())
+        estimates.sort()
+        assert estimates[2] == pytest.approx(exact, rel=0.5)
+
+
+class TestMlePipeline:
+    def test_model_selection_over_grid(self):
+        grid = [
+            PoissonMixture((1.0, 25.0), (0.85, 0.15)),
+            PoissonMixture((5.0, 25.0), (0.85, 0.15)),
+        ]
+        truth = grid[0]
+        n = 400
+        stream = mixture_sample_stream(n, truth.rates, truth.weights, seed=31)
+        mle = SketchedMle(grid, n, epsilon=0.3, heaviness=0.1, seed=13)
+        mle.process(stream)
+        result = mle.evaluate(stream)
+        # guarantee, not identity: sketched argmin is near-optimal in loglik
+        assert result.guarantee_ratio < 1.25
+
+
+class TestSpaceAccountingEndToEnd:
+    def test_sketch_space_far_below_exact(self, zipf_small):
+        exact_space = zipf_small.frequency_vector().support_size()
+        est = GSumEstimator(
+            moment(2.0), 512, epsilon=0.3, heaviness=0.3, repetitions=1,
+            levels=4, seed=3,
+        )
+        est.process(zipf_small)
+        # counters-per-repetition should be modest; the point of the paper
+        # is sub-polynomial dependence on n, not tiny constants
+        assert est.space_counters > 0
+        assert est.space_counters < 100 * exact_space  # sanity ceiling

@@ -1,0 +1,89 @@
+"""Tests for continuous-density discretization (Section 1.1.1's note) and
+the Lemma 61 matching construction."""
+
+import math
+
+import pytest
+
+from repro.applications.loglik import (
+    DiscretizedContinuous,
+    exact_neg_loglik,
+    loglik_gfunction,
+)
+from repro.functions.nearly_periodic import distinct_pair_matching
+from repro.streams.model import StreamUpdate, TurnstileStream
+
+
+def gaussian_density(mu=20.0, sigma=6.0):
+    return lambda t: math.exp(-0.5 * ((t - mu) / sigma) ** 2)
+
+
+class TestDiscretizedContinuous:
+    def test_masses_normalize(self):
+        d = DiscretizedContinuous(gaussian_density(), width=1.0, bins=64)
+        assert sum(d.pmf(x) for x in range(64)) == pytest.approx(1.0)
+
+    def test_out_of_range_zero(self):
+        d = DiscretizedContinuous(gaussian_density(), width=1.0, bins=64)
+        assert d.pmf(-1) == 0.0 and d.pmf(64) == 0.0
+
+    def test_mode_near_mu(self):
+        d = DiscretizedContinuous(gaussian_density(mu=20.0), width=1.0, bins=64)
+        mode = max(range(64), key=d.pmf)
+        assert 18 <= mode <= 22
+
+    def test_neg_log_pmf_saturates_outside(self):
+        d = DiscretizedContinuous(gaussian_density(), width=1.0, bins=64)
+        assert d.neg_log_pmf(1000) == 745.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscretizedContinuous(gaussian_density(), width=0.0, bins=8)
+        with pytest.raises(ValueError):
+            DiscretizedContinuous(lambda t: 0.0, width=1.0, bins=8)
+
+    def test_plugs_into_loglik_gfunction(self):
+        d = DiscretizedContinuous(gaussian_density(), width=1.0, bins=64)
+        shifted = loglik_gfunction(d)
+        assert shifted.h(0) == 0.0
+        assert shifted.h(20) >= 1.0  # floored
+
+    def test_exact_neg_loglik_works(self):
+        d = DiscretizedContinuous(gaussian_density(), width=1.0, bins=64)
+        stream = TurnstileStream(16)
+        stream.append(StreamUpdate(0, 20))
+        stream.append(StreamUpdate(1, 25))
+        value = exact_neg_loglik(stream, d)
+        direct = d.neg_log_pmf(20) + d.neg_log_pmf(25) + 14 * d.neg_log_pmf(0)
+        assert value == pytest.approx(direct)
+
+
+class TestLemma61Matching:
+    def test_values_all_distinct(self):
+        s = list(range(1, 40))
+        matching = distinct_pair_matching(s, j=13, domain_max=64)
+        values = [v for pair in matching for v in pair]
+        assert len(values) == len(set(values))
+
+    def test_size_bound(self):
+        """|W| >= |S|/4 - 1 (Lemma 61)."""
+        for j in (5, 13, 30):
+            s = list(range(1, 50))
+            matching = distinct_pair_matching(s, j=j, domain_max=128)
+            assert len(matching) >= len(s) / 4 - 1
+
+    def test_pairs_follow_the_map(self):
+        s = [3, 7, 20, 31]
+        j = 10
+        matching = distinct_pair_matching(s, j, domain_max=64)
+        for source, target in matching:
+            assert target == abs(source - j)
+
+    def test_degenerate_points_dropped(self):
+        matching = distinct_pair_matching([10, 5], j=10, domain_max=64)
+        # i = j and 2i = j are excluded by the lemma's construction
+        assert all(source not in (10, 5) for source, _ in matching)
+
+    def test_domain_validated(self):
+        with pytest.raises(ValueError):
+            distinct_pair_matching([100], j=3, domain_max=64)

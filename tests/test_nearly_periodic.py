@@ -1,0 +1,113 @@
+"""Tests for nearly periodic functions (Definition 9, Appendix D)."""
+
+import math
+
+import pytest
+
+from repro.functions.library import g_np, moment, reciprocal
+from repro.functions.nearly_periodic import (
+    DiscretizedModel,
+    expected_tractable_fraction,
+    find_alpha_periods,
+    gnp_value_table,
+    is_nearly_periodic_on_domain,
+    monte_carlo_count,
+    near_periodicity_violations,
+)
+from repro.util.rng import RandomSource
+
+
+class TestAlphaPeriods:
+    def test_gnp_periods_are_powers_of_two(self):
+        periods = find_alpha_periods(g_np(), 0.5, 1 << 12)
+        assert periods
+        for p in periods:
+            # every alpha-period of g_np is divisible by a high power of 2
+            assert p.y % 16 == 0 or p.y <= 64
+
+    def test_gnp_witness_inequality(self):
+        g = g_np()
+        for p in find_alpha_periods(g, 0.5, 1 << 12):
+            assert g(p.y) * (p.y ** p.alpha) <= g(p.x) * (1 + 1e-12)
+
+    def test_increasing_function_has_no_periods(self):
+        assert find_alpha_periods(moment(2.0), 0.25, 4096) == []
+
+    def test_reciprocal_has_periods(self):
+        assert find_alpha_periods(reciprocal(), 0.5, 4096)
+
+
+class TestNearPeriodicityCheck:
+    def test_proposition_53_gnp_is_nearly_periodic(self):
+        assert is_nearly_periodic_on_domain(g_np(), 1 << 12)
+
+    def test_gnp_has_no_condition2_violations(self):
+        violations = near_periodicity_violations(g_np(), 0.5, 1 << 12)
+        assert violations == []
+
+    def test_reciprocal_is_not_nearly_periodic(self):
+        """1/x drops but does NOT repeat: g(x+y) != g(x)."""
+        assert not is_nearly_periodic_on_domain(reciprocal(), 1 << 12)
+
+    def test_normal_function_without_periods_not_nearly_periodic(self):
+        assert not is_nearly_periodic_on_domain(moment(2.0), 4096)
+
+    def test_gnp_structure_identity(self):
+        """The key identity behind Prop. 53: if g_np(x) >> g_np(y) then
+        g_np(x + y) == g_np(x) exactly (low bit of x below low bit of y)."""
+        g = g_np()
+        for x in range(1, 256):
+            for y in range(x + 1, 512):
+                if g(x) >= 8 * g(y):  # i_x + 3 <= i_y
+                    assert g(x + y) == g(x)
+
+
+class TestDiscretizedModel:
+    def make_model(self):
+        return DiscretizedModel(n=1 << 10, big_m=24, big_m_prime=64)
+
+    def test_random_function_shape(self):
+        model = self.make_model()
+        table = model.random_function(RandomSource(1))
+        assert table[0] == 0
+        assert table[1] == model.big_m_prime
+        assert all(1 <= v <= model.big_m_prime for v in table[2:])
+
+    def test_tractable_class_lemma_59(self):
+        model = self.make_model()
+        table = model.random_function(RandomSource(2))
+        table[2:] = model.big_m_prime  # flat at the max: certainly in T_n
+        assert model.in_tractable_class(table)
+        table[2] = 1  # deep dip: out
+        assert not model.in_tractable_class(table)
+
+    def test_nearly_periodic_class_needs_gap(self):
+        model = self.make_model()
+        table = model.random_function(RandomSource(3))
+        table[2:] = model.big_m_prime  # no gap at all
+        assert not model.in_nearly_periodic_class(table)
+
+    def test_monte_carlo_counts(self):
+        """Theorem 57 shape: random functions essentially never land in
+        B_n, while T_n hits occur at the Lemma 59 rate."""
+        model = self.make_model()
+        result = monte_carlo_count(model, samples=400, seed=9)
+        assert result.nearly_periodic_like == 0
+        expected = expected_tractable_fraction(model)
+        got = result.tractable_like / result.samples
+        # crude agreement within a factor of 4 (binomial noise)
+        if expected > 1e-3:
+            assert got <= 4 * expected + 0.05
+            assert got >= expected / 8 - 0.01
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            DiscretizedModel(n=2, big_m=8, big_m_prime=8)
+
+
+class TestGnpTable:
+    def test_matches_function(self):
+        table = gnp_value_table(256)
+        g = g_np()
+        for x in range(257):
+            assert table[x] == g(x)

@@ -1,0 +1,51 @@
+"""Tests for the Prop. 29 repair sequence and Def. 65 dropping sets."""
+
+import pytest
+
+from repro.functions.library import g_np, moment, reciprocal
+from repro.functions.nearly_periodic import (
+    asymptotic_repair_sequence,
+    dropping_set,
+)
+
+
+class TestProposition29:
+    def test_gnp_has_an_exactly_repairing_subsequence(self):
+        """Proposition 29 asserts *existence* of one sequence y_k repairing
+        every x simultaneously; for g_np the powers of two do it exactly
+        (adding 2^k with k above x's bit-length never changes the low
+        bit).  Other alpha-periods (e.g. 16 * odd) need not repair —
+        existence, not universality."""
+        qualities = asymptotic_repair_sequence(g_np(), 1 << 12)
+        assert qualities
+        exact = {q.y for q in qualities if q.max_relative_deviation == 0.0}
+        # an unbounded exact-repair subsequence: large powers of two
+        assert {512, 1024, 2048} <= exact
+
+    def test_normal_dropping_function_does_not_repair(self):
+        """1/x has alpha-periods (it drops) but no repair:
+        g(x + y) != g(x)."""
+        qualities = asymptotic_repair_sequence(reciprocal(), 1 << 12)
+        assert qualities
+        late = [q for q in qualities if q.y >= 256]
+        assert all(q.max_relative_deviation > 0.3 for q in late)
+
+    def test_monotone_function_has_no_periods(self):
+        assert asymptotic_repair_sequence(moment(2.0), 4096) == []
+
+
+class TestDroppingSets:
+    def test_gnp_dropping_set_nonempty(self):
+        """Proposition 66: nearly periodic functions have nonempty
+        dropping sets — for g_np the big powers of two qualify."""
+        ds = dropping_set(g_np(), 1 << 10)
+        assert ds
+        assert all(x % 32 == 0 for x in ds)  # only high-power-of-2 points
+
+    def test_increasing_function_has_empty_dropping_set(self):
+        assert dropping_set(moment(2.0), 1 << 10) == []
+
+    def test_custom_error_function(self):
+        ds = dropping_set(g_np(), 256, h=lambda n: 1.0)
+        # threshold 1/256: needs g(x) <= 2^-8: x divisible by 256
+        assert ds == [256]

@@ -1,0 +1,78 @@
+"""Tests for the Appendix-A g(0) != 0 estimator."""
+
+import math
+
+import pytest
+
+from repro.core.offset import (
+    OffsetGSumEstimator,
+    decompose_offset_function,
+    exact_offset_gsum,
+)
+from repro.streams.generators import uniform_stream
+from repro.streams.model import StreamUpdate, TurnstileStream
+
+
+def gaussian_nll(x: int) -> float:
+    """-log of a discretized N(10, 5^2)-like curve: g(0) != 0 and
+    non-monotone (dips at the mode, rises on both sides)."""
+    return 0.5 * ((x - 10.0) / 5.0) ** 2 + 1.0
+
+
+class TestDecomposition:
+    def test_pointwise_identity(self):
+        dec = decompose_offset_function(gaussian_nll, "gauss", scan_max=1 << 10)
+        for x in range(1, 200):
+            reconstructed = dec.h(x) - dec.shift + dec.g0
+            assert reconstructed == pytest.approx(gaussian_nll(x), rel=1e-9)
+
+    def test_h_in_g_and_floored(self):
+        dec = decompose_offset_function(gaussian_nll, "gauss", scan_max=1 << 10)
+        assert dec.h(0) == 0.0
+        for x in range(1, 500):
+            assert dec.h(x) >= 1.0
+
+    def test_shift_covers_the_dip(self):
+        # the mode x=10 dips below g(0) by g(0) - g(10) = 2 + 1 - 1 = 2
+        dec = decompose_offset_function(gaussian_nll, "gauss", scan_max=1 << 10)
+        assert dec.shift >= 1.0 + (gaussian_nll(0) - gaussian_nll(10)) - 1e-9
+
+    def test_reconstruct_formula(self):
+        dec = decompose_offset_function(gaussian_nll, "gauss", scan_max=256)
+        stream = TurnstileStream(64)
+        stream.append(StreamUpdate(0, 10))
+        stream.append(StreamUpdate(1, 3))
+        vec = stream.frequency_vector()
+        h_sum = vec.g_sum(dec.h)
+        value = dec.reconstruct(h_sum, f0=2, n=64)
+        assert value == pytest.approx(exact_offset_gsum(stream, gaussian_nll))
+
+
+class TestOffsetEstimator:
+    def test_end_to_end_accuracy(self):
+        n = 512
+        dec = decompose_offset_function(gaussian_nll, "gauss", scan_max=1 << 10)
+        stream = uniform_stream(n, magnitude=25, support=300, seed=3)
+        est = OffsetGSumEstimator(dec, n, epsilon=0.25, repetitions=5, seed=7)
+        value = est.run(stream)
+        exact = exact_offset_gsum(stream, gaussian_nll)
+        assert value == pytest.approx(exact, rel=0.3)
+
+    def test_two_pass_mode(self):
+        n = 256
+        dec = decompose_offset_function(gaussian_nll, "gauss", scan_max=512)
+        stream = uniform_stream(n, magnitude=20, support=150, seed=5)
+        est = OffsetGSumEstimator(dec, n, passes=2, repetitions=3, seed=9)
+        value = est.run(stream)
+        exact = exact_offset_gsum(stream, gaussian_nll)
+        assert value == pytest.approx(exact, rel=0.3)
+
+    def test_empty_stream_gives_n_g0(self):
+        dec = decompose_offset_function(gaussian_nll, "gauss", scan_max=256)
+        est = OffsetGSumEstimator(dec, 128, repetitions=1, seed=1)
+        assert est.estimate() == pytest.approx(128 * gaussian_nll(0))
+
+    def test_space_accounts_both_sketches(self):
+        dec = decompose_offset_function(gaussian_nll, "gauss", scan_max=256)
+        est = OffsetGSumEstimator(dec, 128, repetitions=1, seed=1)
+        assert est.space_counters > 0

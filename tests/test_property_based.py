@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dist import ResidueCostTable
+from repro.functions.base import GFunction
+from repro.functions.library import g_np, moment
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.exact import ExactCounter
+from repro.streams.model import FrequencyVector, StreamUpdate, TurnstileStream
+from repro.util.intmath import lowest_set_bit, minimal_l1_combination
+from repro.util.rng import RandomSource
+
+
+updates_strategy = st.lists(
+    st.tuples(st.integers(0, 31), st.integers(-20, 20).filter(lambda d: d != 0)),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestFrequencyVectorProperties:
+    @given(updates_strategy)
+    def test_matches_dict_accumulation(self, updates):
+        stream = TurnstileStream(32)
+        reference: dict[int, int] = {}
+        for item, delta in updates:
+            stream.append(StreamUpdate(item, delta))
+            reference[item] = reference.get(item, 0) + delta
+        vec = stream.frequency_vector()
+        for item in range(32):
+            assert vec[item] == reference.get(item, 0)
+
+    @given(updates_strategy)
+    def test_support_excludes_zeros(self, updates):
+        vec = FrequencyVector(32)
+        for item, delta in updates:
+            vec.add(item, delta)
+        for item, value in vec.items():
+            assert value != 0
+
+    @given(updates_strategy)
+    def test_f2_nonnegative_and_additive_in_squares(self, updates):
+        vec = FrequencyVector(32)
+        for item, delta in updates:
+            vec.add(item, delta)
+        f2 = vec.f_moment(2)
+        assert f2 == sum(v * v for _, v in vec.items())
+        assert f2 >= 0
+
+    @given(updates_strategy)
+    def test_gsum_invariant_under_update_order(self, updates):
+        forward = TurnstileStream(32)
+        for item, delta in updates:
+            forward.append(StreamUpdate(item, delta))
+        backward = TurnstileStream(32)
+        for item, delta in reversed(updates):
+            backward.append(StreamUpdate(item, delta))
+        g = moment(2.0)
+        assert forward.frequency_vector().g_sum(g) == backward.frequency_vector().g_sum(g)
+
+
+class TestCountSketchProperties:
+    @given(updates_strategy, st.integers(0, 2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_over_updates(self, updates, seed):
+        """Processing updates one-by-one equals processing net frequencies."""
+        src = RandomSource(seed, "cs-prop")
+        cs_stream = CountSketch(3, 32, seed=src)
+        cs_net = CountSketch(3, 32, seed=src)
+        net: dict[int, int] = {}
+        for item, delta in updates:
+            cs_stream.update(item, delta)
+            net[item] = net.get(item, 0) + delta
+        for item, value in net.items():
+            if value:
+                cs_net.update(item, value)
+        for item in range(32):
+            assert math.isclose(
+                cs_stream.estimate(item), cs_net.estimate(item), abs_tol=1e-6
+            )
+
+    @given(st.integers(0, 31), st.integers(-1000, 1000), st.integers(0, 2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_lone_item_estimated_exactly(self, item, value, seed):
+        assume(value != 0)
+        cs = CountSketch(3, 32, seed=RandomSource(seed, "lone"))
+        cs.update(item, value)
+        assert math.isclose(cs.estimate(item), value, abs_tol=1e-9)
+
+
+class TestExactCounterProperties:
+    @given(updates_strategy)
+    def test_agrees_with_stream(self, updates):
+        stream = TurnstileStream(32)
+        counter = ExactCounter(32)
+        for item, delta in updates:
+            stream.append(StreamUpdate(item, delta))
+            counter.update(item, delta)
+        assert counter.frequency_vector() == stream.frequency_vector()
+
+
+class TestGnpIdentities:
+    @given(st.integers(1, 10 ** 9))
+    def test_low_bit_divisibility(self, x):
+        i = lowest_set_bit(x)
+        assert x % (1 << i) == 0 and (x >> i) % 2 == 1
+
+    @given(st.integers(1, 10 ** 6), st.integers(1, 10 ** 6))
+    def test_near_periodicity_identity(self, x, y):
+        """If i_y > i_x then i_{x+y} = i_x, hence g_np(x+y) = g_np(x) —
+        the identity behind Proposition 53."""
+        assume(lowest_set_bit(y) > lowest_set_bit(x))
+        g = g_np()
+        assert g(x + y) == g(x)
+
+    @given(st.integers(1, 10 ** 6))
+    def test_gnp_range(self, x):
+        v = g_np()(x)
+        assert 0 < v <= 1
+        assert math.log2(v) == int(math.log2(v))  # power of two
+
+
+class TestMinimalCombinationProperties:
+    @given(
+        st.lists(st.integers(1, 30), min_size=1, max_size=3, unique=True),
+        st.integers(-40, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_solution_is_feasible(self, coeffs, target):
+        result = minimal_l1_combination(coeffs, target)
+        g = 0
+        for u in coeffs:
+            g = math.gcd(g, u)
+        if target % g != 0:
+            assert result is None
+        else:
+            assert result is not None
+            q, vec = result
+            assert sum(c * u for c, u in zip(vec, coeffs)) == target
+            assert sum(abs(c) for c in vec) == q
+
+    @given(st.integers(2, 25), st.integers(1, 24))
+    @settings(max_examples=40, deadline=None)
+    def test_residue_costs_consistent_with_solver(self, modulus, coeff):
+        assume(coeff < modulus)
+        table = ResidueCostTable(modulus, [coeff], cap=modulus + 2)
+        for residue in range(modulus):
+            cost = table.cost(residue)
+            if math.isfinite(cost):
+                # feasibility: some |z| = cost has z*coeff = residue (mod m)
+                assert any(
+                    (z * coeff - residue) % modulus == 0
+                    for z in range(-int(cost), int(cost) + 1)
+                    if abs(z) == int(cost)
+                )
+
+
+class TestGFunctionProperties:
+    @given(st.floats(0.1, 2.5), st.integers(0, 10 ** 6))
+    @settings(max_examples=50, deadline=None)
+    def test_moment_symmetry(self, p, x):
+        g = moment(p)
+        assert g(x) == g(-x)
+
+    @given(st.integers(1, 1000))
+    def test_normalization_invariants(self, x):
+        g = GFunction(lambda t: 7.0 * t * t + 3.0, "affine-quad")
+        assert g(0) == 0.0
+        assert g(1) == 1.0
+        assert g(x) > 0

@@ -1,0 +1,100 @@
+"""Additional property-based tests for the extended subsystems."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.commlower.information import (
+    convolve_mod,
+    hellinger_squared,
+    piece_message_distribution,
+    signed_step_distribution,
+)
+from repro.core.universal import UniversalGSumSketch
+from repro.functions.library import moment
+from repro.sketch.f0 import BjkstF0Sketch
+from repro.streams.io import load_stream, save_stream
+from repro.streams.model import StreamUpdate, TurnstileStream
+
+
+updates_strategy = st.lists(
+    st.tuples(st.integers(0, 31), st.integers(-9, 9).filter(bool)),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestStreamIoProperties:
+    @given(updates=updates_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_identity(self, tmp_path_factory, updates):
+        stream = TurnstileStream(32)
+        for item, delta in updates:
+            stream.append(StreamUpdate(item, delta))
+        path = tmp_path_factory.mktemp("io") / "s.jsonl"
+        save_stream(stream, path)
+        loaded = load_stream(path)
+        assert list(loaded) == list(stream)
+        assert loaded.frequency_vector() == stream.frequency_vector()
+
+
+class TestInformationProperties:
+    @given(st.integers(2, 40), st.integers(1, 39), st.integers(0, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_piece_distribution_is_probability_vector(self, a, b, load):
+        assume(b < a)
+        dist = piece_message_distribution(b, a, load)
+        assert dist.min() >= -1e-12
+        assert dist.sum() == 1.0 or math.isclose(dist.sum(), 1.0, abs_tol=1e-9)
+
+    @given(st.integers(3, 30), st.integers(1, 29), st.integers(1, 29))
+    @settings(max_examples=40, deadline=None)
+    def test_convolution_commutative(self, a, m1, m2):
+        assume(m1 < a and m2 < a)
+        p = signed_step_distribution(m1, a)
+        q = signed_step_distribution(m2, a)
+        assert np.allclose(convolve_mod(p, q), convolve_mod(q, p))
+
+    @given(st.integers(3, 30), st.integers(1, 29))
+    @settings(max_examples=30, deadline=None)
+    def test_hellinger_symmetric(self, a, m):
+        assume(m < a)
+        p = piece_message_distribution(m, a, 2)
+        q = piece_message_distribution(m, a, 3)
+        assert hellinger_squared(p, q) == hellinger_squared(q, p)
+
+
+class TestF0Properties:
+    @given(st.lists(st.integers(0, 10 ** 6), min_size=0, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_bjkst_estimate_scales_with_level(self, items):
+        sk = BjkstF0Sketch(32, seed=11)
+        for item in items:
+            sk.update(item)
+        est = sk.estimate()
+        # the estimate is always |sample| * 2^level, a nonnegative number
+        # bounded by budget * 2^level
+        assert 0 <= est <= 32 * 2 ** sk.level
+        if sk.level == 0:
+            assert est == len(set(items))
+
+
+class TestUniversalProperties:
+    @given(
+        st.dictionaries(st.integers(0, 63), st.integers(1, 50), max_size=6),
+        st.integers(0, 2 ** 10),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_small_supports_recovered_exactly(self, freqs, seed):
+        """With few items every one is a heavy hitter at every level, so
+        any g evaluates near-exactly."""
+        assume(freqs)
+        sketch = UniversalGSumSketch(64, repetitions=1, seed=seed)
+        for item, value in freqs.items():
+            sketch.update(item, value)
+        g = moment(2.0)
+        exact = sum(g(v) for v in freqs.values())
+        assert math.isclose(sketch.estimate(g), exact, rel_tol=1e-6)

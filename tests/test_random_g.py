@@ -1,0 +1,95 @@
+"""Fuzz the classifier with randomly generated functions of known truth."""
+
+import pytest
+
+from repro.core.tractability import classify_numeric
+from repro.functions.properties import analyze
+from repro.functions.random_g import (
+    random_decaying,
+    random_family_sample,
+    random_oscillator,
+    random_power_like,
+    random_step_function,
+)
+
+DOMAIN = 1 << 13
+
+
+class TestConstructions:
+    def test_power_like_in_g(self):
+        g, props = random_power_like(seed=1)
+        assert g(0) == 0.0
+        assert all(g(x) > 0 for x in range(1, 100))
+
+    def test_decaying_declared_not_slow_dropping(self):
+        _, props = random_decaying(seed=2)
+        assert props.slow_dropping is False
+
+    def test_oscillator_predictability_controlled(self):
+        _, props_p = random_oscillator(seed=3, predictable=True)
+        _, props_u = random_oscillator(seed=3, predictable=False)
+        assert props_p.predictable and not props_u.predictable
+
+    def test_step_function_monotone(self):
+        g, _ = random_step_function(seed=4)
+        values = [g(x) for x in range(1, 500)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_family_sample_size(self):
+        sample = random_family_sample(8, seed=5)
+        assert len(sample) == 8
+
+
+class TestClassifierFuzz:
+    """Grade the numeric classifier against construction truth.  The
+    testers' documented resolution limits apply: powers within ~0.15 of
+    the p=2 boundary are excluded (genuinely ambiguous at finite domain)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_power_like_jump_verdicts(self, seed):
+        g, props = random_power_like(seed=seed, p_range=(0.3, 3.0))
+        p = float(g.name.split("^")[1].rstrip("]"))
+        if abs(p - 2.0) < 0.2:
+            pytest.skip("boundary power: below tester resolution by design")
+        report = analyze(g, domain_max=DOMAIN)
+        assert report.slow_jumping == props.slow_jumping, (g.name, report.summary_row())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_decaying_always_flagged(self, seed):
+        g, _ = random_decaying(seed=seed)
+        report = analyze(g, domain_max=DOMAIN)
+        assert not report.slow_dropping
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_oscillator_predictability(self, seed):
+        g, props = random_oscillator(seed=seed)
+        report = analyze(g, domain_max=DOMAIN)
+        assert report.predictable == props.predictable, (g.name, report.summary_row())
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_staircase_fully_tractable(self, seed):
+        g, _ = random_step_function(seed=seed)
+        verdict = classify_numeric(g, domain_max=DOMAIN)
+        assert verdict.one_pass is True, verdict
+
+    def test_family_sweep_agreement_rate(self):
+        """Across a mixed random bag, the classifier must agree with the
+        construction truth on the non-boundary cases at >= 90%."""
+        sample = random_family_sample(16, seed=99)
+        agree = 0
+        graded = 0
+        for g, props in sample:
+            if g.name.startswith("rand[x^") and "-" not in g.name:
+                p = float(g.name.split("^")[1].rstrip("]"))
+                if abs(p - 2.0) < 0.2:
+                    continue  # boundary power: below tester resolution
+            report = analyze(g, domain_max=DOMAIN)
+            graded += 1
+            ok = (
+                report.slow_jumping == props.slow_jumping
+                and report.slow_dropping == props.slow_dropping
+                and report.predictable == props.predictable
+            )
+            agree += int(ok)
+        assert graded >= 12
+        assert agree / graded >= 0.9

@@ -1,0 +1,137 @@
+"""Tests for the Recursive Sketch (Theorem 13 / Braverman-Ostrovsky)."""
+
+import pytest
+
+from repro.core.heavy_hitters import ExactHeavyHitter, TwoPassGHeavyHitter
+from repro.core.recursive_sketch import (
+    NaiveTopKGSum,
+    RecursiveGSumSketch,
+    two_pass_run,
+)
+from repro.functions.library import moment
+from repro.streams.generators import uniform_stream, zipf_stream
+from repro.streams.model import stream_from_frequencies
+from repro.util.rng import RandomSource
+
+G2 = moment(2.0)
+
+
+def exact_factory(g, n):
+    return lambda level, rng: ExactHeavyHitter(g, n, heaviness=0.0)
+
+
+class TestWithExactOracle:
+    """With a perfect level oracle the layered estimator should be nearly
+    unbiased and concentrated (only subsampling noise remains)."""
+
+    def test_single_heavy_item(self):
+        stream = stream_from_frequencies({3: 100}, 64)
+        sketch = RecursiveGSumSketch(G2, 64, exact_factory(G2, 64), seed=1)
+        sketch.process(stream)
+        # one item: it is found at level 0 with exact weight; deeper levels
+        # telescope away
+        assert sketch.estimate() == pytest.approx(10_000.0, rel=1e-9)
+
+    def test_uniform_mass_unbiased_across_seeds(self):
+        stream = stream_from_frequencies({i: 2 for i in range(256)}, 256)
+        exact = 4.0 * 256
+        estimates = [
+            RecursiveGSumSketch(G2, 256, exact_factory(G2, 256), seed=s)
+            .process(stream)
+            .estimate()
+            for s in range(24)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(exact, rel=0.15)
+
+    def test_exact_when_heaviness_zero_and_all_found(self, zipf_small):
+        sketch = RecursiveGSumSketch(
+            G2, 512, exact_factory(G2, 512), seed=3
+        ).process(zipf_small)
+        exact = zipf_small.frequency_vector().g_sum(G2)
+        # exact oracle at every level -> telescoping is exact in
+        # expectation; single-run deviation comes only from level-sampling
+        assert sketch.estimate() == pytest.approx(exact, rel=0.35)
+
+    def test_estimate_nonnegative(self):
+        stream = stream_from_frequencies({0: 1}, 16)
+        sketch = RecursiveGSumSketch(G2, 16, exact_factory(G2, 16), seed=4)
+        sketch.process(stream)
+        assert sketch.estimate() >= 0.0
+
+
+class TestLevels:
+    def test_default_level_count(self):
+        sketch = RecursiveGSumSketch(G2, 1024, exact_factory(G2, 1024), seed=1)
+        assert sketch.levels == 10
+
+    def test_levels_override(self):
+        sketch = RecursiveGSumSketch(
+            G2, 1024, exact_factory(G2, 1024), levels=4, seed=1
+        )
+        assert sketch.levels == 4
+        assert len(sketch.level_covers()) == 5
+
+    def test_items_routed_to_prefix_levels(self):
+        n = 512
+        sketch = RecursiveGSumSketch(G2, n, exact_factory(G2, n), seed=2)
+        stream = uniform_stream(n, 5, seed=3)
+        sketch.process(stream)
+        covers = sketch.level_covers()
+        sizes = [len(c) for c in covers]
+        # geometric decay of level populations
+        assert sizes[0] > sizes[3] > sizes[-1] or sizes[-1] == 0
+        assert sizes[0] == stream.frequency_vector().support_size()
+
+
+class TestTwoPassDriving:
+    def test_two_pass_levels(self, zipf_small):
+        def factory(level, rng):
+            return TwoPassGHeavyHitter(
+                G2, heaviness=0.05, failure=0.1, n=512, seed=rng
+            )
+
+        sketch = RecursiveGSumSketch(G2, 512, factory, seed=5)
+        estimate = two_pass_run(sketch, zipf_small)
+        exact = zipf_small.frequency_vector().g_sum(G2)
+        assert estimate == pytest.approx(exact, rel=0.5)
+
+    def test_needs_second_pass_flag(self, zipf_small):
+        def factory(level, rng):
+            return TwoPassGHeavyHitter(G2, 0.05, 0.1, 512, seed=rng)
+
+        sketch = RecursiveGSumSketch(G2, 512, factory, seed=5)
+        assert sketch.needs_second_pass()
+        exact_sketch = RecursiveGSumSketch(G2, 512, exact_factory(G2, 512), seed=5)
+        assert not exact_sketch.needs_second_pass()
+
+
+class TestNaiveBaseline:
+    def test_naive_matches_on_concentrated_stream(self):
+        stream = stream_from_frequencies({0: 1000, 1: 2, 2: 2}, 64)
+        naive = NaiveTopKGSum(G2, ExactHeavyHitter(G2, 64)).process(stream)
+        exact = stream.frequency_vector().g_sum(G2)
+        assert naive.estimate() == pytest.approx(exact, rel=1e-9)
+
+    def test_naive_underestimates_flat_tail(self):
+        """The layering exists because top-k alone misses the tail."""
+        stream = stream_from_frequencies({i: 3 for i in range(400)}, 512)
+
+        def truncated(level, rng):
+            return TwoPassGHeavyHitter(G2, 0.2, 0.1, 512, seed=rng)
+
+        hh = TwoPassGHeavyHitter(G2, 0.2, 0.1, 512, seed=9)
+        for u in stream:
+            hh.update(u.item, u.delta)
+        hh.begin_second_pass()
+        for u in stream:
+            hh.update_second_pass(u.item, u.delta)
+        naive_est = sum(p.g_weight for p in hh.cover())
+        exact = stream.frequency_vector().g_sum(G2)
+        assert naive_est < 0.6 * exact  # top-k alone is badly low
+
+        layered = RecursiveGSumSketch(G2, 512, truncated, seed=9)
+        layered.process(stream)
+        layered.begin_second_pass()
+        layered.process_second_pass(stream)
+        assert abs(layered.estimate() - exact) < abs(naive_est - exact)

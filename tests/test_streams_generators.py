@@ -1,0 +1,133 @@
+"""Tests for workload generators."""
+
+import math
+
+import pytest
+
+from repro.streams.generators import (
+    mixture_sample_stream,
+    planted_heavy_hitter_stream,
+    poisson_sample_stream,
+    sample_stream_from_pmf,
+    samples_from_pmf,
+    sinusoid_adversarial_stream,
+    two_level_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+
+class TestUniform:
+    def test_frequencies_in_range(self):
+        s = uniform_stream(64, magnitude=10, seed=1)
+        for _, v in s.frequency_vector().items():
+            assert 1 <= v <= 10
+
+    def test_support_control(self):
+        s = uniform_stream(64, magnitude=10, support=7, seed=1)
+        assert s.frequency_vector().support_size() == 7
+
+    def test_deterministic(self):
+        a = uniform_stream(64, 10, seed=5).frequency_vector()
+        b = uniform_stream(64, 10, seed=5).frequency_vector()
+        assert a == b
+
+    def test_turnstile_noise_preserves_vector(self):
+        clean = uniform_stream(64, 10, seed=5).frequency_vector()
+        noisy_stream = uniform_stream(64, 10, seed=5, turnstile_noise=0.5)
+        assert noisy_stream.frequency_vector() == clean
+        assert not noisy_stream.is_insertion_only()
+
+
+class TestZipf:
+    def test_total_mass_approximate(self):
+        s = zipf_stream(256, total_mass=10_000, skew=1.1, seed=3)
+        f1 = s.frequency_vector().f_moment(1)
+        assert 0.5 * 10_000 <= f1 <= 1.5 * 10_000
+
+    def test_skew_creates_heavy_head(self):
+        s = zipf_stream(256, total_mass=10_000, skew=1.5, seed=3)
+        freqs = sorted((v for _, v in s.frequency_vector().items()), reverse=True)
+        assert freqs[0] > 10 * freqs[len(freqs) // 2]
+
+    def test_rejects_bad_skew(self):
+        with pytest.raises(ValueError):
+            zipf_stream(16, 100, skew=0.0)
+
+
+class TestPlanted:
+    def test_heavy_item_frequency(self):
+        s, heavy = planted_heavy_hitter_stream(
+            128, heavy_frequency=999, noise_frequency=2, noise_support=30, seed=2
+        )
+        v = s.frequency_vector()
+        assert v[heavy] == 999
+        others = [f for item, f in v.items() if item != heavy]
+        assert all(f == 2 for f in others)
+        assert 25 <= len(others) <= 30  # heavy item may displace one noise slot
+
+    def test_explicit_heavy_item(self):
+        s, heavy = planted_heavy_hitter_stream(
+            128, 50, 1, 10, heavy_item=77, seed=2
+        )
+        assert heavy == 77
+        assert s.frequency_vector()[77] == 50
+
+    def test_noise_support_bound(self):
+        with pytest.raises(ValueError):
+            planted_heavy_hitter_stream(16, 10, 1, 16, seed=1)
+
+
+class TestSamplers:
+    def test_poisson_counts_reasonable(self):
+        s = poisson_sample_stream(500, rate=4.0, seed=9)
+        v = s.frequency_vector()
+        mean = v.f_moment(1) / 500
+        assert 3.0 <= mean <= 5.0
+
+    def test_mixture_requires_aligned_args(self):
+        with pytest.raises(ValueError):
+            mixture_sample_stream(10, [1.0, 2.0], [1.0], seed=1)
+
+    def test_mixture_stream_counts(self):
+        s = mixture_sample_stream(400, rates=[1.0, 20.0], weights=[0.9, 0.1], seed=9)
+        v = s.frequency_vector()
+        big = sum(1 for _, f in v.items() if f >= 10)
+        assert 10 <= big <= 120  # roughly the 10% heavy component
+
+    def test_samples_from_pmf_range(self):
+        samples = samples_from_pmf(lambda x: math.exp(-x), 10, 200, seed=4)
+        assert all(0 <= s <= 10 for s in samples)
+        assert len(samples) == 200
+
+    def test_pmf_without_mass_raises(self):
+        with pytest.raises(ValueError):
+            samples_from_pmf(lambda x: 0.0, 5, 10, seed=4)
+
+    def test_sample_stream_from_pmf(self):
+        s = sample_stream_from_pmf(lambda x: 1.0 if x <= 3 else 0.0, 100, 5, seed=4)
+        assert all(1 <= v <= 3 for _, v in s.frequency_vector().items())
+
+
+class TestStructuredStreams:
+    def test_two_level_profile(self):
+        s = two_level_stream(128, 100, 5, 2, 20, seed=6)
+        counts = {}
+        for _, v in s.frequency_vector().items():
+            counts[v] = counts.get(v, 0) + 1
+        assert counts == {100: 5, 2: 20}
+
+    def test_two_level_support_check(self):
+        with pytest.raises(ValueError):
+            two_level_stream(16, 10, 10, 1, 10, seed=6)
+
+    def test_sinusoid_adversarial_window(self):
+        import math as m
+
+        g = lambda x: (2 + m.sin(m.sqrt(x))) * x * x  # noqa: E731
+        s = sinusoid_adversarial_stream(
+            256, g, center=1000, spread=50, support=30, seed=8
+        )
+        for _, v in s.frequency_vector().items():
+            assert 950 <= v <= 1050
+        assert s.frequency_vector().support_size() == 30

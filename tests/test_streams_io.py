@@ -1,0 +1,84 @@
+"""Tests for stream serialization."""
+
+import json
+
+import pytest
+
+from repro.streams.io import (
+    load_frequency_profile,
+    load_stream,
+    save_frequency_profile,
+    save_stream,
+)
+from repro.streams.model import StreamUpdate, TurnstileStream
+
+
+class TestStreamRoundtrip:
+    def test_roundtrip_preserves_updates(self, small_stream, tmp_path):
+        path = tmp_path / "s.jsonl"
+        save_stream(small_stream, path)
+        loaded = load_stream(path)
+        assert list(loaded) == list(small_stream)
+        assert loaded.domain_size == small_stream.domain_size
+
+    def test_roundtrip_preserves_magnitude_bound(self, tmp_path):
+        stream = TurnstileStream(8, magnitude_bound=100)
+        stream.append(StreamUpdate(1, 50))
+        path = tmp_path / "s.jsonl"
+        save_stream(stream, path)
+        assert load_stream(path).magnitude_bound == 100
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_stream(TurnstileStream(4), path)
+        assert len(load_stream(path)) == 0
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "zero.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_stream(path)
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": "other"}) + "\n")
+        with pytest.raises(ValueError, match="not a repro stream"):
+            load_stream(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "v99.jsonl"
+        path.write_text(
+            json.dumps({"format": "repro-stream", "version": 99,
+                        "domain_size": 4}) + "\n"
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_stream(path)
+
+    def test_rejects_truncation(self, small_stream, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        save_stream(small_stream, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop one update
+        with pytest.raises(ValueError, match="declares"):
+            load_stream(path)
+
+
+class TestFrequencyProfile:
+    def test_roundtrip_frequencies(self, small_stream, tmp_path):
+        path = tmp_path / "p.json"
+        save_frequency_profile(small_stream, path)
+        loaded = load_frequency_profile(path)
+        assert loaded.frequency_vector() == small_stream.frequency_vector()
+
+    def test_profile_is_compact(self, small_stream, tmp_path):
+        full = tmp_path / "full.jsonl"
+        compact = tmp_path / "compact.json"
+        save_stream(small_stream.concat(small_stream), full)
+        save_frequency_profile(small_stream.concat(small_stream), compact)
+        assert compact.stat().st_size < full.stat().st_size
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ValueError):
+            load_frequency_profile(path)

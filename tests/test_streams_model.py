@@ -1,0 +1,185 @@
+"""Tests for the turnstile stream model (Section 1.2)."""
+
+import pytest
+
+from repro.functions.library import moment
+from repro.streams.model import (
+    FrequencyVector,
+    StreamUpdate,
+    TurnstileStream,
+    ell_p_norm,
+    interleave,
+    residual_f2,
+    stream_from_frequencies,
+    stream_from_samples,
+)
+
+
+class TestStreamUpdate:
+    def test_rejects_zero_delta(self):
+        with pytest.raises(ValueError):
+            StreamUpdate(0, 0)
+
+    def test_rejects_negative_item(self):
+        with pytest.raises(ValueError):
+            StreamUpdate(-1, 1)
+
+    def test_is_frozen(self):
+        u = StreamUpdate(1, 2)
+        with pytest.raises(AttributeError):
+            u.delta = 3
+
+
+class TestFrequencyVector:
+    def test_zero_by_default(self):
+        v = FrequencyVector(4)
+        assert v[0] == 0 and v[3] == 0
+
+    def test_add_and_cancel(self):
+        v = FrequencyVector(4)
+        v.add(1, 5)
+        v.add(1, -5)
+        assert v[1] == 0
+        assert v.support_size() == 0
+
+    def test_out_of_domain_raises(self):
+        v = FrequencyVector(4)
+        with pytest.raises(IndexError):
+            v[4]
+        with pytest.raises(IndexError):
+            v[-1] = 2
+
+    def test_f_moments(self):
+        v = FrequencyVector(8, {0: 3, 1: -4})
+        assert v.f_moment(2) == 25
+        assert v.f_moment(1) == 7
+        assert v.f_moment(0) == 2
+
+    def test_g_sum_uses_absolute_values(self):
+        v = FrequencyVector(8, {0: -3, 1: 3})
+        g = moment(2.0)
+        assert v.g_sum(g) == 18.0
+
+    def test_g_sum_with_zeros(self):
+        v = FrequencyVector(4, {0: 2})
+        offset_g = lambda x: 1.0 + x  # noqa: E731 - g(0) = 1 case
+        assert v.g_sum(offset_g, include_zeros=True) == 3.0 + 3 * 1.0
+
+    def test_equality(self):
+        assert FrequencyVector(4, {1: 2}) == FrequencyVector(4, {1: 2})
+        assert FrequencyVector(4, {1: 2}) != FrequencyVector(4, {1: 3})
+        assert FrequencyVector(4, {1: 2}) != FrequencyVector(5, {1: 2})
+
+    def test_max_abs(self):
+        assert FrequencyVector(4, {0: -9, 1: 5}).max_abs() == 9
+        assert FrequencyVector(4).max_abs() == 0
+
+
+class TestTurnstileStream:
+    def test_frequency_vector_accumulates(self, small_stream):
+        v = small_stream.frequency_vector()
+        assert v[0] == 4 and v[1] == 0 and v[2] == -2 and v[3] == 7 and v[4] == 1
+
+    def test_length(self, small_stream):
+        assert len(small_stream) == 7
+
+    def test_multiple_passes_identical(self, small_stream):
+        first = list(small_stream)
+        second = list(small_stream)
+        assert first == second
+
+    def test_magnitude_promise_enforced(self):
+        stream = TurnstileStream(4, magnitude_bound=3)
+        stream.append(StreamUpdate(0, 3))
+        with pytest.raises(ValueError):
+            stream.append(StreamUpdate(0, 1))
+
+    def test_promise_checked_on_prefixes(self):
+        """|v_i| <= M must hold for every prefix, not just the final vector."""
+        stream = TurnstileStream(4, magnitude_bound=3)
+        stream.append(StreamUpdate(0, 3))
+        with pytest.raises(ValueError):
+            # even though a later -2 would bring it back in range
+            stream.append(StreamUpdate(0, 2))
+
+    def test_domain_bound(self):
+        stream = TurnstileStream(4)
+        with pytest.raises(IndexError):
+            stream.append(StreamUpdate(4, 1))
+
+    def test_insertion_only_detection(self, small_stream):
+        assert not small_stream.is_insertion_only()
+        ins = stream_from_samples([0, 1, 1, 2], 4)
+        assert ins.is_insertion_only()
+
+    def test_concat_preserves_sums(self, small_stream):
+        merged = small_stream.concat(small_stream)
+        v = merged.frequency_vector()
+        assert v[0] == 8 and v[3] == 14
+
+    def test_concat_rejects_domain_mismatch(self, small_stream):
+        with pytest.raises(ValueError):
+            small_stream.concat(TurnstileStream(9))
+
+    def test_realized_magnitude(self, small_stream):
+        assert small_stream.realized_magnitude() == 7
+
+
+class TestBuilders:
+    def test_stream_from_frequencies(self):
+        s = stream_from_frequencies({0: 5, 2: -3}, 4)
+        v = s.frequency_vector()
+        assert v[0] == 5 and v[2] == -3
+        assert len(s) == 2
+
+    def test_chunked_emission(self):
+        s = stream_from_frequencies({0: 7}, 4, chunk=2)
+        assert len(s) == 4  # 2+2+2+1
+        assert s.frequency_vector()[0] == 7
+
+    def test_chunked_negative(self):
+        s = stream_from_frequencies({0: -5}, 4, chunk=2)
+        assert s.frequency_vector()[0] == -5
+
+    def test_chunk_must_be_positive(self):
+        with pytest.raises(ValueError):
+            stream_from_frequencies({0: 5}, 4, chunk=0)
+
+    def test_zero_frequencies_skipped(self):
+        s = stream_from_frequencies({0: 0, 1: 2}, 4)
+        assert len(s) == 1
+
+    def test_stream_from_samples(self):
+        s = stream_from_samples([0, 0, 1, 3], 4)
+        v = s.frequency_vector()
+        assert v[0] == 2 and v[1] == 1 and v[3] == 1
+
+
+class TestInterleave:
+    def test_orders_agree_on_frequencies(self, small_stream):
+        rr = interleave([small_stream, small_stream], "roundrobin")
+        cc = interleave([small_stream, small_stream], "concat")
+        assert rr.frequency_vector() == cc.frequency_vector()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            interleave([])
+
+    def test_rejects_unknown_pattern(self, small_stream):
+        with pytest.raises(ValueError):
+            interleave([small_stream], "shuffle")
+
+
+class TestNorms:
+    def test_ell2(self):
+        v = FrequencyVector(4, {0: 3, 1: -4})
+        assert ell_p_norm(v, 2) == 5.0
+
+    def test_residual_f2(self):
+        v = FrequencyVector(8, {0: 10, 1: 3, 2: 2})
+        assert residual_f2(v, 1) == 9 + 4
+        assert residual_f2(v, 3) == 0.0
+
+    def test_residual_more_than_support(self):
+        v = FrequencyVector(8, {0: 1})
+        assert residual_f2(v, 5) == 0.0

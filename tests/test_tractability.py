@@ -1,0 +1,105 @@
+"""Tests for the zero-one-law classifier (Theorems 2 and 3)."""
+
+import pytest
+
+from repro.core.tractability import (
+    classify,
+    classify_declared,
+    classify_numeric,
+    zero_one_table,
+)
+from repro.functions.base import DeclaredProperties, GFunction
+from repro.functions.library import (
+    catalog,
+    g_np,
+    moment,
+    reciprocal,
+    sin_sqrt_x2,
+    x2_log,
+)
+
+
+class TestDeclaredClassification:
+    def test_tractable_example(self):
+        v = classify(x2_log())
+        assert v.one_pass is True and v.two_pass is True
+        assert v.source == "declared"
+
+    def test_not_slow_jumping(self):
+        v = classify(moment(3.0))
+        assert v.one_pass is False and v.two_pass is False
+        assert any("slow-jumping" in r for r in v.reasons)
+
+    def test_not_slow_dropping(self):
+        v = classify(reciprocal())
+        assert v.one_pass is False
+        assert any("slow-dropping" in r for r in v.reasons)
+
+    def test_one_two_pass_separation(self):
+        """(2+sin sqrt x) x^2: the paper's separating example."""
+        v = classify(sin_sqrt_x2())
+        assert v.one_pass is False
+        assert v.two_pass is True
+        assert any("2-pass tractable" in r for r in v.reasons)
+
+    def test_nearly_periodic_unclassified(self):
+        v = classify(g_np())
+        assert v.one_pass is None and v.two_pass is None
+        assert not v.normal
+
+    def test_undeclared_returns_none(self):
+        g = GFunction(lambda x: float(x), "anon")
+        assert classify_declared(g) is None
+
+
+class TestNumericClassification:
+    def test_numeric_agrees_on_moments(self):
+        v2 = classify_numeric(moment(2.0), domain_max=1 << 13)
+        v3 = classify_numeric(moment(3.0), domain_max=1 << 13)
+        assert v2.one_pass is True
+        assert v3.one_pass is False
+
+    def test_numeric_separation_example(self):
+        v = classify_numeric(sin_sqrt_x2(), domain_max=1 << 13)
+        assert v.one_pass is False and v.two_pass is True
+
+    def test_numeric_detects_nearly_periodic(self):
+        v = classify_numeric(g_np(), domain_max=1 << 12)
+        assert v.normal is False
+        assert v.one_pass is None
+
+    def test_numeric_on_undeclared_function(self):
+        import math
+
+        g = GFunction(lambda x: x * math.log(2 + x), "xlogx")
+        v = classify(g, domain_max=1 << 12)
+        assert v.source == "numeric"
+        assert v.one_pass is True
+
+    def test_reciprocal_normal_not_nearly_periodic(self):
+        v = classify_numeric(reciprocal(), domain_max=1 << 12)
+        assert v.normal is True
+        assert v.one_pass is False
+
+
+class TestZeroOneTable:
+    def test_full_catalog_classifies(self):
+        table = zero_one_table(list(catalog().values()))
+        assert len(table) == len(catalog())
+        by_name = {v.name: v for v in table}
+        assert by_name["x^2"].one_pass is True
+        assert by_name["x^3"].one_pass is False
+        assert by_name["g_np"].one_pass is None
+
+    def test_rows_have_fields(self):
+        table = zero_one_table([moment(2.0)])
+        row = table[0].as_row()
+        assert row["function"] == "x^2"
+        assert row["1-pass"] is True
+
+    def test_paper_consistency_one_implies_two(self):
+        """Theorem 2 condition set contains Theorem 3's: 1-pass tractable
+        implies 2-pass tractable for every normal catalog function."""
+        for v in zero_one_table(list(catalog().values())):
+            if v.one_pass:
+                assert v.two_pass

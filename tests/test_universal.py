@@ -1,0 +1,103 @@
+"""Tests for the universal (g-oblivious) sketch."""
+
+import pytest
+
+from repro.core.universal import UniversalGSumSketch
+from repro.functions.library import indicator, moment, spam_damped_fee, x2_log
+from repro.streams.generators import zipf_stream
+from repro.streams.model import stream_from_frequencies
+
+
+@pytest.fixture(scope="module")
+def loaded_sketch():
+    stream = zipf_stream(n=1024, total_mass=40_000, skew=1.2, seed=33)
+    sketch = UniversalGSumSketch(1024, epsilon=0.25, heaviness=0.05,
+                                 repetitions=3, seed=8)
+    sketch.process(stream)
+    return stream, sketch
+
+
+class TestUniversality:
+    def test_many_gs_from_one_sketch(self, loaded_sketch):
+        stream, sketch = loaded_sketch
+        vec = stream.frequency_vector()
+        for g in (moment(1.0), moment(2.0), x2_log(), spam_damped_fee(50)):
+            exact = vec.g_sum(g)
+            est = sketch.estimate(g)
+            assert est == pytest.approx(exact, rel=0.5), g.name
+
+    def test_estimate_many_returns_names(self, loaded_sketch):
+        _, sketch = loaded_sketch
+        out = sketch.estimate_many([moment(1.0), moment(2.0)])
+        assert set(out) == {"x^1", "x^2"}
+
+    def test_distinct_count(self, loaded_sketch):
+        stream, sketch = loaded_sketch
+        exact = stream.frequency_vector().support_size()
+        assert sketch.distinct_count() == pytest.approx(exact, rel=0.4)
+
+    def test_entropy_proxy_positive(self, loaded_sketch):
+        _, sketch = loaded_sketch
+        assert sketch.entropy_proxy() > 0
+
+    def test_sketch_never_calls_g_during_streaming(self):
+        """g-obliviousness: streaming succeeds and a hostile g passed at
+        evaluation time only affects that one evaluation."""
+        sketch = UniversalGSumSketch(64, repetitions=1, seed=1)
+        sketch.update(3, 5)
+        from repro.functions.base import GFunction
+
+        calls = []
+
+        def spy(x):
+            calls.append(x)
+            return float(x)
+
+        g = GFunction(spy, "spy", normalize=False)
+        assert not calls  # nothing evaluated yet
+        sketch.estimate(g)
+        assert calls  # evaluation touches g
+
+
+class TestDeterminismAndSpace:
+    def test_deterministic_given_seed(self):
+        stream = stream_from_frequencies({i: i + 1 for i in range(50)}, 128)
+        a = UniversalGSumSketch(128, repetitions=2, seed=5).process(stream)
+        b = UniversalGSumSketch(128, repetitions=2, seed=5).process(stream)
+        assert a.estimate(moment(2.0)) == b.estimate(moment(2.0))
+
+    def test_space_reported(self):
+        sketch = UniversalGSumSketch(128, repetitions=2, seed=5)
+        assert sketch.space_counters > 0
+
+    def test_single_item_exact_for_all_g(self):
+        stream = stream_from_frequencies({7: 100}, 64)
+        sketch = UniversalGSumSketch(64, repetitions=1, seed=3).process(stream)
+        for g in (moment(1.0), moment(2.0), indicator()):
+            assert sketch.estimate(g) == pytest.approx(g(100), rel=1e-6)
+
+
+class TestTwoPassUniversal:
+    def test_exact_weights_for_unpredictable_g(self):
+        """Universality + Theorem 3: two passes give exact frequencies, so
+        even (2+sin sqrt x) x^2 evaluates correctly post hoc."""
+        from repro.core.universal import TwoPassUniversalSketch
+        from repro.functions.library import sin_sqrt_x2
+
+        freqs = {k: 2500 + 7 * k for k in range(12)}
+        stream = stream_from_frequencies(freqs, 256)
+        sketch = TwoPassUniversalSketch(256, heaviness=0.02, repetitions=1, seed=6)
+        sketch.run(stream)
+        g = sin_sqrt_x2()
+        exact = sum(g(v) for v in freqs.values())
+        assert sketch.estimate(g) == pytest.approx(exact, rel=1e-6)
+
+    def test_multiple_gs_after_two_passes(self, ):
+        from repro.core.universal import TwoPassUniversalSketch
+
+        stream = stream_from_frequencies({i: 3 * i + 1 for i in range(30)}, 128)
+        sketch = TwoPassUniversalSketch(128, heaviness=0.05, repetitions=1, seed=7)
+        sketch.run(stream)
+        vec = stream.frequency_vector()
+        for g in (moment(1.0), moment(2.0)):
+            assert sketch.estimate(g) == pytest.approx(vec.g_sum(g), rel=1e-6)

@@ -1,0 +1,111 @@
+"""Tests for integer math: lowest set bit, primes, minimal L1 combinations."""
+
+import math
+
+import pytest
+
+from repro.util.intmath import (
+    is_prime,
+    lowest_set_bit,
+    minimal_l1_combination,
+    next_prime,
+)
+
+
+class TestLowestSetBit:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(1, 0), (2, 1), (3, 0), (4, 2), (6, 1), (8, 3), (12, 2), (1024, 10), (1025, 0)],
+    )
+    def test_values(self, x, expected):
+        assert lowest_set_bit(x) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            lowest_set_bit(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            lowest_set_bit(-4)
+
+    def test_matches_definition(self):
+        for x in range(1, 2000):
+            i = lowest_set_bit(x)
+            assert x % (1 << i) == 0
+            assert (x >> i) & 1 == 1
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        assert [p for p in range(2, 30) if is_prime(p)] == [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29,
+        ]
+
+    def test_composites(self):
+        for c in (1, 0, 4, 9, 91, 561, 1105):  # incl. Carmichael numbers
+            assert not is_prime(c)
+
+    def test_large_prime(self):
+        assert is_prime((1 << 61) - 1)  # Mersenne prime used by hashing
+
+    def test_next_prime(self):
+        assert next_prime(14) == 17
+        assert next_prime(17) == 17
+        assert next_prime(1) == 2
+
+
+class TestMinimalL1Combination:
+    def test_simple_gcd_one(self):
+        q, coeffs = minimal_l1_combination([4, 7], 1)
+        assert q == 3
+        assert 4 * coeffs[0] + 7 * coeffs[1] == 1
+        assert abs(coeffs[0]) + abs(coeffs[1]) == q
+
+    def test_direct_hit(self):
+        q, coeffs = minimal_l1_combination([5], 15)
+        assert q == 3
+        assert coeffs == [3]
+
+    def test_no_solution_when_gcd_fails(self):
+        assert minimal_l1_combination([4, 6], 3) is None
+
+    def test_negative_target(self):
+        q, coeffs = minimal_l1_combination([4, 7], -1)
+        assert q == 3
+        assert 4 * coeffs[0] + 7 * coeffs[1] == -1
+
+    def test_three_coefficients(self):
+        q, coeffs = minimal_l1_combination([6, 10, 15], 1)
+        assert sum(c * u for c, u in zip(coeffs, [6, 10, 15])) == 1
+        assert sum(abs(c) for c in coeffs) == q
+        assert q == 3  # 1 = 6 + 10 - 15
+
+    def test_lemma_47_bounds(self):
+        """Lemma 47: for coprime b < a and target 1, the minimal b-coefficient
+        y satisfies b/a <= |y| <= a."""
+        for a, b in [(7, 4), (11, 3), (17, 12), (23, 16)]:
+            q, coeffs = minimal_l1_combination([a, b], 1)
+            y = coeffs[1]
+            assert b / a <= abs(y) <= a
+
+    def test_optimality_brute_force(self):
+        """Cross-check against exhaustive search on small instances."""
+        for (coeffs_in, d) in [([3, 5], 1), ([4, 7], 2), ([5, 8], 1), ([9, 6], 3)]:
+            got = minimal_l1_combination(coeffs_in, d)
+            best = math.inf
+            r = 12
+            for q1 in range(-r, r + 1):
+                for q2 in range(-r, r + 1):
+                    if q1 * coeffs_in[0] + q2 * coeffs_in[1] == d:
+                        best = min(best, abs(q1) + abs(q2))
+            assert got is not None
+            assert got[0] == best
+
+    def test_rejects_zero_coefficient(self):
+        with pytest.raises(ValueError):
+            minimal_l1_combination([4, 0], 1)
+
+    def test_target_zero(self):
+        q, coeffs = minimal_l1_combination([4, 7], 0)
+        assert q == 0
+        assert coeffs == [0, 0]

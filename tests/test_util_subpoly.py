@@ -1,0 +1,93 @@
+"""Tests for the sub-polynomial function algebra (Definition 4)."""
+
+import math
+
+import pytest
+
+from repro.util.subpoly import (
+    SubPolynomial,
+    constant,
+    is_subpolynomial_samples,
+    iterated_log,
+    polylog,
+    sqrt_log_exp,
+)
+
+XS = [2.0 ** k for k in range(3, 24)]
+
+
+class TestConstructors:
+    def test_constant_is_flat(self):
+        h = constant(5.0)
+        assert h(10) == 5.0
+        assert h(1e9) == 5.0
+
+    def test_constant_floors_at_one(self):
+        assert constant(0.25)(100) == 1.0
+
+    def test_polylog_grows(self):
+        h = polylog(2.0)
+        assert h(2 ** 20) > h(2 ** 10) > 1.0
+
+    def test_polylog_value(self):
+        h = polylog(1.0)
+        assert h(2 ** 16 - 2) == pytest.approx(16.0, rel=1e-6)
+
+    def test_iterated_log_slower_than_polylog(self):
+        assert iterated_log()(2 ** 40) < polylog(1.0)(2 ** 40)
+
+    def test_sqrt_log_exp_beats_every_polylog_eventually(self):
+        h = sqrt_log_exp(1.0)
+        p = polylog(3.0)
+        # crossover: 2^sqrt(L) > L^3 once sqrt(L) > 3 log2 L, e.g. L = 1000
+        big = 2.0 ** 1000
+        assert h(big) > p(big)
+
+    def test_values_floored_at_one(self):
+        assert iterated_log()(1.0) >= 1.0
+        assert sqrt_log_exp()(0.5) >= 1.0
+
+
+class TestAlgebra:
+    def test_product_of_subpoly_is_subpoly(self):
+        # log^3-type growth has local exponent 3/ln(x) ~ 0.25 at x = 2^17;
+        # the empirical check needs a matching tolerance.
+        h = polylog(1.0) * polylog(2.0)
+        assert is_subpolynomial_samples(h, XS, tolerance=0.3)
+
+    def test_sum_and_scale(self):
+        h = 2.0 * polylog(1.0) + 3.0
+        assert h(2 ** 16 - 2) == pytest.approx(35.0, rel=1e-6)
+
+    def test_power(self):
+        h = polylog(1.0) ** 2
+        assert h(2 ** 16 - 2) == pytest.approx(256.0, rel=1e-6)
+
+    def test_pointwise_max(self):
+        h = constant(10.0).pointwise_max(polylog(1.0))
+        assert h(4) == 10.0
+        assert h(2.0 ** 100) > 10.0
+
+
+class TestEmpiricalCheck:
+    def test_accepts_polylog(self):
+        assert is_subpolynomial_samples(polylog(1.0), XS)
+        assert is_subpolynomial_samples(polylog(3.0), XS, tolerance=0.3)
+
+    def test_accepts_sqrt_log_exp_with_loose_tolerance(self):
+        # 2^sqrt(log x) has local slope 1/sqrt(log x): ~0.2 at x = 2^24.
+        assert is_subpolynomial_samples(sqrt_log_exp(), XS, tolerance=0.35)
+
+    def test_rejects_polynomial(self):
+        assert not is_subpolynomial_samples(lambda x: x ** 0.5, XS)
+
+    def test_rejects_polynomial_decay(self):
+        assert not is_subpolynomial_samples(lambda x: x ** -0.5, XS)
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError):
+            is_subpolynomial_samples(polylog(), [2.0, 4.0])
+
+    def test_custom_wrapper_callable(self):
+        h = SubPolynomial(lambda x: math.log(x) + 1, "custom")
+        assert h(math.e ** 3 - 0.0) == pytest.approx(4.0, rel=1e-6)
