@@ -8,11 +8,18 @@ the rows under ``benchmarks/results/`` so EXPERIMENTS.md can cite them.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import sys
 from typing import Iterable, Mapping
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: When set to a directory path, :func:`emit_table` additionally writes a
+#: machine-readable ``BENCH_<experiment>.json`` there (table + metadata) —
+#: CI uploads these as artifacts so every run leaves a perf trail that
+#: later PRs can diff against.
+BENCH_JSON_ENV = "REPRO_BENCH_JSON"
 
 
 def emit_table(
@@ -40,6 +47,18 @@ def emit_table(
     print("\n" + text, file=sys.stderr)
     (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
     (RESULTS_DIR / f"{experiment}.json").write_text(json.dumps(rows, indent=2))
+    bench_dir = os.environ.get(BENCH_JSON_ENV)
+    if bench_dir:
+        out = pathlib.Path(bench_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": 1,
+            "experiment": experiment,
+            "title": title,
+            "claim": claim,
+            "rows": rows,
+        }
+        (out / f"BENCH_{experiment}.json").write_text(json.dumps(payload, indent=2))
     return rows
 
 

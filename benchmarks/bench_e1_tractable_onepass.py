@@ -7,7 +7,6 @@ Claimed shape: every row achieves small constant relative error with
 space far below exact tabulation, in a single pass.
 """
 
-import pytest
 
 from repro.core.gsum import estimate_gsum
 from repro.functions.library import tractable_onepass_examples

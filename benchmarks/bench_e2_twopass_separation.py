@@ -17,7 +17,6 @@ pruned), 2-pass weight error is zero — the content of "predictability is
 unnecessary with two passes".
 """
 
-import math
 import statistics
 
 from repro.core.heavy_hitters import OnePassGHeavyHitter, TwoPassGHeavyHitter

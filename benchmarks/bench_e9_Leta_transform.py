@@ -11,7 +11,6 @@ L_eta(g)(x) = g(x) log^eta(1+x).  Claimed shape:
 """
 
 from repro.functions.library import g_np, moment
-from repro.functions.nearly_periodic import find_alpha_periods
 from repro.functions.properties import analyze, drop_exponent_trace
 from repro.functions.transforms import l_eta_transform
 

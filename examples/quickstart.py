@@ -9,7 +9,7 @@ the sum ``sum_i g(|v_i|)`` over the stream's frequency vector admits a
 Run:  python examples/quickstart.py
 """
 
-from repro import GSumEstimator, classify, exact_gsum, moment, zipf_stream
+from repro import GSumEstimator, classify, moment, zipf_stream
 from repro.functions.library import x2_log
 
 

@@ -1,3 +1,15 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-bcwy16",
+    version="1.0.0",
+    description=(
+        "Reproduction of Braverman-Chestnut-Woodruff-Yang (PODS 2016): "
+        "streaming space complexity of nearly all functions of one variable"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -49,8 +49,8 @@ from repro.functions import (
     sin_sqrt_x2,
 )
 from repro.streams import (
-    TurnstileStream,
     StreamUpdate,
+    TurnstileStream,
     planted_heavy_hitter_stream,
     stream_from_frequencies,
     uniform_stream,

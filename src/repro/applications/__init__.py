@@ -1,5 +1,11 @@
 """Applications from Section 1.1: log-likelihood MLE, utilities, encodings."""
 
+from repro.applications.higher_order import (
+    MatrixEncoding,
+    filtered_sum,
+    matrix_stream,
+    threshold_filter_aggregate,
+)
 from repro.applications.loglik import (
     MleResult,
     PoissonMixture,
@@ -12,12 +18,6 @@ from repro.applications.utility import (
     BillingReport,
     ClickBilling,
     anomaly_score_function,
-)
-from repro.applications.higher_order import (
-    MatrixEncoding,
-    filtered_sum,
-    matrix_stream,
-    threshold_filter_aggregate,
 )
 
 __all__ = [

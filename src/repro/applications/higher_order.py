@@ -15,7 +15,6 @@ Experiment E11 measures exactly this separation.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, List, Sequence
 

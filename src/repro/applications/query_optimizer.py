@@ -21,11 +21,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable
 
 from repro.core.universal import UniversalGSumSketch
 from repro.functions.base import GFunction
-from repro.functions.library import indicator, linear, moment
+from repro.functions.library import indicator, moment
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource
 

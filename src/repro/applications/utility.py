@@ -9,10 +9,9 @@ traffic are anomalous).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
-from repro.core.gsum import GSumEstimator, GSumResult
+from repro.core.gsum import GSumEstimator
 from repro.functions.base import DeclaredProperties, GFunction
 from repro.functions.library import spam_damped_fee
 from repro.streams.model import TurnstileStream

@@ -6,6 +6,7 @@ classify   apply the zero-one laws to a function expression
 estimate   run a g-SUM estimator over a stream file (see repro.streams.io)
 generate   synthesize a workload stream file
 catalog    print the zero-one-law table for the built-in catalog
+ingest     measure scalar vs batch ingestion throughput on a stream file
 
 The function argument accepts either a catalog name (see ``catalog``) or a
 Python expression in ``x`` (evaluated in a restricted math namespace),
@@ -25,6 +26,13 @@ from repro.functions.base import GFunction
 from repro.functions.library import catalog
 from repro.streams.generators import uniform_stream, zipf_stream
 from repro.streams.io import load_stream, save_stream
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
 
 
 def _resolve_function(spec: str) -> GFunction:
@@ -70,6 +78,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     result = estimate_gsum(
         stream, g, epsilon=args.epsilon, passes=args.passes,
         heaviness=args.heaviness, repetitions=args.repetitions, seed=args.seed,
+        chunk_size=args.chunk,
     )
     print(f"g-SUM estimate for {g.name} over {args.stream}")
     print(f"  estimate: {result.estimate:,.4f}")
@@ -90,6 +99,39 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     vec = stream.frequency_vector()
     print(f"wrote {args.output}: n={stream.domain_size}, updates={len(stream)}, "
           f"support={vec.support_size()}, M={vec.max_abs()}")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Ingestion throughput check: feed the same in-memory stream to a
+    CountSketch through the scalar update loop and through chunked
+    ``update_batch``, and report both rates.  Parsing/columnar conversion
+    happen outside both timed regions so the comparison is engine vs
+    engine, not engine vs disk."""
+    import time
+
+    from repro.sketch.countsketch import CountSketch
+
+    stream = load_stream(args.stream)
+    stream.as_arrays()  # columnar conversion paid up front
+    scalar = CountSketch(args.rows, args.buckets, seed=args.seed)
+    start = time.perf_counter()
+    for u in stream:
+        scalar.update(u.item, u.delta)
+    scalar_s = time.perf_counter() - start
+
+    batched = CountSketch(args.rows, args.buckets, seed=args.seed)
+    start = time.perf_counter()
+    for items, deltas in stream.iter_array_chunks(args.chunk):
+        batched.update_batch(items, deltas)
+    batch_s = time.perf_counter() - start
+
+    count = len(stream)
+    print(f"ingested {count:,} updates into CountSketch({args.rows}x{args.buckets})")
+    print(f"  scalar: {scalar_s:.4f}s  ({count / scalar_s:,.0f} updates/s)")
+    print(f"  batch:  {batch_s:.4f}s  ({count / batch_s:,.0f} updates/s, "
+          f"chunk={args.chunk})")
+    print(f"  speedup: {scalar_s / batch_s:.1f}x")
     return 0
 
 
@@ -128,6 +170,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--heaviness", type=float, default=0.05)
     p.add_argument("--repetitions", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--chunk", type=_positive_int, default=4096,
+                   help="batch-ingestion chunk size (default 4096)")
     p.set_defaults(fn=_cmd_estimate)
 
     p = sub.add_parser("generate", help="synthesize a workload stream file")
@@ -139,6 +183,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--magnitude", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser(
+        "ingest", help="measure scalar vs batch ingestion throughput"
+    )
+    p.add_argument("stream", help="stream file from `repro generate`")
+    p.add_argument("--rows", type=_positive_int, default=5)
+    p.add_argument("--buckets", type=_positive_int, default=1024)
+    p.add_argument("--chunk", type=_positive_int, default=4096)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_ingest)
 
     p = sub.add_parser("catalog", help="print the catalog zero-one table")
     p.set_defaults(fn=_cmd_catalog)

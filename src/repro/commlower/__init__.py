@@ -1,10 +1,22 @@
 """Communication lower bounds: problems, reductions, empirical harness."""
 
+from repro.commlower.adversary import (
+    AdversaryReport,
+    TrialOutcome,
+    required_error_for_distinguishing,
+    run_adversary,
+)
 from repro.commlower.problems import (
     DisjIndInstance,
     DisjInstance,
     DistInstance,
     IndexInstance,
+)
+from repro.commlower.protocols import (
+    ProtocolStats,
+    SketchMessageProtocol,
+    amplification_curve,
+    majority_amplify,
 )
 from repro.commlower.reductions import (
     ReductionCase,
@@ -13,18 +25,6 @@ from repro.commlower.reductions import (
     disjind_jump_reduction,
     index_drop_reduction,
     index_predictability_reduction,
-)
-from repro.commlower.adversary import (
-    AdversaryReport,
-    TrialOutcome,
-    required_error_for_distinguishing,
-    run_adversary,
-)
-from repro.commlower.protocols import (
-    ProtocolStats,
-    SketchMessageProtocol,
-    amplification_curve,
-    majority_amplify,
 )
 
 __all__ = [

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List
 
 from repro.commlower.reductions import ReductionCase
 from repro.util.rng import RandomSource, as_source

@@ -26,7 +26,6 @@ from repro.commlower.problems import IndexInstance
 from repro.commlower.reductions import ReductionCase
 from repro.core.gsum import GSumEstimator
 from repro.functions.base import GFunction
-from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
 
 

@@ -1,5 +1,12 @@
 """Core contribution: g-SUM estimators, heavy hitters, zero-one laws."""
 
+from repro.core.dist import DistDecision, DistDetector, ResidueCostTable
+from repro.core.gnp import (
+    GnpHeavyHitterSketch,
+    GnpRecovery,
+    recover_single_heavy_hitter,
+)
+from repro.core.gsum import GSumEstimator, GSumResult, estimate_gsum, exact_gsum
 from repro.core.heavy_hitters import (
     ExactHeavyHitter,
     HeavyHitterPair,
@@ -8,30 +15,23 @@ from repro.core.heavy_hitters import (
     cover_contains,
     theory_heaviness,
 )
+from repro.core.offset import (
+    OffsetDecomposition,
+    OffsetGSumEstimator,
+    decompose_offset_function,
+    exact_offset_gsum,
+)
 from repro.core.recursive_sketch import (
     NaiveTopKGSum,
     RecursiveGSumSketch,
     two_pass_run,
 )
-from repro.core.gsum import GSumEstimator, GSumResult, estimate_gsum, exact_gsum
 from repro.core.tractability import (
     TractabilityVerdict,
     classify,
     classify_declared,
     classify_numeric,
     zero_one_table,
-)
-from repro.core.gnp import (
-    GnpHeavyHitterSketch,
-    GnpRecovery,
-    recover_single_heavy_hitter,
-)
-from repro.core.dist import DistDecision, DistDetector, ResidueCostTable
-from repro.core.offset import (
-    OffsetDecomposition,
-    OffsetGSumEstimator,
-    decompose_offset_function,
-    exact_offset_gsum,
 )
 from repro.core.universal import TwoPassUniversalSketch, UniversalGSumSketch
 

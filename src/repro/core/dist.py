@@ -24,9 +24,12 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.sketch.hashing import KWiseHash, SignHash
+from repro.streams.batching import as_batch, drive
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.intmath import minimal_l1_combination
 from repro.util.rng import RandomSource, as_source
@@ -125,7 +128,7 @@ class DistDetector:
         source = as_source(seed, "dist")
         self._router = KWiseHash(self.pieces, 2, source.child("router"))
         self._signs = SignHash(4, source.child("signs"))
-        self._counters = [0] * self.pieces
+        self._counters = np.zeros(self.pieces, dtype=np.int64)
         # Modular view: multiples of the modulus vanish, so what separates
         # the two cases is the coefficient mass needed to explain each
         # piece's residue.  ``q_mod`` is the minimal mass expressing the
@@ -162,10 +165,24 @@ class DistDetector:
     def update(self, item: int, delta: int) -> None:
         self._counters[self._router(item)] += self._signs(item) * delta
 
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        """Vectorized ingestion: route and sign the whole batch in two
+        Horner evaluations, scatter-add the signed deltas per piece.
+        Counters are int64 sums of signed deltas — identical to a scalar
+        replay."""
+        items, deltas = as_batch(items, deltas)
+        if items.shape[0] == 0:
+            return
+        pieces = self._router.values_batch(items)
+        signed = self._signs.values_batch(items) * deltas
+        self._counters += np.bincount(
+            pieces, weights=signed, minlength=self.pieces
+        ).astype(np.int64)
+
     def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "DistDetector":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return drive(self, stream)
 
     # ------------------------------------------------------------ decision
 

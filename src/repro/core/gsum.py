@@ -12,7 +12,9 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Iterable, List
+from typing import Callable, Iterable, List, Sequence
+
+import numpy as np
 
 from repro.core.heavy_hitters import (
     ExactHeavyHitter,
@@ -22,6 +24,7 @@ from repro.core.heavy_hitters import (
 )
 from repro.core.recursive_sketch import RecursiveGSumSketch
 from repro.functions.base import GFunction
+from repro.streams.batching import DEFAULT_CHUNK, drive, drive_second_pass
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
 
@@ -148,10 +151,19 @@ class GSumEstimator:
         for sketch in self._sketches:
             sketch.update(item, delta)
 
-    def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "GSumEstimator":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        """Batched ingestion into every repetition's recursive sketch."""
+        for sketch in self._sketches:
+            sketch.update_batch(items, deltas)
+
+    def process(
+        self,
+        stream: TurnstileStream | Iterable[StreamUpdate],
+        chunk_size: int = DEFAULT_CHUNK,
+    ) -> "GSumEstimator":
+        return drive(self, stream, chunk_size)
 
     def begin_second_pass(self) -> None:
         for sketch in self._sketches:
@@ -161,12 +173,18 @@ class GSumEstimator:
         for sketch in self._sketches:
             sketch.update_second_pass(item, delta)
 
+    def update_batch_second_pass(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        for sketch in self._sketches:
+            sketch.update_batch_second_pass(items, deltas)
+
     def process_second_pass(
-        self, stream: TurnstileStream | Iterable[StreamUpdate]
+        self,
+        stream: TurnstileStream | Iterable[StreamUpdate],
+        chunk_size: int = DEFAULT_CHUNK,
     ) -> "GSumEstimator":
-        for u in stream:
-            self.update_second_pass(u.item, u.delta)
-        return self
+        return drive_second_pass(self, stream, chunk_size)
 
     # ---------------------------------------------------------- estimation
 
@@ -179,13 +197,18 @@ class GSumEstimator:
 
     # --------------------------------------------------------- convenience
 
-    def run(self, stream: TurnstileStream, exact: bool = True) -> GSumResult:
+    def run(
+        self,
+        stream: TurnstileStream,
+        exact: bool = True,
+        chunk_size: int = DEFAULT_CHUNK,
+    ) -> GSumResult:
         """Feed a materialized stream (driving the second pass when needed)
         and package the result with the exact value for error reporting."""
-        self.process(stream)
+        self.process(stream, chunk_size)
         if self.passes == 2:
             self.begin_second_pass()
-            self.process_second_pass(stream)
+            self.process_second_pass(stream, chunk_size)
         truth = exact_gsum(stream, self.g) if exact else None
         return GSumResult(
             estimate=self.estimate(),
@@ -207,10 +230,11 @@ def estimate_gsum(
     epsilon: float = 0.25,
     passes: int = 1,
     seed: int | RandomSource | None = None,
+    chunk_size: int = DEFAULT_CHUNK,
     **kwargs,
 ) -> GSumResult:
     """One-shot convenience wrapper around :class:`GSumEstimator`."""
     estimator = GSumEstimator(
         g, stream.domain_size, epsilon=epsilon, passes=passes, seed=seed, **kwargs
     )
-    return estimator.run(stream)
+    return estimator.run(stream, chunk_size=chunk_size)

@@ -25,10 +25,13 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Protocol, Sequence
 
+import numpy as np
+
 from repro.functions.base import GFunction
 from repro.sketch.ams import AmsF2Sketch
 from repro.sketch.countsketch import CountSketch
 from repro.sketch.exact import ExactCounter
+from repro.streams.batching import drive, drive_second_pass
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
 
@@ -127,10 +130,15 @@ class OnePassGHeavyHitter:
         self._countsketch.update(item, delta)
         self._ams.update(item, delta)
 
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        """Batched ingestion into both constituent sketches."""
+        self._countsketch.update_batch(items, deltas)
+        self._ams.update_batch(items, deltas)
+
     def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "OnePassGHeavyHitter":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return drive(self, stream)
 
     def frequency_error_bound(self) -> float:
         """The additive frequency error the pruning assumes:
@@ -230,6 +238,14 @@ class TwoPassGHeavyHitter:
             raise RuntimeError("first pass is closed; use update_second_pass")
         self._countsketch.update(item, delta)
 
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        """Batched first-pass ingestion."""
+        if self._second is not None:
+            raise RuntimeError("first pass is closed; use update_batch_second_pass")
+        self._countsketch.update_batch(items, deltas)
+
     def begin_second_pass(self) -> None:
         candidates = [c.item for c in self._countsketch.top_candidates()]
         self._second = ExactCounter(self._n, restrict_to=candidates)
@@ -239,13 +255,19 @@ class TwoPassGHeavyHitter:
             raise RuntimeError("call begin_second_pass first")
         self._second.update(item, delta)
 
+    def update_batch_second_pass(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        """Batched second-pass tabulation of first-pass candidates."""
+        if self._second is None:
+            raise RuntimeError("call begin_second_pass first")
+        self._second.update_batch(items, deltas)
+
     def run(self, stream: TurnstileStream) -> List[HeavyHitterPair]:
         """Convenience: both passes over a materialized stream."""
-        for u in stream:
-            self.update(u.item, u.delta)
+        drive(self, stream)
         self.begin_second_pass()
-        for u in stream:
-            self.update_second_pass(u.item, u.delta)
+        drive_second_pass(self, stream)
         return self.cover()
 
     def cover(self) -> List[HeavyHitterPair]:
@@ -256,7 +278,10 @@ class TwoPassGHeavyHitter:
             if freq == 0:
                 continue
             pairs.append(HeavyHitterPair(item, self.g(abs(freq)), float(freq)))
-        pairs.sort(key=lambda p: p.g_weight, reverse=True)
+        # Item id breaks g-weight ties so the cover (and any float sum over
+        # it) is identical however the stream was ingested — the tabulation
+        # dict's insertion order depends on scalar-vs-batch chunking.
+        pairs.sort(key=lambda p: (-p.g_weight, p.item))
         return pairs
 
     @property
@@ -277,6 +302,11 @@ class ExactHeavyHitter:
     def update(self, item: int, delta: int) -> None:
         self._counter.update(item, delta)
 
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        self._counter.update_batch(items, deltas)
+
     def cover(self) -> List[HeavyHitterPair]:
         vec = self._counter.frequency_vector()
         total = vec.g_sum(self.g)
@@ -285,7 +315,7 @@ class ExactHeavyHitter:
             weight = self.g(abs(freq))
             if self.heaviness <= 0 or weight >= self.heaviness * (total - weight):
                 pairs.append(HeavyHitterPair(item, weight, float(freq)))
-        pairs.sort(key=lambda p: p.g_weight, reverse=True)
+        pairs.sort(key=lambda p: (-p.g_weight, p.item))
         return pairs
 
     @property

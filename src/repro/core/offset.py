@@ -21,14 +21,13 @@ space and the error composes additively.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.gsum import GSumEstimator
 from repro.functions.base import DeclaredProperties, GFunction
 from repro.functions.library import indicator
-from repro.streams.model import StreamUpdate, TurnstileStream
+from repro.streams.model import TurnstileStream
 from repro.util.rng import RandomSource, as_source
 
 

@@ -25,13 +25,12 @@ from __future__ import annotations
 import math
 from typing import Callable, Iterable, List, Sequence
 
-from repro.core.heavy_hitters import (
-    GHeavyHitterSketch,
-    HeavyHitterPair,
-    TwoPassGHeavyHitter,
-)
+import numpy as np
+
+from repro.core.heavy_hitters import GHeavyHitterSketch, HeavyHitterPair
 from repro.functions.base import GFunction
 from repro.sketch.hashing import SubsampleHash
+from repro.streams.batching import as_batch, drive, drive_second_pass
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
 
@@ -78,12 +77,43 @@ class RecursiveGSumSketch:
         for j in range(depth + 1):
             self._sketches[j].update(item, delta)
 
+    def _fan_out_batch(
+        self, items: np.ndarray, deltas: np.ndarray, batch_attr: str, scalar_attr: str
+    ) -> None:
+        """Shared level fan-out for both passes: one vectorized
+        subsampling-depth evaluation for the whole batch, then each level
+        receives the (order-preserving) sub-batch of items surviving to
+        it.  Levels are nested, so the loop stops at the first empty
+        level.  Dispatches to the level sketch's batch method when it has
+        one, falling back to its scalar method."""
+        items, deltas = as_batch(items, deltas)
+        if items.shape[0] == 0:
+            return
+        depths = np.minimum(self._subsample.levels_batch(items), self.levels)
+        for j in range(self.levels + 1):
+            mask = depths >= j
+            if not mask.any():
+                break
+            level_items, level_deltas = items[mask], deltas[mask]
+            sketch = self._sketches[j]
+            update_batch = getattr(sketch, batch_attr, None)
+            if update_batch is not None:
+                update_batch(level_items, level_deltas)
+            else:
+                scalar_update = getattr(sketch, scalar_attr)
+                for item, delta in zip(level_items.tolist(), level_deltas.tolist()):
+                    scalar_update(item, delta)
+
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        """Batched ingestion across the subsampling levels."""
+        self._fan_out_batch(items, deltas, "update_batch", "update")
+
     def process(
         self, stream: TurnstileStream | Iterable[StreamUpdate]
     ) -> "RecursiveGSumSketch":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return drive(self, stream)
 
     def begin_second_pass(self) -> None:
         """For two-pass level sketches: close pass one on every level."""
@@ -97,12 +127,18 @@ class RecursiveGSumSketch:
         for j in range(depth + 1):
             self._sketches[j].update_second_pass(item, delta)  # type: ignore[attr-defined]
 
+    def update_batch_second_pass(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        """Second-pass analogue of :meth:`update_batch`."""
+        self._fan_out_batch(
+            items, deltas, "update_batch_second_pass", "update_second_pass"
+        )
+
     def process_second_pass(
         self, stream: TurnstileStream | Iterable[StreamUpdate]
     ) -> "RecursiveGSumSketch":
-        for u in stream:
-            self.update_second_pass(u.item, u.delta)
-        return self
+        return drive_second_pass(self, stream)
 
     # ---------------------------------------------------------- estimation
 
@@ -144,10 +180,19 @@ class NaiveTopKGSum:
     def update(self, item: int, delta: int) -> None:
         self._sketch.update(item, delta)
 
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        update_batch = getattr(self._sketch, "update_batch", None)
+        if update_batch is not None:
+            update_batch(items, deltas)
+            return
+        items, deltas = as_batch(items, deltas)
+        for item, delta in zip(items.tolist(), deltas.tolist()):
+            self._sketch.update(item, delta)
+
     def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "NaiveTopKGSum":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return drive(self, stream)
 
     def estimate(self) -> float:
         return sum(pair.g_weight for pair in self._sketch.cover())

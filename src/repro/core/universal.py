@@ -23,12 +23,15 @@ from __future__ import annotations
 import math
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
 
 from repro.core.heavy_hitters import OnePassGHeavyHitter, TwoPassGHeavyHitter
 from repro.core.recursive_sketch import RecursiveGSumSketch
 from repro.functions.base import GFunction
 from repro.functions.library import indicator, moment
+from repro.streams.batching import drive, drive_second_pass
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
 
@@ -53,6 +56,11 @@ class _FrequencyLevel:
 
     def update(self, item: int, delta: int) -> None:
         self.inner.update(item, delta)
+
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        self.inner.update_batch(items, deltas)
 
     def frequency_cover(self) -> List[tuple[int, float]]:
         pairs = []
@@ -118,12 +126,17 @@ class UniversalGSumSketch:
         for sketch in self._sketches:
             sketch.update(item, delta)
 
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        """Batched ingestion into every repetition's recursive sketch."""
+        for sketch in self._sketches:
+            sketch.update_batch(items, deltas)
+
     def process(
         self, stream: TurnstileStream | Iterable[StreamUpdate]
     ) -> "UniversalGSumSketch":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return drive(self, stream)
 
     # ---------------------------------------------------------- evaluation
 
@@ -190,18 +203,30 @@ class _TwoPassFrequencyLevel:
     def update(self, item: int, delta: int) -> None:
         self.inner.update(item, delta)
 
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        self.inner.update_batch(items, deltas)
+
     def begin_second_pass(self) -> None:
         self.inner.begin_second_pass()
 
     def update_second_pass(self, item: int, delta: int) -> None:
         self.inner.update_second_pass(item, delta)
 
+    def update_batch_second_pass(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        self.inner.update_batch_second_pass(items, deltas)
+
     def frequency_cover(self) -> List[tuple[int, float]]:
-        return [
+        # Sorted by item so downstream float sums are ingestion-order
+        # independent (the tabulation dict's insertion order is not).
+        return sorted(
             (item, float(freq))
             for item, freq in self.inner._second.frequency_vector().items()  # type: ignore[union-attr]
             if freq != 0
-        ]
+        )
 
     @property
     def space_counters(self) -> int:
@@ -257,10 +282,15 @@ class TwoPassUniversalSketch(UniversalGSumSketch):
         for sketch in self._sketches:
             sketch.update_second_pass(item, delta)
 
+    def update_batch_second_pass(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        for sketch in self._sketches:
+            sketch.update_batch_second_pass(items, deltas)
+
     def run(self, stream: TurnstileStream) -> "TwoPassUniversalSketch":
         """Drive both passes over a materialized stream."""
         self.process(stream)
         self.begin_second_pass()
-        for u in stream:
-            self.update_second_pass(u.item, u.delta)
+        drive_second_pass(self, stream)
         return self

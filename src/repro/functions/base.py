@@ -10,7 +10,7 @@ the numeric property testers can be validated against each other.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
 

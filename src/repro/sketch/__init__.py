@@ -1,11 +1,11 @@
 """Linear sketch substrates (Section 3.1): hashing, CountSketch, AMS, Count-Min."""
 
-from repro.sketch.hashing import BernoulliHash, KWiseHash, SignHash, SubsampleHash
-from repro.sketch.countsketch import CountSketch, CountSketchEstimate
 from repro.sketch.ams import AmsF2Sketch
 from repro.sketch.countmin import CountMinSketch
+from repro.sketch.countsketch import CountSketch, CountSketchEstimate
 from repro.sketch.exact import ExactCounter
 from repro.sketch.f0 import BjkstF0Sketch, TurnstileF0Estimator
+from repro.sketch.hashing import BernoulliHash, KWiseHash, SignHash, SubsampleHash
 
 __all__ = [
     "BernoulliHash",

@@ -10,11 +10,12 @@ groups yields a ``(1 +- eps)``-approximation with probability
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.sketch.hashing import VectorKWiseHash
+from repro.streams.batching import aggregate_batch, as_batch, drive
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
 
@@ -50,10 +51,24 @@ class AmsF2Sketch:
     def update(self, item: int, delta: float) -> None:
         self._registers += self._sign_vector(item) * delta
 
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        """Vectorized ingestion: one sign-matrix Horner evaluation for the
+        batch's distinct items, one matrix-vector product to accumulate
+        ``sum_i sign(i) * net_delta(i)`` into every register at once.
+        Registers are integer-valued sums far below 2^53, so the result is
+        bit-for-bit identical to replaying the batch through
+        :meth:`update`."""
+        items, deltas = as_batch(items, deltas)
+        if items.shape[0] == 0:
+            return
+        unique, net = aggregate_batch(items, deltas)
+        signs = self._signs.signs_batch(unique)
+        self._registers += net.astype(np.float64) @ signs
+
     def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "AmsF2Sketch":
-        for update in stream:
-            self.update(update.item, update.delta)
-        return self
+        return drive(self, stream)
 
     def estimate(self) -> float:
         squares = self._registers ** 2

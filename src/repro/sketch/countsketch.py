@@ -13,10 +13,17 @@ candidate tracker (the standard practical device for recovering identities
 without an O(n) query sweep).  The candidate tracker re-estimates an item on
 every update touching it, so deletions demote candidates naturally.
 
-Implementation note: the table is a list of per-row Python lists and the
-median is computed with ``statistics.median`` — for the handful of rows a
-sketch uses, scalar Python arithmetic is an order of magnitude faster than
-numpy fancy indexing, and this method sits on the per-update hot path.
+Ingestion has two paths sharing one ``(rows, buckets)`` float64 table:
+the scalar ``update`` (one item, one delta) and the vectorized
+``update_batch`` (whole int64 arrays), which nets deltas per distinct
+item, hashes each distinct item once across all rows with the batched
+Horner evaluator, and scatter-adds the signed mass row by row with
+``np.bincount``.  Candidate tracking is replayed exactly: a grouped
+prefix-sum over each row's bucket sequence reconstructs the *running*
+cell value at every update of the chunk, so the tracker sees the same
+estimate sequence the scalar path computes.  Every quantity is an
+integer-valued float64 far below 2^53, so both paths — table, estimates,
+and tracked candidates — agree bit for bit.
 """
 
 from __future__ import annotations
@@ -27,9 +34,31 @@ import statistics
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
+import numpy as np
+
 from repro.sketch.hashing import KWiseHash, SignHash
+from repro.streams.batching import as_batch, drive
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
+
+
+def _running_cell_sums(buckets: np.ndarray, contributions: np.ndarray) -> np.ndarray:
+    """Inclusive running total of ``contributions`` per bucket, in update
+    order: element ``t`` is the sum of all contributions at updates
+    ``t' <= t`` that hit ``buckets[t]``.  This reconstructs, vectorized,
+    the evolving value of each update's table cell inside a chunk — the
+    quantity the scalar path reads back after every write."""
+    order = np.argsort(buckets, kind="stable")
+    sorted_buckets = buckets[order]
+    sorted_csum = np.cumsum(contributions[order])
+    starts = np.flatnonzero(np.r_[True, sorted_buckets[1:] != sorted_buckets[:-1]])
+    offsets = np.empty(starts.shape[0], dtype=np.float64)
+    offsets[0] = 0.0
+    offsets[1:] = sorted_csum[starts[1:] - 1]
+    sizes = np.diff(np.r_[starts, sorted_buckets.shape[0]])
+    running = np.empty_like(sorted_csum)
+    running[order] = sorted_csum - np.repeat(offsets, sizes)
+    return running
 
 
 @dataclass(frozen=True)
@@ -73,9 +102,7 @@ class CountSketch:
         self.rows = int(rows)
         self.buckets = int(buckets)
         self.track = int(track)
-        self._table: List[List[float]] = [
-            [0.0] * self.buckets for _ in range(self.rows)
-        ]
+        self._table = np.zeros((self.rows, self.buckets), dtype=np.float64)
         self._bucket_hashes = [
             KWiseHash(self.buckets, 2, source.child(f"bucket{j}"))
             for j in range(self.rows)
@@ -108,20 +135,60 @@ class CountSketch:
         slots = self._item_slots(item)
         table = self._table
         for j, (bucket, sign) in enumerate(slots):
-            table[j][bucket] += sign * delta
+            table[j, bucket] += sign * delta
         if self.track > 0:
-            self._track_item(item, slots)
+            self._track_item(item, abs(self.estimate(item)))
+
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        """Vectorized ingestion of ``(items, deltas)`` int64 arrays.
+
+        Bit-for-bit identical to replaying the batch through
+        :meth:`update`, tracking included: each distinct item is hashed
+        once per row, the table is scatter-added with ``np.bincount``,
+        and (when tracking) a grouped prefix-sum reconstructs the running
+        cell value at every update so the candidate tracker replays the
+        exact scalar estimate sequence.
+        """
+        items, deltas = as_batch(items, deltas)
+        count = items.shape[0]
+        if count == 0:
+            return
+        unique, inverse = np.unique(items, return_inverse=True)
+        per_update = deltas.astype(np.float64)
+        net = np.bincount(inverse, weights=per_update, minlength=unique.shape[0])
+        tracking = self.track > 0
+        if tracking:
+            running_rows = np.empty((self.rows, count), dtype=np.float64)
+        for j in range(self.rows):
+            bucket_u = self._bucket_hashes[j].values_batch(unique)
+            sign_u = self._sign_hashes[j].values_batch(unique)
+            if tracking:
+                buckets = bucket_u[inverse]
+                signs = sign_u[inverse]
+                running_rows[j] = signs * (
+                    self._table[j, buckets]
+                    + _running_cell_sums(buckets, signs * per_update)
+                )
+            self._table[j] += np.bincount(
+                bucket_u, weights=sign_u * net, minlength=self.buckets
+            )
+        if tracking:
+            estimates = np.abs(np.median(running_rows, axis=0))
+            for item, est in zip(items.tolist(), estimates.tolist()):
+                self._track_item(item, est)
 
     def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "CountSketch":
-        for update in stream:
-            self.update(update.item, update.delta)
-        return self
+        return drive(self, stream)
 
     def estimate(self, item: int) -> float:
         slots = self._item_slots(item)
         table = self._table
-        return statistics.median(
-            sign * table[j][bucket] for j, (bucket, sign) in enumerate(slots)
+        return float(
+            statistics.median(
+                sign * table[j, bucket] for j, (bucket, sign) in enumerate(slots)
+            )
         )
 
     def estimate_many(self, items: Sequence[int]) -> list[CountSketchEstimate]:
@@ -129,13 +196,7 @@ class CountSketch:
 
     # ------------------------------------------------------- candidate heap
 
-    def _track_item(self, item: int, slots: List[tuple[int, float]]) -> None:
-        table = self._table
-        est = abs(
-            statistics.median(
-                sign * table[j][bucket] for j, (bucket, sign) in enumerate(slots)
-            )
-        )
+    def _track_item(self, item: int, est: float) -> None:
         if item in self._candidates:
             self._candidates[item] = est
             return
@@ -194,12 +255,9 @@ class CountSketch:
         two sketches were constructed from the same RandomSource lineage)."""
         if (self.rows, self.buckets) != (other.rows, other.buckets):
             raise ValueError("cannot merge sketches with different dimensions")
-        for j in range(self.rows):
-            mine, theirs = self._table[j], other._table[j]
-            for b in range(self.buckets):
-                mine[b] += theirs[b]
+        self._table += other._table
         for item in other._candidates:
-            self._track_item(item, self._item_slots(item))
+            self._track_item(item, abs(self.estimate(item)))
         return self
 
     @classmethod

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Sequence
 
+import numpy as np
+
+from repro.streams.batching import aggregate_batch, apply_net_counts, as_batch, drive
 from repro.streams.model import FrequencyVector, StreamUpdate, TurnstileStream
 
 
@@ -21,6 +24,11 @@ class ExactCounter:
     def __init__(self, domain_size: int, restrict_to: Sequence[int] | None = None):
         self.domain_size = int(domain_size)
         self._restrict = None if restrict_to is None else set(int(i) for i in restrict_to)
+        self._restrict_array = (
+            None
+            if self._restrict is None
+            else np.fromiter(self._restrict, dtype=np.int64, count=len(self._restrict))
+        )
         self._counts: Dict[int, int] = {}
 
     def update(self, item: int, delta: int) -> None:
@@ -32,10 +40,25 @@ class ExactCounter:
         else:
             self._counts[item] = new
 
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        """Batched tabulation: filter to the candidate set vectorized, net
+        deltas per distinct item, then apply to the hash map.  Final counts
+        match a scalar replay exactly (integer adds commute)."""
+        items, deltas = as_batch(items, deltas)
+        if items.shape[0] == 0:
+            return
+        if self._restrict_array is not None:
+            mask = np.isin(items, self._restrict_array)
+            items, deltas = items[mask], deltas[mask]
+            if items.shape[0] == 0:
+                return
+        unique, net = aggregate_batch(items, deltas)
+        apply_net_counts(self._counts, unique, net)
+
     def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "ExactCounter":
-        for update in stream:
-            self.update(update.item, update.delta)
-        return self
+        return drive(self, stream)
 
     def estimate(self, item: int) -> int:
         return self._counts.get(item, 0)

@@ -19,9 +19,12 @@ tests against the indicator g-SUM estimator.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
 
 from repro.sketch.hashing import KWiseHash
+from repro.streams.batching import aggregate_batch, apply_net_counts, as_batch, drive
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
 
@@ -64,10 +67,32 @@ class BjkstF0Sketch:
                     i: v for i, v in self._sample.items() if v < threshold
                 }
 
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        """Batched sightings: hash the whole batch in one vectorized pass,
+        then run the (cheap, data-dependent) threshold-admission loop over
+        the few items that hash below the current threshold.  Bit-for-bit
+        identical to replaying the batch through :meth:`update`."""
+        items, deltas = as_batch(items, deltas)
+        mask = deltas > 0
+        if not mask.any():
+            return
+        kept = items[mask]
+        values = self._hash.values_batch(kept)
+        sample = self._sample
+        for item, value in zip(kept.tolist(), values.tolist()):
+            if value < self._threshold() and item not in sample:
+                sample[item] = value
+                while len(sample) > self.sample_budget:
+                    self.level += 1
+                    threshold = self._threshold()
+                    self._sample = sample = {
+                        i: v for i, v in sample.items() if v < threshold
+                    }
+
     def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "BjkstF0Sketch":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return drive(self, stream)
 
     def estimate(self) -> float:
         return float(len(self._sample)) * (2.0 ** self.level)
@@ -115,12 +140,28 @@ class TurnstileF0Estimator:
         else:
             self._counts[item] = new
 
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        """Batched turnstile updates: one vectorized subsampling test for
+        the whole batch, then net-delta tabulation of the (few) surviving
+        items.  Final counts match a scalar replay exactly (integer adds
+        commute; zero-count entries are dropped either way)."""
+        items, deltas = as_batch(items, deltas)
+        if items.shape[0] == 0:
+            return
+        if self.level > 0:
+            mask = self._hash.values_batch(items) == 0
+            items, deltas = items[mask], deltas[mask]
+            if items.shape[0] == 0:
+                return
+        unique, net = aggregate_batch(items, deltas)
+        apply_net_counts(self._counts, unique, net)
+
     def process(
         self, stream: TurnstileStream | Iterable[StreamUpdate]
     ) -> "TurnstileF0Estimator":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return drive(self, stream)
 
     def estimate(self) -> float:
         return float(len(self._counts)) * (2.0 ** self.level)

@@ -1,43 +1,62 @@
-"""Turnstile stream model and workload generators (Section 1.2)."""
+"""Turnstile stream model, batch ingestion, and workload generators
+(Section 1.2)."""
 
-from repro.streams.model import (
-    StreamUpdate,
-    TurnstileStream,
-    FrequencyVector,
-    stream_from_frequencies,
-    stream_from_samples,
+from repro.streams.batching import (
+    DEFAULT_CHUNK,
+    aggregate_batch,
+    apply_net_counts,
+    as_batch,
+    drive,
+    drive_second_pass,
+    iter_update_chunks,
+)
+from repro.streams.generators import (
+    mixture_sample_stream,
+    planted_heavy_hitter_stream,
+    poisson_sample_stream,
+    sinusoid_adversarial_stream,
+    two_level_stream,
+    uniform_stream,
+    zipf_stream,
 )
 from repro.streams.io import (
+    iter_stream_array_chunks,
     load_frequency_profile,
     load_stream,
     save_frequency_profile,
     save_stream,
 )
-from repro.streams.generators import (
-    uniform_stream,
-    zipf_stream,
-    planted_heavy_hitter_stream,
-    poisson_sample_stream,
-    mixture_sample_stream,
-    two_level_stream,
-    sinusoid_adversarial_stream,
+from repro.streams.model import (
+    FrequencyVector,
+    StreamUpdate,
+    TurnstileStream,
+    stream_from_frequencies,
+    stream_from_samples,
 )
 
 __all__ = [
+    "DEFAULT_CHUNK",
+    "FrequencyVector",
     "StreamUpdate",
     "TurnstileStream",
-    "FrequencyVector",
-    "stream_from_frequencies",
-    "stream_from_samples",
-    "uniform_stream",
-    "zipf_stream",
-    "planted_heavy_hitter_stream",
-    "poisson_sample_stream",
-    "mixture_sample_stream",
-    "two_level_stream",
-    "sinusoid_adversarial_stream",
+    "aggregate_batch",
+    "apply_net_counts",
+    "as_batch",
+    "drive",
+    "drive_second_pass",
+    "iter_stream_array_chunks",
+    "iter_update_chunks",
     "load_frequency_profile",
     "load_stream",
+    "mixture_sample_stream",
+    "planted_heavy_hitter_stream",
+    "poisson_sample_stream",
     "save_frequency_profile",
     "save_stream",
+    "sinusoid_adversarial_stream",
+    "stream_from_frequencies",
+    "stream_from_samples",
+    "two_level_stream",
+    "uniform_stream",
+    "zipf_stream",
 ]

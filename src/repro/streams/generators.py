@@ -11,12 +11,11 @@ predictability separation of experiment E2).
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.streams.model import StreamUpdate, TurnstileStream, stream_from_samples
+from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
 
 

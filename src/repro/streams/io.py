@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import json
 import pathlib
-from typing import Iterable
+from typing import Iterator
+
+import numpy as np
 
 from repro.streams.model import StreamUpdate, TurnstileStream
 
@@ -70,6 +72,62 @@ def load_stream(path: str | pathlib.Path) -> TurnstileStream:
                 f"{path}: header declares {declared} updates, found {count}"
             )
     return stream
+
+
+def iter_stream_array_chunks(
+    path: str | pathlib.Path, chunk_size: int = 4096
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Stream a file written by :func:`save_stream` as columnar
+    ``(items, deltas)`` int64 chunks, without materializing a
+    :class:`TurnstileStream` (so arbitrarily long files ingest in
+    O(chunk) memory).  Validates the header and declared length like
+    :func:`load_stream`.
+
+    Streaming caveat: truncation is only detectable at end of file, so a
+    consumer feeding chunks into a sketch will have ingested the earlier
+    chunks before the ``ValueError`` fires (the declared-length check runs
+    *before* the final partial chunk is yielded).  Treat the sketch as
+    poisoned if this generator raises; :func:`load_stream` validates fully
+    before handing anything over, at the cost of materializing the stream.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    path = pathlib.Path(path)
+    with path.open() as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty file")
+        header = json.loads(header_line)
+        if header.get("format") != "repro-stream":
+            raise ValueError(f"{path}: not a repro stream file")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported version {header.get('version')!r}"
+            )
+        items: list[int] = []
+        deltas: list[int] = []
+        count = 0
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            item, delta = json.loads(line)
+            items.append(int(item))
+            deltas.append(int(delta))
+            count += 1
+            if len(items) >= chunk_size:
+                yield (
+                    np.array(items, dtype=np.int64),
+                    np.array(deltas, dtype=np.int64),
+                )
+                items, deltas = [], []
+        declared = header.get("length")
+        if declared is not None and declared != count:
+            raise ValueError(
+                f"{path}: header declares {declared} updates, found {count}"
+            )
+        if items:
+            yield np.array(items, dtype=np.int64), np.array(deltas, dtype=np.int64)
 
 
 def save_frequency_profile(

@@ -14,9 +14,10 @@ second pass of the 2-pass heavy-hitter algorithm.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Sequence
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -87,8 +88,13 @@ class FrequencyVector:
 
         With ``include_zeros=True`` the ``n - support`` zero coordinates
         contribute ``g(0)`` each (the Appendix A setting where g(0) != 0).
+
+        Summed in item order: the counts dict's insertion order depends on
+        how the stream was ingested (scalar vs batch chunking), and float
+        addition order must not leak into results the batch-equivalence
+        contract declares identical.
         """
-        total = sum(g(abs(v)) for v in self._counts.values())
+        total = sum(g(abs(self._counts[i])) for i in sorted(self._counts))
         if include_zeros:
             total += (self.domain_size - len(self._counts)) * g(0)
         return total
@@ -134,6 +140,7 @@ class TurnstileStream:
         self.magnitude_bound = magnitude_bound
         self._updates: List[StreamUpdate] = []
         self._running = FrequencyVector(domain_size)
+        self._arrays: tuple[np.ndarray, np.ndarray] | None = None
         for update in updates:
             self.append(update)
 
@@ -167,6 +174,36 @@ class TurnstileStream:
     @property
     def updates(self) -> Sequence[StreamUpdate]:
         return tuple(self._updates)
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Columnar view: ``(items, deltas)`` int64 arrays in arrival order.
+
+        The arrays are cached (and rebuilt after appends), so repeated
+        batch ingestion of the same stream pays the conversion once.
+        Callers must not mutate the returned arrays.
+        """
+        if self._arrays is None or self._arrays[0].shape[0] != len(self._updates):
+            count = len(self._updates)
+            items = np.fromiter(
+                (u.item for u in self._updates), dtype=np.int64, count=count
+            )
+            deltas = np.fromiter(
+                (u.delta for u in self._updates), dtype=np.int64, count=count
+            )
+            self._arrays = (items, deltas)
+        return self._arrays
+
+    def iter_array_chunks(
+        self, chunk_size: int = 4096
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Chunked columnar view: yields zero-copy ``(items, deltas)``
+        slices of :meth:`as_arrays` covering the stream in arrival order."""
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        items, deltas = self.as_arrays()
+        for start in range(0, items.shape[0], chunk_size):
+            stop = start + chunk_size
+            yield items[start:stop], deltas[start:stop]
 
     def frequency_vector(self) -> FrequencyVector:
         """Exact ``V(D)`` (a copy; mutating it does not affect the stream)."""

@@ -1,20 +1,20 @@
 """Utility substrates: sub-polynomial function algebra, integer math, RNG."""
 
-from repro.util.subpoly import (
-    SubPolynomial,
-    constant,
-    iterated_log,
-    polylog,
-    sqrt_log_exp,
-    is_subpolynomial_samples,
-)
 from repro.util.intmath import (
+    is_prime,
     lowest_set_bit,
     minimal_l1_combination,
     next_prime,
-    is_prime,
 )
 from repro.util.rng import RandomSource, as_source
+from repro.util.subpoly import (
+    SubPolynomial,
+    constant,
+    is_subpolynomial_samples,
+    iterated_log,
+    polylog,
+    sqrt_log_exp,
+)
 
 __all__ = [
     "SubPolynomial",

@@ -1,6 +1,5 @@
 """Tests for the query-optimizer statistics application (Section 1.1.3)."""
 
-import math
 
 import pytest
 

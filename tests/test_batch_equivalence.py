@@ -1,0 +1,279 @@
+"""Scalar ``update`` vs vectorized ``update_batch`` equivalence.
+
+The batch-ingestion contract (see ``repro.streams.batching``): replaying
+any stream through the scalar path and through ``update_batch`` — at any
+chunking — must leave bit-for-bit identical sketch state and estimates.
+This holds because deltas are integers (float64 sums of integers below
+2^53 are order-independent), the hash families evaluate identically in
+scalar and batched form, and CountSketch's candidate tracker replays the
+exact scalar estimate sequence via grouped prefix-sums.
+
+Covered for every converted structure, on Zipf and mixed-sign turnstile
+workloads, including empty-batch and single-item edges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dist import DistDetector
+from repro.core.gsum import GSumEstimator
+from repro.core.heavy_hitters import (
+    ExactHeavyHitter,
+    OnePassGHeavyHitter,
+    TwoPassGHeavyHitter,
+)
+from repro.core.recursive_sketch import RecursiveGSumSketch
+from repro.core.universal import TwoPassUniversalSketch, UniversalGSumSketch
+from repro.functions.library import moment
+from repro.sketch.ams import AmsF2Sketch
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.exact import ExactCounter
+from repro.sketch.f0 import BjkstF0Sketch, TurnstileF0Estimator
+from repro.sketch.hashing import KWiseHash, SignHash, SubsampleHash, VectorKWiseHash
+from repro.streams.batching import as_batch, drive, iter_update_chunks
+from repro.streams.generators import zipf_stream
+from repro.streams.model import StreamUpdate, TurnstileStream
+
+N = 256
+G2 = moment(2.0)
+CHUNKS = (1, 7, 64, 10_000)
+
+
+def _streams():
+    return [
+        ("zipf", zipf_stream(n=N, total_mass=8_000, skew=1.2, seed=11)),
+        (
+            "turnstile",
+            zipf_stream(n=N, total_mass=8_000, skew=1.2, seed=23, turnstile_noise=0.4),
+        ),
+    ]
+
+
+STREAMS = _streams()
+
+
+def scalar_feed(sketch, stream):
+    for u in stream:
+        sketch.update(u.item, u.delta)
+    return sketch
+
+
+def batch_feed(sketch, stream, chunk):
+    for items, deltas in stream.iter_array_chunks(chunk):
+        sketch.update_batch(items, deltas)
+    return sketch
+
+
+@pytest.mark.parametrize("name,stream", STREAMS)
+@pytest.mark.parametrize("chunk", CHUNKS)
+class TestSketchLayerEquivalence:
+    def test_countsketch(self, name, stream, chunk):
+        for track in (0, 8):
+            a = scalar_feed(CountSketch(5, 128, track=track, seed=9), stream)
+            b = batch_feed(CountSketch(5, 128, track=track, seed=9), stream, chunk)
+            assert np.array_equal(a._table, b._table)
+            assert a._candidates == b._candidates
+            items = range(N)
+            assert [a.estimate(i) for i in items] == [b.estimate(i) for i in items]
+            assert a.top_candidates() == b.top_candidates()
+
+    def test_countmin(self, name, stream, chunk):
+        a = scalar_feed(CountMinSketch(5, 128, seed=9), stream)
+        b = batch_feed(CountMinSketch(5, 128, seed=9), stream, chunk)
+        assert np.array_equal(a._table, b._table)
+        assert [a.estimate(i) for i in range(N)] == [b.estimate(i) for i in range(N)]
+
+    def test_ams(self, name, stream, chunk):
+        a = scalar_feed(AmsF2Sketch(5, 16, seed=9), stream)
+        b = batch_feed(AmsF2Sketch(5, 16, seed=9), stream, chunk)
+        assert np.array_equal(a._registers, b._registers)
+        assert a.estimate() == b.estimate()
+
+    def test_exact_counter(self, name, stream, chunk):
+        a = scalar_feed(ExactCounter(N), stream)
+        b = batch_feed(ExactCounter(N), stream, chunk)
+        assert a._counts == b._counts
+        restrict = list(range(0, N, 3))
+        a = scalar_feed(ExactCounter(N, restrict_to=restrict), stream)
+        b = batch_feed(ExactCounter(N, restrict_to=restrict), stream, chunk)
+        assert a._counts == b._counts
+
+    def test_f0_sketches(self, name, stream, chunk):
+        a = scalar_feed(BjkstF0Sketch(32, seed=9), stream)
+        b = batch_feed(BjkstF0Sketch(32, seed=9), stream, chunk)
+        assert a.level == b.level and a._sample == b._sample
+        a = scalar_feed(TurnstileF0Estimator(N, 32, seed=9), stream)
+        b = batch_feed(TurnstileF0Estimator(N, 32, seed=9), stream, chunk)
+        assert a._counts == b._counts and a.estimate() == b.estimate()
+
+    def test_dist_detector(self, name, stream, chunk):
+        a = scalar_feed(DistDetector([5, 101], 1, N, pieces=24, seed=9), stream)
+        b = batch_feed(DistDetector([5, 101], 1, N, pieces=24, seed=9), stream, chunk)
+        assert np.array_equal(a._counters, b._counters)
+        assert a.decide() == b.decide()
+
+
+@pytest.mark.parametrize("name,stream", STREAMS)
+class TestCoreLayerEquivalence:
+    CHUNK = 61
+
+    def test_one_pass_heavy_hitter(self, name, stream):
+        a = scalar_feed(OnePassGHeavyHitter(G2, 0.1, 0.25, 0.1, N, seed=5), stream)
+        b = batch_feed(
+            OnePassGHeavyHitter(G2, 0.1, 0.25, 0.1, N, seed=5), stream, self.CHUNK
+        )
+        assert a.cover() == b.cover()
+        assert a.frequency_error_bound() == b.frequency_error_bound()
+
+    def test_two_pass_heavy_hitter(self, name, stream):
+        a = TwoPassGHeavyHitter(G2, 0.1, 0.1, N, seed=5)
+        b = TwoPassGHeavyHitter(G2, 0.1, 0.1, N, seed=5)
+        scalar_feed(a, stream)
+        batch_feed(b, stream, self.CHUNK)
+        a.begin_second_pass()
+        b.begin_second_pass()
+        for u in stream:
+            a.update_second_pass(u.item, u.delta)
+        for items, deltas in stream.iter_array_chunks(self.CHUNK):
+            b.update_batch_second_pass(items, deltas)
+        assert a.cover() == b.cover()
+
+    def test_recursive_sketch_exact_levels(self, name, stream):
+        def factory(level, rng):
+            return ExactHeavyHitter(G2, N)
+
+        a = scalar_feed(RecursiveGSumSketch(G2, N, factory, seed=5), stream)
+        b = batch_feed(RecursiveGSumSketch(G2, N, factory, seed=5), stream, self.CHUNK)
+        assert a.estimate() == b.estimate()
+
+    def test_exact_heavy_hitter_non_integer_g(self, name, stream):
+        # moment(1.5) weights are not exactly representable, so the
+        # heaviness threshold is sensitive to summation order — the cover
+        # must still be ingestion-order independent.
+        g15 = moment(1.5)
+        a = scalar_feed(ExactHeavyHitter(g15, N, heaviness=0.05), stream)
+        b = batch_feed(ExactHeavyHitter(g15, N, heaviness=0.05), stream, self.CHUNK)
+        assert a.cover() == b.cover()
+
+    def test_gsum_estimator_one_pass(self, name, stream):
+        a = GSumEstimator(G2, N, heaviness=0.1, repetitions=3, seed=5)
+        b = GSumEstimator(G2, N, heaviness=0.1, repetitions=3, seed=5)
+        scalar_feed(a, stream)
+        b.process(stream, chunk_size=self.CHUNK)
+        assert a.estimate() == b.estimate()
+
+    def test_gsum_estimator_two_pass(self, name, stream):
+        a = GSumEstimator(G2, N, passes=2, heaviness=0.1, repetitions=3, seed=5)
+        scalar_feed(a, stream)
+        a.begin_second_pass()
+        for u in stream:
+            a.update_second_pass(u.item, u.delta)
+        b = GSumEstimator(G2, N, passes=2, heaviness=0.1, repetitions=3, seed=5)
+        b.run(stream, exact=False, chunk_size=self.CHUNK)
+        assert a.estimate() == b.estimate()
+
+    def test_universal_sketch(self, name, stream):
+        a = scalar_feed(UniversalGSumSketch(N, seed=5), stream)
+        b = batch_feed(UniversalGSumSketch(N, seed=5), stream, self.CHUNK)
+        for g in (G2, moment(1.5)):
+            assert a.estimate(g) == b.estimate(g)
+        assert a.distinct_count() == b.distinct_count()
+
+    def test_two_pass_universal_sketch(self, name, stream):
+        a = TwoPassUniversalSketch(N, repetitions=2, seed=5)
+        scalar_feed(a, stream)
+        a.begin_second_pass()
+        for u in stream:
+            a.update_second_pass(u.item, u.delta)
+        b = TwoPassUniversalSketch(N, repetitions=2, seed=5).run(stream)
+        for g in (G2, moment(1.5)):
+            assert a.estimate(g) == b.estimate(g)
+
+
+class TestBatchedHashing:
+    def test_kwise_batch_matches_scalar(self):
+        h = KWiseHash(128, 4, seed=3)
+        xs = np.arange(0, 3000, 7, dtype=np.int64)
+        assert np.array_equal(h.values_batch(xs), np.array([h(int(x)) for x in xs]))
+
+    def test_sign_batch_matches_scalar(self):
+        s = SignHash(4, seed=3)
+        xs = np.arange(0, 3000, 7, dtype=np.int64)
+        assert np.array_equal(s.values_batch(xs), np.array([float(s(int(x))) for x in xs]))
+
+    def test_vector_batch_matches_scalar(self):
+        v = VectorKWiseHash(24, 4, seed=3)
+        xs = np.arange(0, 500, 3, dtype=np.int64)
+        batch_values = v.values_batch(xs)
+        batch_signs = v.signs_batch(xs)
+        for i, x in enumerate(xs):
+            assert np.array_equal(batch_values[i], v.values(int(x)))
+            assert np.array_equal(batch_signs[i], v.signs(int(x)))
+
+    def test_subsample_levels_batch(self):
+        sub = SubsampleHash(10, seed=3)
+        xs = np.arange(0, 2000, 3, dtype=np.int64)
+        assert np.array_equal(
+            sub.levels_batch(xs), np.array([sub.level(int(x)) for x in xs])
+        )
+
+    def test_empty_batches(self):
+        empty = np.array([], dtype=np.int64)
+        assert KWiseHash(8, 2, seed=1).values_batch(empty).shape == (0,)
+        assert SubsampleHash(4, seed=1).levels_batch(empty).shape == (0,)
+
+
+class TestBatchEdges:
+    def test_empty_batch_is_a_noop(self):
+        empty = np.array([], dtype=np.int64)
+        for sketch in (
+            CountSketch(3, 32, track=4, seed=1),
+            CountMinSketch(3, 32, seed=1),
+            AmsF2Sketch(3, 8, seed=1),
+            ExactCounter(N),
+            BjkstF0Sketch(16, seed=1),
+            TurnstileF0Estimator(N, 16, seed=1),
+            DistDetector([5, 101], 1, N, pieces=8, seed=1),
+            GSumEstimator(G2, N, heaviness=0.2, repetitions=1, seed=1),
+        ):
+            sketch.update_batch(empty, empty)  # must not raise or mutate
+
+    def test_single_item_batch_matches_scalar_update(self):
+        a = CountSketch(3, 32, track=4, seed=1)
+        b = CountSketch(3, 32, track=4, seed=1)
+        a.update(7, 3)
+        b.update_batch(np.array([7]), np.array([3]))
+        assert np.array_equal(a._table, b._table)
+        assert a._candidates == b._candidates
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            as_batch([1, 2], [1])
+
+    def test_non_integral_deltas_raise(self):
+        with pytest.raises(ValueError, match="integer"):
+            as_batch([1, 2], [1.0, 0.5])
+        # exactly-integral floats are accepted (and applied exactly)
+        items, deltas = as_batch([1, 2], [1.0, -2.0])
+        assert deltas.dtype == np.int64 and deltas.tolist() == [1, -2]
+
+    def test_non_1d_batches_raise(self):
+        with pytest.raises(ValueError):
+            as_batch(np.zeros((2, 2), dtype=np.int64), np.zeros(4, dtype=np.int64))
+
+    def test_drive_buffers_generic_iterables(self):
+        stream = STREAMS[1][1]
+        a = scalar_feed(CountSketch(3, 64, seed=2), stream)
+        b = drive(CountSketch(3, 64, seed=2), iter(list(stream)), chunk_size=13)
+        assert np.array_equal(a._table, b._table)
+
+    def test_iter_update_chunks_covers_stream_in_order(self):
+        stream = TurnstileStream(8)
+        for i in range(5):
+            stream.append(StreamUpdate(i % 3, i + 1))
+        chunks = list(iter_update_chunks(stream, chunk_size=2))
+        items = np.concatenate([c[0] for c in chunks])
+        deltas = np.concatenate([c[1] for c in chunks])
+        assert items.tolist() == [u.item for u in stream]
+        assert deltas.tolist() == [u.delta for u in stream]

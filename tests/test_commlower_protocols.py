@@ -97,7 +97,6 @@ class TestSketchMessageProtocol:
 class TestMajorityAmplification:
     def test_majority_beats_single_copy(self):
         rng = RandomSource(7, "amp")
-        flaky_state = {"count": 0}
 
         def run_once(child_rng):
             # succeed with probability 2/3, seeded deterministically

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.sketch.countsketch import CountSketch
-from repro.streams.model import StreamUpdate, TurnstileStream, stream_from_frequencies
+from repro.streams.model import stream_from_frequencies
 from repro.util.rng import RandomSource
 
 

@@ -7,7 +7,6 @@ import pytest
 from repro.commlower.problems import DistInstance
 from repro.core.dist import DistDetector, ResidueCostTable
 from repro.streams.model import stream_from_frequencies
-from repro.util.intmath import minimal_l1_combination
 
 
 class TestResidueCostTable:

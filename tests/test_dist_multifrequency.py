@@ -1,6 +1,5 @@
 """Tests for the multi-frequency (u,d)-DIST generalization (Theorem 51)."""
 
-import pytest
 
 from repro.commlower.problems import DistInstance
 from repro.core.dist import DistDetector

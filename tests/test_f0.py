@@ -4,7 +4,7 @@ import pytest
 
 from repro.sketch.f0 import BjkstF0Sketch, TurnstileF0Estimator
 from repro.streams.generators import zipf_stream
-from repro.streams.model import StreamUpdate, TurnstileStream, stream_from_frequencies
+from repro.streams.model import stream_from_frequencies
 
 
 class TestBjkst:

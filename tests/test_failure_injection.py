@@ -6,8 +6,8 @@ import math
 import pytest
 
 from repro.core.gsum import GSumEstimator
-from repro.core.recursive_sketch import RecursiveGSumSketch
 from repro.core.heavy_hitters import ExactHeavyHitter, TwoPassGHeavyHitter
+from repro.core.recursive_sketch import RecursiveGSumSketch
 from repro.functions.base import GFunction
 from repro.functions.library import moment
 from repro.sketch.ams import AmsF2Sketch

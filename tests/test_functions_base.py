@@ -1,6 +1,5 @@
 """Tests for the class G wrapper (Section 3)."""
 
-import math
 
 import pytest
 

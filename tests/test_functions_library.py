@@ -13,7 +13,6 @@ from repro.functions.library import (
     g_np,
     indicator,
     intractable_examples,
-    linear,
     log_decay,
     moment,
     negative_moment,

@@ -71,7 +71,6 @@ class TestThetaMetric:
 
     def test_scaling_distance(self):
         g = moment(2.0)
-        h = g.with_properties()  # copy
         # distance between g and 2g is log 2 everywhere except we cannot
         # scale GFunction easily; compare against x^2.2 on small window
         h2 = moment(2.2)

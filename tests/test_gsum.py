@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.gsum import GSumEstimator, estimate_gsum, exact_gsum
 from repro.functions.library import linear, moment, spam_damped_fee, x2_log
-from repro.streams.generators import uniform_stream, zipf_stream
+from repro.streams.generators import uniform_stream
 from repro.streams.model import stream_from_frequencies
 
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.util.rng import RandomSource
 from repro.sketch.hashing import (
     BernoulliHash,
     KWiseHash,

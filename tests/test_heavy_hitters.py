@@ -1,6 +1,5 @@
 """Tests for the 1-pass and 2-pass g-heavy-hitter algorithms (Alg. 1 & 2)."""
 
-import math
 
 import pytest
 
@@ -12,7 +11,6 @@ from repro.core.heavy_hitters import (
     theory_heaviness,
 )
 from repro.functions.library import moment, sin_sqrt_x2, sin_x_x2
-from repro.streams.generators import planted_heavy_hitter_stream
 from repro.streams.model import stream_from_frequencies
 
 

@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro import (
-    GSumEstimator,
-    classify,
-    estimate_gsum,
-    exact_gsum,
-    moment,
-    zipf_stream,
-)
+from repro import GSumEstimator, classify, estimate_gsum, moment
 from repro.applications.loglik import PoissonMixture, SketchedMle
 from repro.commlower.adversary import run_adversary
 from repro.commlower.problems import IndexInstance
@@ -47,7 +40,6 @@ class TestZeroOneLawEndToEnd:
         stream = sinusoid_adversarial_stream(
             512, g, center=40_000, spread=400, support=80, seed=17
         )
-        exact = exact_gsum(stream, g)
 
         def run(passes, seeds):
             errors = []

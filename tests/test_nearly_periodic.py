@@ -1,6 +1,5 @@
 """Tests for nearly periodic functions (Definition 9, Appendix D)."""
 
-import math
 
 import pytest
 

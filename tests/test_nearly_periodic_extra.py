@@ -1,6 +1,5 @@
 """Tests for the Prop. 29 repair sequence and Def. 65 dropping sets."""
 
-import pytest
 
 from repro.functions.library import g_np, moment, reciprocal
 from repro.functions.nearly_periodic import (

@@ -1,6 +1,5 @@
 """Tests for the Appendix-A g(0) != 0 estimator."""
 
-import math
 
 import pytest
 

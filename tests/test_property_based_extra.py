@@ -2,10 +2,9 @@
 
 import math
 
+import numpy as np
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
-
-import numpy as np
 
 from repro.commlower.information import (
     convolve_mod,

@@ -9,9 +9,8 @@ from repro.core.recursive_sketch import (
     two_pass_run,
 )
 from repro.functions.library import moment
-from repro.streams.generators import uniform_stream, zipf_stream
+from repro.streams.generators import uniform_stream
 from repro.streams.model import stream_from_frequencies
-from repro.util.rng import RandomSource
 
 G2 = moment(2.0)
 

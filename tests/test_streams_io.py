@@ -2,9 +2,11 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.streams.io import (
+    iter_stream_array_chunks,
     load_frequency_profile,
     load_stream,
     save_frequency_profile,
@@ -61,6 +63,38 @@ class TestStreamRoundtrip:
         path.write_text("\n".join(lines[:-1]) + "\n")  # drop one update
         with pytest.raises(ValueError, match="declares"):
             load_stream(path)
+
+
+class TestChunkedArrayLoading:
+    def test_chunks_match_full_load(self, small_stream, tmp_path):
+        path = tmp_path / "s.jsonl"
+        save_stream(small_stream, path)
+        chunks = list(iter_stream_array_chunks(path, chunk_size=3))
+        assert all(c[0].dtype == np.int64 and c[1].dtype == np.int64 for c in chunks)
+        assert max(len(c[0]) for c in chunks) <= 3
+        items = np.concatenate([c[0] for c in chunks]).tolist()
+        deltas = np.concatenate([c[1] for c in chunks]).tolist()
+        assert items == [u.item for u in small_stream]
+        assert deltas == [u.delta for u in small_stream]
+
+    def test_empty_stream_yields_no_chunks(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_stream(TurnstileStream(4), path)
+        assert list(iter_stream_array_chunks(path)) == []
+
+    def test_rejects_truncation(self, small_stream, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        save_stream(small_stream, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="declares"):
+            list(iter_stream_array_chunks(path, chunk_size=2))
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": "other"}) + "\n")
+        with pytest.raises(ValueError, match="not a repro stream"):
+            list(iter_stream_array_chunks(path))
 
 
 class TestFrequencyProfile:

@@ -1,6 +1,5 @@
 """Tests for the zero-one-law classifier (Theorems 2 and 3)."""
 
-import pytest
 
 from repro.core.tractability import (
     classify,
@@ -8,7 +7,7 @@ from repro.core.tractability import (
     classify_numeric,
     zero_one_table,
 )
-from repro.functions.base import DeclaredProperties, GFunction
+from repro.functions.base import GFunction
 from repro.functions.library import (
     catalog,
     g_np,
