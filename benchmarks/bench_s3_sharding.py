@@ -1,0 +1,186 @@
+"""S3 (supplementary) — sharded parallel ingestion: shards x chunk grid.
+
+Feeds one large unit-update turnstile stream (10^6 updates full mode,
+2*10^4 in smoke mode) into each linear sketch through the sharded engine
+at every (shards, chunk) grid point and reports sustained updates/second,
+the speedup over 1 shard, and — the non-negotiable column — whether the
+sharded state is bit-identical to sequential ingestion (the
+mergeable-sketch invariance contract; the bench fails hard on any
+mismatch).
+
+Wall-clock speedup expectations are hardware-dependent: threads only help
+when the numpy kernels (which release the GIL) have cores to spill onto.
+The >= 2x speedup assertion therefore only arms on machines with >= 4
+CPUs in full (non-smoke) mode; the equivalence assertions always run.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the reduced-size CI version.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.gsum import GSumEstimator
+from repro.functions.library import moment
+from repro.sketch.ams import AmsF2Sketch
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.countsketch import CountSketch
+from repro.streams.batching import DEFAULT_CHUNK
+from repro.streams.generators import zipf_stream
+from repro.streams.model import stream_from_frequencies
+from repro.streams.sharding import ingest_sharded
+
+from _tables import emit_table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+CPUS = os.cpu_count() or 1
+N = 1 << 14
+TOTAL_MASS = 20_000 if SMOKE else 1_000_000
+SHARD_GRID = (1, 2, 4, 8)
+CHUNK_GRID = (4096, 16384, 65536)
+
+_PROFILE = zipf_stream(n=N, total_mass=TOTAL_MASS, skew=1.2, seed=3)
+STREAM = stream_from_frequencies(
+    dict(_PROFILE.frequency_vector().items()), N, chunk=1
+)
+
+LINEAR_SKETCHES = [
+    ("CountSketch(5x4096,track64)", lambda: CountSketch(5, 4096, track=64, seed=1)),
+    ("Count-Min(5x4096)", lambda: CountMinSketch(5, 4096, seed=1)),
+    ("AMS(160 regs)", lambda: AmsF2Sketch(5, 32, seed=1)),
+]
+
+
+def _state_key(sketch):
+    """Cheap bit-exact state signature for the equivalence column."""
+    if isinstance(sketch, AmsF2Sketch):
+        return sketch._registers.tobytes()
+    return sketch._table.tobytes()
+
+
+def _timed_ingest(factory, shards, chunk):
+    sketch = factory()
+    start = time.perf_counter()
+    if shards <= 1:
+        for items, deltas in STREAM.iter_array_chunks(chunk):
+            sketch.update_batch(items, deltas)
+    else:
+        ingest_sharded(sketch, STREAM, shards, chunk, mode="thread")
+    return sketch, time.perf_counter() - start
+
+
+def test_s3_sharding_grid(benchmark):
+    benchmark(lambda: _timed_ingest(LINEAR_SKETCHES[2][1], 2, DEFAULT_CHUNK))
+    STREAM.as_arrays()  # columnar conversion paid once, outside the timings
+    count = len(STREAM)
+    rows = []
+    best_speedup = {}
+    for name, factory in LINEAR_SKETCHES:
+        baseline_sketch, baseline_s = _timed_ingest(factory, 1, DEFAULT_CHUNK)
+        baseline_key = _state_key(baseline_sketch)
+        for shards in SHARD_GRID:
+            for chunk in CHUNK_GRID:
+                if shards == 1 and chunk != DEFAULT_CHUNK:
+                    continue
+                sketch, elapsed = _timed_ingest(factory, shards, chunk)
+                identical = _state_key(sketch) == baseline_key
+                speedup = baseline_s / elapsed
+                if identical:
+                    best_speedup[name] = max(best_speedup.get(name, 0.0), speedup)
+                rows.append(
+                    {
+                        "structure": name,
+                        "shards": shards,
+                        "chunk": chunk,
+                        "updates": count,
+                        "upd_per_sec": count / elapsed,
+                        "speedup_vs_1shard": speedup,
+                        "state_identical": identical,
+                    }
+                )
+    emit_table(
+        "S3",
+        "sharded parallel ingestion: shards x chunk grid (thread pool)",
+        rows,
+        claim="sharded ingestion is bit-identical to sequential at every "
+        "grid point; wall-clock speedup tracks available cores "
+        f"(this machine: {CPUS})",
+    )
+    assert all(r["state_identical"] for r in rows), "sharded state diverged"
+    if not SMOKE and CPUS >= 4:
+        for name, speedup in best_speedup.items():
+            assert speedup >= 2.0, (
+                f"{name}: best sharded speedup {speedup:.2f}x < 2x on "
+                f"{CPUS}-core machine"
+            )
+
+
+def test_s3_gsum_estimator_sharded(benchmark):
+    """The top-level estimator through ``shards=N``: estimates must be
+    bit-identical to sequential, whatever the wall-clock does."""
+    heaviness = 0.3 if SMOKE else 0.1
+    reps = 2
+
+    def build(shards):
+        return GSumEstimator(
+            moment(2.0), N, heaviness=heaviness, repetitions=reps, seed=1,
+            shards=shards,
+        )
+
+    benchmark(lambda: build(1))
+    sequential = build(1)
+    start = time.perf_counter()
+    sequential.process(STREAM)
+    seq_s = time.perf_counter() - start
+    rows = []
+    for shards in (2, 4):
+        est = build(shards)
+        start = time.perf_counter()
+        est.process(STREAM)
+        elapsed = time.perf_counter() - start
+        identical = est.estimate() == sequential.estimate()
+        rows.append(
+            {
+                "structure": f"GSumEstimator({reps} reps)",
+                "shards": shards,
+                "chunk": DEFAULT_CHUNK,
+                "updates": len(STREAM),
+                "upd_per_sec": len(STREAM) / elapsed,
+                "speedup_vs_1shard": seq_s / elapsed,
+                "state_identical": identical,
+            }
+        )
+        assert identical, f"sharded estimate diverged at shards={shards}"
+    emit_table(
+        "S3_GSUM",
+        "GSumEstimator(..., shards=N): sharded vs sequential ingestion",
+        rows,
+        claim="estimates are bit-identical to sequential ingestion at "
+        "every shard count",
+    )
+
+
+def test_s3_process_mode_round_trip():
+    """Process-pool mode ships sibling states across process boundaries via
+    to_state()/from_state(); the result must stay bit-identical."""
+    small = stream_from_frequencies(
+        dict(
+            zipf_stream(n=2048, total_mass=10_000, skew=1.2, seed=5)
+            .frequency_vector()
+            .items()
+        ),
+        2048,
+        chunk=1,
+    )
+    sequential = CountSketch(5, 1024, track=32, seed=1)
+    for items, deltas in small.iter_array_chunks(DEFAULT_CHUNK):
+        sequential.update_batch(items, deltas)
+
+    def run():
+        sketch = CountSketch(5, 1024, track=32, seed=1)
+        return ingest_sharded(sketch, small, 2, mode="process")
+
+    sharded = run()
+    assert np.array_equal(sharded._table, sequential._table)
+    assert sharded.top_candidates() == sequential.top_candidates()

@@ -1,0 +1,125 @@
+"""CI bench trend check: fail on large throughput regressions.
+
+Compares the machine-readable ``BENCH_*.json`` artifacts produced by a
+bench run (via the ``REPRO_BENCH_JSON`` env var, see ``_tables.py``)
+against the committed baseline in ``benchmarks/bench_baseline.json``, and
+exits nonzero when any tracked throughput metric regressed by more than
+the configured tolerance (default: 2x, i.e. the measured value dropped
+below ``baseline / 2``).
+
+The baseline stores *smoke-mode* numbers from a deliberately modest
+1-core reference machine, so a healthy CI runner passes with slack; the
+check exists to catch order-of-magnitude regressions (a vectorized path
+silently falling back to a Python loop), not single-digit noise.  Refresh
+the baseline intentionally whenever the engine gets faster::
+
+    REPRO_BENCH_SMOKE=1 REPRO_BENCH_JSON=bench-artifacts \
+        python -m pytest benchmarks/bench_s2_throughput.py \
+        benchmarks/bench_s3_sharding.py -q --benchmark-disable
+    python benchmarks/check_bench_trend.py bench-artifacts --write-baseline
+
+Usage::
+
+    python benchmarks/check_bench_trend.py <artifact-dir> [--baseline PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = pathlib.Path(__file__).parent / "bench_baseline.json"
+
+
+def _load_artifacts(artifact_dir: pathlib.Path) -> dict[str, dict]:
+    artifacts = {}
+    for path in sorted(artifact_dir.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text())
+        artifacts[payload["experiment"]] = payload
+    return artifacts
+
+
+def _find_row(artifact: dict, match: dict) -> dict | None:
+    for row in artifact["rows"]:
+        if all(row.get(key) == value for key, value in match.items()):
+            return row
+    return None
+
+
+def check(artifact_dir: pathlib.Path, baseline_path: pathlib.Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    tolerance = float(baseline.get("tolerance", 2.0))
+    artifacts = _load_artifacts(artifact_dir)
+    failures = []
+    for metric in baseline["metrics"]:
+        experiment = metric["experiment"]
+        label = f"{experiment} {metric['match']} {metric['column']}"
+        artifact = artifacts.get(experiment)
+        if artifact is None:
+            failures.append(f"{label}: artifact BENCH_{experiment}.json missing")
+            continue
+        row = _find_row(artifact, metric["match"])
+        if row is None:
+            failures.append(f"{label}: no row matches")
+            continue
+        value = row.get(metric["column"])
+        if not isinstance(value, (int, float)):
+            failures.append(f"{label}: column missing or non-numeric ({value!r})")
+            continue
+        floor = metric["baseline"] / tolerance
+        status = "ok" if value >= floor else "REGRESSED"
+        print(
+            f"{status:>9}  {label}: measured {value:,.0f} "
+            f"vs baseline {metric['baseline']:,.0f} (floor {floor:,.0f})"
+        )
+        if value < floor:
+            failures.append(
+                f"{label}: {value:,.0f} < floor {floor:,.0f} "
+                f"(baseline {metric['baseline']:,.0f} / {tolerance}x)"
+            )
+    if failures:
+        print(f"\n{len(failures)} bench trend failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baseline['metrics'])} tracked metrics within {tolerance}x")
+    return 0
+
+
+def write_baseline(artifact_dir: pathlib.Path, baseline_path: pathlib.Path) -> int:
+    """Refresh the committed baseline from a fresh artifact directory,
+    keeping the existing metric selection."""
+    baseline = json.loads(baseline_path.read_text())
+    artifacts = _load_artifacts(artifact_dir)
+    for metric in baseline["metrics"]:
+        artifact = artifacts.get(metric["experiment"])
+        row = None if artifact is None else _find_row(artifact, metric["match"])
+        value = None if row is None else row.get(metric["column"])
+        if not isinstance(value, (int, float)):
+            print(f"warning: no measurement for {metric}", file=sys.stderr)
+            continue
+        metric["baseline"] = value
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"baseline refreshed: {baseline_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact_dir", type=pathlib.Path)
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="refresh the baseline from the artifacts instead of checking",
+    )
+    args = parser.parse_args(argv)
+    if args.write_baseline:
+        return write_baseline(args.artifact_dir, args.baseline)
+    return check(args.artifact_dir, args.baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

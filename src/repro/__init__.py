@@ -48,9 +48,11 @@ from repro.functions import (
     moment,
     sin_sqrt_x2,
 )
+from repro.sketch import MergeableSketch
 from repro.streams import (
     StreamUpdate,
     TurnstileStream,
+    ingest_sharded,
     planted_heavy_hitter_stream,
     stream_from_frequencies,
     uniform_stream,
@@ -78,8 +80,10 @@ __all__ = [
     "l_eta_transform",
     "moment",
     "sin_sqrt_x2",
+    "MergeableSketch",
     "TurnstileStream",
     "StreamUpdate",
+    "ingest_sharded",
     "planted_heavy_hitter_stream",
     "stream_from_frequencies",
     "uniform_stream",

@@ -6,7 +6,8 @@ classify   apply the zero-one laws to a function expression
 estimate   run a g-SUM estimator over a stream file (see repro.streams.io)
 generate   synthesize a workload stream file
 catalog    print the zero-one-law table for the built-in catalog
-ingest     measure scalar vs batch ingestion throughput on a stream file
+ingest     measure scalar vs batch vs sharded ingestion throughput on a
+           stream file (``--shards N`` exercises the parallel engine)
 
 The function argument accepts either a catalog name (see ``catalog``) or a
 Python expression in ``x`` (evaluated in a restricted math namespace),
@@ -78,7 +79,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     result = estimate_gsum(
         stream, g, epsilon=args.epsilon, passes=args.passes,
         heaviness=args.heaviness, repetitions=args.repetitions, seed=args.seed,
-        chunk_size=args.chunk,
+        chunk_size=args.chunk, shards=args.shards, shard_mode=args.shard_mode,
     )
     print(f"g-SUM estimate for {g.name} over {args.stream}")
     print(f"  estimate: {result.estimate:,.4f}")
@@ -104,13 +105,18 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
     """Ingestion throughput check: feed the same in-memory stream to a
-    CountSketch through the scalar update loop and through chunked
-    ``update_batch``, and report both rates.  Parsing/columnar conversion
-    happen outside both timed regions so the comparison is engine vs
-    engine, not engine vs disk."""
+    CountSketch through the scalar update loop, through chunked
+    ``update_batch``, and (with ``--shards N``) through the sharded
+    parallel engine, and report all rates.  Parsing/columnar conversion
+    happen outside the timed regions so the comparison is engine vs
+    engine, not engine vs disk.  Sharded state is verified identical to
+    the batch-ingested state before reporting."""
     import time
 
+    import numpy as np
+
     from repro.sketch.countsketch import CountSketch
+    from repro.streams.sharding import ingest_sharded
 
     stream = load_stream(args.stream)
     stream.as_arrays()  # columnar conversion paid up front
@@ -132,6 +138,21 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     print(f"  batch:  {batch_s:.4f}s  ({count / batch_s:,.0f} updates/s, "
           f"chunk={args.chunk})")
     print(f"  speedup: {scalar_s / batch_s:.1f}x")
+
+    if args.shards > 1:
+        sharded = CountSketch(args.rows, args.buckets, seed=args.seed)
+        start = time.perf_counter()
+        ingest_sharded(
+            sharded, stream, args.shards, args.chunk, mode=args.shard_mode
+        )
+        shard_s = time.perf_counter() - start
+        identical = np.array_equal(sharded._table, batched._table)
+        print(f"  sharded: {shard_s:.4f}s  ({count / shard_s:,.0f} updates/s, "
+              f"shards={args.shards}, mode={args.shard_mode})")
+        print(f"  sharded speedup over batch: {batch_s / shard_s:.1f}x")
+        print(f"  sharded state identical to sequential: {identical}")
+        if not identical:
+            return 1
     return 0
 
 
@@ -172,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--chunk", type=_positive_int, default=4096,
                    help="batch-ingestion chunk size (default 4096)")
+    p.add_argument("--shards", type=_positive_int, default=1,
+                   help="parallel ingestion shards (results are "
+                        "bit-identical to --shards 1)")
+    p.add_argument("--shard-mode", choices=("thread", "process", "serial"),
+                   default="thread")
     p.set_defaults(fn=_cmd_estimate)
 
     p = sub.add_parser("generate", help="synthesize a workload stream file")
@@ -192,6 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buckets", type=_positive_int, default=1024)
     p.add_argument("--chunk", type=_positive_int, default=4096)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=_positive_int, default=1,
+                   help="also time sharded parallel ingestion with this "
+                        "many shards (state verified identical)")
+    p.add_argument("--shard-mode", choices=("thread", "process", "serial"),
+                   default="thread")
     p.set_defaults(fn=_cmd_ingest)
 
     p = sub.add_parser("catalog", help="print the catalog zero-one table")

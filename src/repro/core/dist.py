@@ -28,6 +28,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.sketch.base import MergeableSketch, decode_array, encode_array
 from repro.sketch.hashing import KWiseHash, SignHash
 from repro.streams.batching import as_batch, drive
 from repro.streams.model import StreamUpdate, TurnstileStream
@@ -80,7 +81,7 @@ class DistDecision:
     threshold: float
 
 
-class DistDetector:
+class DistDetector(MergeableSketch):
     """Streaming detector for ``(u, d)``-DIST (Proposition 49).
 
     Parameters
@@ -141,6 +142,13 @@ class DistDetector:
         # Signed piece-sums must stay below this for the residue sets to be
         # disjoint (|z| <= (q_mod - 1) / 2).
         self.threshold = max(1.0, (self.q_mod - 1) / 2.0)
+        self._register_mergeable(
+            source,
+            frequencies=list(self.frequencies),
+            target=self.target,
+            n=self.n,
+            pieces=self.pieces,
+        )
 
     @classmethod
     def recommended_pieces(
@@ -224,6 +232,26 @@ class DistDetector:
     @property
     def space_counters(self) -> int:
         return self.pieces
+
+    # ------------------------------------------------- mergeable protocol
+
+    def _extra_compat(self) -> tuple:
+        return (self._router.fingerprint(), self._signs.fingerprint())
+
+    def merge(self, other: "DistDetector") -> "DistDetector":
+        """Linearity: signed piece counters add."""
+        self.require_sibling(other)
+        self._counters += other._counters
+        return self
+
+    def _state_payload(self) -> dict:
+        return {"counters": encode_array(self._counters)}
+
+    def _load_state_payload(self, payload: dict) -> None:
+        counters = decode_array(payload["counters"])
+        if counters.shape != self._counters.shape:
+            raise ValueError("state counter shape mismatch")
+        self._counters = counters
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

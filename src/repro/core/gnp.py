@@ -28,11 +28,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable, List, Sequence
+
+import numpy as np
 
 from repro.core.heavy_hitters import HeavyHitterPair
 from repro.functions.library import g_np
-from repro.sketch.hashing import BernoulliHash, KWiseHash
+from repro.sketch.base import MergeableSketch
+from repro.sketch.hashing import BernoulliHash, KWiseHash, _batch_arg, _mod_p31
+from repro.streams.batching import as_batch, drive
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.intmath import lowest_set_bit
 from repro.util.rng import RandomSource, as_source
@@ -68,6 +72,23 @@ class _Substream:
         self.total = 0
         self.weight = 0  # number of updates routed here (diagnostics)
         self._membership_cache: dict[int, tuple[int, ...]] = {}
+        self._trial_bank: tuple[np.ndarray, np.ndarray] | None = None
+
+    def _trial_coeffs(self) -> tuple[np.ndarray, np.ndarray]:
+        """The D pairwise trial polynomials stacked as coefficient arrays,
+        so one broadcasted Horner step evaluates every trial for a whole
+        item array (same coefficients as the scalar hashes, so memberships
+        agree bit for bit)."""
+        if self._trial_bank is None:
+            self._trial_bank = (
+                np.array(
+                    [h._hash._coeffs[0] for h in self._bernoulli], dtype=np.uint64
+                ),
+                np.array(
+                    [h._hash._coeffs[1] for h in self._bernoulli], dtype=np.uint64
+                ),
+            )
+        return self._trial_bank
 
     def _memberships(self, item: int) -> tuple[int, ...]:
         cached = self._membership_cache.get(item)
@@ -87,6 +108,70 @@ class _Substream:
         for b in range(self.n_bits):
             if (item >> b) & 1:
                 self.bit_counters[b] += delta
+
+    def update_batch(self, items: np.ndarray, deltas: np.ndarray) -> None:
+        """Batched counter maintenance for the items routed here: net the
+        deltas per distinct item, evaluate each Bernoulli trial once per
+        distinct item (vectorized), and add integer net contributions to
+        every counter.  Integer adds commute, so the final counters equal a
+        scalar replay exactly."""
+        count = items.shape[0]
+        if count == 0:
+            return
+        self.weight += count
+        self.total += int(deltas.sum())
+        unique, inverse = np.unique(items, return_inverse=True)
+        net = np.bincount(
+            inverse, weights=deltas.astype(np.float64), minlength=unique.shape[0]
+        ).astype(np.int64)
+        # All D trial memberships in one broadcasted degree-1 Horner step
+        # over GF(2^31 - 1): membership(i, t) = (c0[t]*arg_i + c1[t]) mod 2,
+        # exactly the scalar BernoulliHash arithmetic.
+        c0, c1 = self._trial_coeffs()
+        arg = _batch_arg(unique)[:, None]
+        member = (_mod_p31(c0[None, :] * arg + c1[None, :]) & np.uint64(1)).astype(
+            bool
+        )
+        trial_add = (net[:, None] * member).sum(axis=0)
+        self.trial_counters = [
+            c + int(a) for c, a in zip(self.trial_counters, trial_add.tolist())
+        ]
+        bits = (
+            (unique[:, None] >> np.arange(self.n_bits, dtype=np.int64)[None, :]) & 1
+        ).astype(bool)
+        bit_add = (net[:, None] * bits).sum(axis=0)
+        self.bit_counters = [
+            c + int(a) for c, a in zip(self.bit_counters, bit_add.tolist())
+        ]
+
+    def state_payload(self) -> dict:
+        return {
+            "trial_counters": list(self.trial_counters),
+            "bit_counters": list(self.bit_counters),
+            "total": self.total,
+            "weight": self.weight,
+        }
+
+    def load_state_payload(self, payload: dict) -> None:
+        if (
+            len(payload["trial_counters"]) != self.trials
+            or len(payload["bit_counters"]) != self.n_bits
+        ):
+            raise ValueError("substream state shape mismatch")
+        self.trial_counters = [int(c) for c in payload["trial_counters"]]
+        self.bit_counters = [int(c) for c in payload["bit_counters"]]
+        self.total = int(payload["total"])
+        self.weight = int(payload["weight"])
+
+    def merge_counters(self, other: "_Substream") -> None:
+        self.total += other.total
+        self.weight += other.weight
+        self.trial_counters = [
+            a + b for a, b in zip(self.trial_counters, other.trial_counters)
+        ]
+        self.bit_counters = [
+            a + b for a, b in zip(self.bit_counters, other.bit_counters)
+        ]
 
     def recover(self) -> GnpRecovery | None:
         """Attempt to recover the unique minimum-low-bit item.
@@ -130,7 +215,7 @@ class _Substream:
         return GnpRecovery(item, 2.0 ** (-i_star), i_star)
 
 
-class GnpHeavyHitterSketch:
+class GnpHeavyHitterSketch(MergeableSketch):
     """1-pass ``(g_np, lambda)``-heavy-hitter sketch (Proposition 54).
 
     Space: ``C * (D + log2 n + 1)`` counters with ``C = O(lambda^-2)``
@@ -161,16 +246,36 @@ class GnpHeavyHitterSketch:
         self._substreams = [
             _Substream(n_bits, d, source.child(f"sub{k}")) for k in range(c)
         ]
+        self._register_mergeable(
+            source,
+            n=self.n,
+            heaviness=self.heaviness,
+            substreams=c,
+            trials=d,
+        )
 
     def update(self, item: int, delta: int) -> None:
         self._substreams[self._router(item)].update(item, delta)
 
+    def update_batch(
+        self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
+    ) -> None:
+        """Batched ingestion: route the whole batch with one vectorized
+        Horner evaluation, then hand each substream its (order-preserving)
+        sub-batch.  All counters are integer sums, so the result equals a
+        scalar replay bit for bit."""
+        items, deltas = as_batch(items, deltas)
+        if items.shape[0] == 0:
+            return
+        routes = self._router.values_batch(items)
+        for k in np.unique(routes).tolist():
+            mask = routes == k
+            self._substreams[k].update_batch(items[mask], deltas[mask])
+
     def process(
         self, stream: TurnstileStream | Iterable[StreamUpdate]
     ) -> "GnpHeavyHitterSketch":
-        for u in stream:
-            self.update(u.item, u.delta)
-        return self
+        return drive(self, stream)
 
     def recoveries(self) -> List[GnpRecovery]:
         out = []
@@ -204,6 +309,29 @@ class GnpHeavyHitterSketch:
         return sum(
             len(s.trial_counters) + len(s.bit_counters) + 1 for s in self._substreams
         )
+
+    # ------------------------------------------------- mergeable protocol
+
+    def _extra_compat(self) -> tuple:
+        return (self._router.fingerprint(),)
+
+    def merge(self, other: "GnpHeavyHitterSketch") -> "GnpHeavyHitterSketch":
+        """Linearity: every substream counter adds (the Bernoulli trials
+        and bit masks are identical for siblings)."""
+        self.require_sibling(other)
+        for mine, theirs in zip(self._substreams, other._substreams):
+            mine.merge_counters(theirs)
+        return self
+
+    def _state_payload(self) -> dict:
+        return {"substreams": [s.state_payload() for s in self._substreams]}
+
+    def _load_state_payload(self, payload: dict) -> None:
+        states = payload["substreams"]
+        if len(states) != len(self._substreams):
+            raise ValueError("state substream count mismatch")
+        for sub, state in zip(self._substreams, states):
+            sub.load_state_payload(state)
 
 
 def recover_single_heavy_hitter(

@@ -24,6 +24,7 @@ from repro.core.heavy_hitters import (
 )
 from repro.core.recursive_sketch import RecursiveGSumSketch
 from repro.functions.base import GFunction
+from repro.sketch.base import MergeableSketch
 from repro.streams.batching import DEFAULT_CHUNK, drive, drive_second_pass
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
@@ -48,7 +49,7 @@ class GSumResult:
         return abs(self.estimate - self.exact) / abs(self.exact)
 
 
-class GSumEstimator:
+class GSumEstimator(MergeableSketch):
     """(g, eps)-SUM over turnstile streams, 1-pass or 2-pass.
 
     Parameters
@@ -73,6 +74,18 @@ class GSumEstimator:
         ``H(M)`` knob forwarded to the level sketches.
     prune:
         Algorithm 2 stability pruning (1-pass only).
+    cs_pool:
+        Candidate-pool bound forwarded to every level CountSketch
+        (default 2^20); lower it for memory-sensitive deployments with
+        huge distinct-item counts.
+    shards:
+        Parallel ingestion shards for :meth:`process` /
+        :meth:`process_second_pass` / :meth:`run`.  ``shards > 1`` splits
+        each stream across sibling estimators driven by a worker pool and
+        merges their states — estimates are bit-identical to sequential
+        ingestion (see :mod:`repro.streams.sharding`).
+    shard_mode:
+        ``"thread"`` (default), ``"process"``, or ``"serial"``.
     """
 
     def __init__(
@@ -91,11 +104,16 @@ class GSumEstimator:
         seed: int | RandomSource | None = None,
         cs_max_buckets: int = 1 << 14,
         cs_max_rows: int = 7,
+        cs_pool: int | None = None,
+        shards: int = 1,
+        shard_mode: str = "thread",
     ):
         if passes not in (0, 1, 2):
             raise ValueError("passes must be 0 (exact), 1, or 2")
         if repetitions < 1:
             raise ValueError("repetitions must be positive")
+        if shards < 1:
+            raise ValueError("shards must be positive")
         source = as_source(seed, "gsum")
         self.g = g
         self.n = int(n)
@@ -125,6 +143,7 @@ class GSumEstimator:
                     seed=rng,
                     cs_max_buckets=cs_max_buckets,
                     cs_max_rows=cs_max_rows,
+                    cs_pool=cs_pool,
                 )
             return TwoPassGHeavyHitter(
                 g,
@@ -136,6 +155,7 @@ class GSumEstimator:
                 seed=rng,
                 cs_max_buckets=cs_max_buckets,
                 cs_max_rows=cs_max_rows,
+                cs_pool=cs_pool,
             )
 
         self._sketches: List[RecursiveGSumSketch] = [
@@ -144,6 +164,24 @@ class GSumEstimator:
             )
             for r in range(self.repetitions)
         ]
+        self.shards = int(shards)
+        self.shard_mode = str(shard_mode)
+        self._register_mergeable(
+            source,
+            g=g,
+            n=self.n,
+            epsilon=self.epsilon,
+            passes=self.passes,
+            heaviness=self.heaviness,
+            repetitions=self.repetitions,
+            h_witness=h_witness,
+            magnitude_bound=int(magnitude_bound),
+            levels=levels,
+            prune=bool(prune),
+            cs_max_buckets=int(cs_max_buckets),
+            cs_max_rows=int(cs_max_rows),
+            cs_pool=cs_pool,
+        )
 
     # ----------------------------------------------------------- streaming
 
@@ -162,8 +200,15 @@ class GSumEstimator:
         self,
         stream: TurnstileStream | Iterable[StreamUpdate],
         chunk_size: int = DEFAULT_CHUNK,
+        shards: int | None = None,
     ) -> "GSumEstimator":
-        return drive(self, stream, chunk_size)
+        return drive(
+            self,
+            stream,
+            chunk_size,
+            shards=self.shards if shards is None else shards,
+            shard_mode=self.shard_mode,
+        )
 
     def begin_second_pass(self) -> None:
         for sketch in self._sketches:
@@ -183,8 +228,15 @@ class GSumEstimator:
         self,
         stream: TurnstileStream | Iterable[StreamUpdate],
         chunk_size: int = DEFAULT_CHUNK,
+        shards: int | None = None,
     ) -> "GSumEstimator":
-        return drive_second_pass(self, stream, chunk_size)
+        return drive_second_pass(
+            self,
+            stream,
+            chunk_size,
+            shards=self.shards if shards is None else shards,
+            shard_mode=self.shard_mode,
+        )
 
     # ---------------------------------------------------------- estimation
 
@@ -194,6 +246,38 @@ class GSumEstimator:
     @property
     def space_counters(self) -> int:
         return sum(s.space_counters for s in self._sketches)
+
+    # ------------------------------------------------- mergeable protocol
+
+    def _extra_compat(self) -> tuple:
+        return tuple(s.compat_digest() for s in self._sketches)
+
+    def spawn_sibling(self) -> "GSumEstimator":
+        """Sibling estimator with identical randomness; repetitions are
+        spawned individually so two-pass phase carries over."""
+        sibling = super().spawn_sibling()
+        sibling._sketches = [s.spawn_sibling() for s in self._sketches]
+        return sibling
+
+    def merge(self, other: "GSumEstimator") -> "GSumEstimator":
+        """Merge repetition by repetition; the merged estimator is
+        bit-identical to one that ingested both streams itself."""
+        self.require_sibling(other)
+        for mine, theirs in zip(self._sketches, other._sketches):
+            mine.merge(theirs)
+        return self
+
+    def _state_payload(self) -> dict:
+        return {"reps": [s.to_state() for s in self._sketches]}
+
+    def _load_state_payload(self, payload: dict) -> None:
+        states = payload["reps"]
+        if len(states) != len(self._sketches):
+            raise ValueError("state repetition count mismatch")
+        self._sketches = [
+            sketch.from_state(state)
+            for sketch, state in zip(self._sketches, states)
+        ]
 
     # --------------------------------------------------------- convenience
 

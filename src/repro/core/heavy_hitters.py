@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.functions.base import GFunction
 from repro.sketch.ams import AmsF2Sketch
+from repro.sketch.base import MergeableSketch
 from repro.sketch.countsketch import CountSketch
 from repro.sketch.exact import ExactCounter
 from repro.streams.batching import drive, drive_second_pass
@@ -64,7 +65,7 @@ def _as_h_value(h_witness: float | Callable[[float], float], magnitude: float) -
     return max(float(h_witness), 1.0)
 
 
-class OnePassGHeavyHitter:
+class OnePassGHeavyHitter(MergeableSketch):
     """Algorithm 2: 1-pass ``(g, lambda, eps, delta)``-heavy hitters.
 
     Parameters
@@ -105,6 +106,7 @@ class OnePassGHeavyHitter:
         sign_independence: int = 4,
         cs_max_buckets: int = 1 << 14,
         cs_max_rows: int = 7,
+        cs_pool: int | None = None,
     ):
         if not 0 < heaviness <= 1:
             raise ValueError("heaviness must be in (0, 1]")
@@ -123,8 +125,24 @@ class OnePassGHeavyHitter:
             sign_independence,
             max_buckets=cs_max_buckets,
             max_rows=cs_max_rows,
+            pool=cs_pool,
         )
         self._ams = AmsF2Sketch.for_accuracy(0.5, failure / 2.0, source.child("ams"))
+        self._register_mergeable(
+            source,
+            g=g,
+            heaviness=float(heaviness),
+            accuracy=float(accuracy),
+            failure=float(failure),
+            n=int(n),
+            h_witness=h_witness,
+            magnitude_bound=int(magnitude_bound),
+            prune=bool(prune),
+            sign_independence=int(sign_independence),
+            cs_max_buckets=int(cs_max_buckets),
+            cs_max_rows=int(cs_max_rows),
+            cs_pool=cs_pool,
+        )
 
     def update(self, item: int, delta: int) -> None:
         self._countsketch.update(item, delta)
@@ -190,8 +208,30 @@ class OnePassGHeavyHitter:
     def space_counters(self) -> int:
         return self._countsketch.space_counters + self._ams.space_counters
 
+    # ------------------------------------------------- mergeable protocol
 
-class TwoPassGHeavyHitter:
+    def _extra_compat(self) -> tuple:
+        return (self._countsketch.compat_digest(), self._ams.compat_digest())
+
+    def merge(self, other: "OnePassGHeavyHitter") -> "OnePassGHeavyHitter":
+        """Merge both constituent linear sketches."""
+        self.require_sibling(other)
+        self._countsketch.merge(other._countsketch)
+        self._ams.merge(other._ams)
+        return self
+
+    def _state_payload(self) -> dict:
+        return {
+            "countsketch": self._countsketch.to_state(),
+            "ams": self._ams.to_state(),
+        }
+
+    def _load_state_payload(self, payload: dict) -> None:
+        self._countsketch = self._countsketch.from_state(payload["countsketch"])
+        self._ams = self._ams.from_state(payload["ams"])
+
+
+class TwoPassGHeavyHitter(MergeableSketch):
     """Algorithm 1: 2-pass ``(g, lambda, 0, delta)``-heavy hitters.
 
     Pass one runs a CountSketch for ``lambda/2H(M)``-heavy F2 hitters and
@@ -210,6 +250,7 @@ class TwoPassGHeavyHitter:
         seed: int | RandomSource | None = None,
         cs_max_buckets: int = 1 << 14,
         cs_max_rows: int = 7,
+        cs_pool: int | None = None,
     ):
         if not 0 < heaviness <= 1:
             raise ValueError("heaviness must be in (0, 1]")
@@ -225,9 +266,22 @@ class TwoPassGHeavyHitter:
             source.child("cs"),
             max_buckets=cs_max_buckets,
             max_rows=cs_max_rows,
+            pool=cs_pool,
         )
         self._second: ExactCounter | None = None
         self._n = int(n)
+        self._register_mergeable(
+            source,
+            g=g,
+            heaviness=float(heaviness),
+            failure=float(failure),
+            n=self._n,
+            h_witness=h_witness,
+            magnitude_bound=int(magnitude_bound),
+            cs_max_buckets=int(cs_max_buckets),
+            cs_max_rows=int(cs_max_rows),
+            cs_pool=cs_pool,
+        )
 
     # -------------------------------------------------------------- passes
 
@@ -289,8 +343,57 @@ class TwoPassGHeavyHitter:
         second = self._second.space_counters if self._second is not None else 0
         return self._countsketch.space_counters + second
 
+    # ------------------------------------------------- mergeable protocol
 
-class ExactHeavyHitter:
+    def _restrict_list(self) -> list[int] | None:
+        if self._second is None:
+            return None
+        restrict = self._second._restrict
+        return sorted(restrict) if restrict is not None else []
+
+    def _extra_compat(self) -> tuple:
+        return (self._countsketch.compat_digest(),)
+
+    def spawn_sibling(self) -> "TwoPassGHeavyHitter":
+        """Siblings clone *phase*: spawning from a sketch whose second pass
+        has begun yields a sibling tabulating the same candidate set."""
+        sibling = super().spawn_sibling()
+        if self._second is not None:
+            sibling._second = ExactCounter(
+                self._n, restrict_to=self._restrict_list()
+            )
+        return sibling
+
+    def merge(self, other: "TwoPassGHeavyHitter") -> "TwoPassGHeavyHitter":
+        """Merge within a pass: first-pass sketches merge their CountSketch;
+        second-pass sketches must share the candidate set (guaranteed for
+        siblings spawned after ``begin_second_pass``) and merge their exact
+        tabulations."""
+        self.require_sibling(other)
+        if (self._second is None) != (other._second is None):
+            raise ValueError("cannot merge sketches in different passes")
+        self._countsketch.merge(other._countsketch)
+        if self._second is not None:
+            self._second.merge(other._second)
+        return self
+
+    def _state_payload(self) -> dict:
+        return {
+            "countsketch": self._countsketch.to_state(),
+            "restrict": self._restrict_list(),
+            "second": None if self._second is None else self._second.to_state(),
+        }
+
+    def _load_state_payload(self, payload: dict) -> None:
+        self._countsketch = self._countsketch.from_state(payload["countsketch"])
+        if payload["second"] is None:
+            self._second = None
+        else:
+            template = ExactCounter(self._n, restrict_to=payload["restrict"])
+            self._second = template.from_state(payload["second"])
+
+
+class ExactHeavyHitter(MergeableSketch):
     """Linear-space oracle with the same interface — ground truth for tests
     and the 'exact' mode of the estimators."""
 
@@ -298,6 +401,7 @@ class ExactHeavyHitter:
         self.g = g
         self.heaviness = heaviness
         self._counter = ExactCounter(n)
+        self._register_mergeable(None, g=g, n=int(n), heaviness=float(heaviness))
 
     def update(self, item: int, delta: int) -> None:
         self._counter.update(item, delta)
@@ -321,6 +425,19 @@ class ExactHeavyHitter:
     @property
     def space_counters(self) -> int:
         return self._counter.space_counters
+
+    # ------------------------------------------------- mergeable protocol
+
+    def merge(self, other: "ExactHeavyHitter") -> "ExactHeavyHitter":
+        self.require_sibling(other)
+        self._counter.merge(other._counter)
+        return self
+
+    def _state_payload(self) -> dict:
+        return {"counter": self._counter.to_state()}
+
+    def _load_state_payload(self, payload: dict) -> None:
+        self._counter = self._counter.from_state(payload["counter"])
 
 
 def theory_heaviness(epsilon: float, n: int) -> float:

@@ -29,13 +29,14 @@ import numpy as np
 
 from repro.core.heavy_hitters import GHeavyHitterSketch, HeavyHitterPair
 from repro.functions.base import GFunction
+from repro.sketch.base import MergeableSketch
 from repro.sketch.hashing import SubsampleHash
 from repro.streams.batching import as_batch, drive, drive_second_pass
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
 
 
-class RecursiveGSumSketch:
+class RecursiveGSumSketch(MergeableSketch):
     """Layered g-SUM estimator over any heavy-hitter level sketch.
 
     Parameters
@@ -69,6 +70,13 @@ class RecursiveGSumSketch:
         self._sketches: List[GHeavyHitterSketch] = [
             level_factory(j, source.child(f"level{j}")) for j in range(self.levels + 1)
         ]
+        self._register_mergeable(
+            source,
+            g=g,
+            n=self.n,
+            level_factory=level_factory,
+            levels=self.levels,
+        )
 
     # ----------------------------------------------------------- streaming
 
@@ -166,8 +174,55 @@ class RecursiveGSumSketch:
             for sketch in self._sketches
         )
 
+    # ------------------------------------------------- mergeable protocol
 
-class NaiveTopKGSum:
+    def _require_mergeable_levels(self) -> List[MergeableSketch]:
+        for sketch in self._sketches:
+            if not isinstance(sketch, MergeableSketch):
+                raise ValueError(
+                    f"level sketch {type(sketch).__name__} does not implement "
+                    "the mergeable-sketch protocol"
+                )
+        return self._sketches  # type: ignore[return-value]
+
+    def _extra_compat(self) -> tuple:
+        return (self._subsample.fingerprint(),) + tuple(
+            sketch.compat_digest() for sketch in self._require_mergeable_levels()
+        )
+
+    def spawn_sibling(self) -> "RecursiveGSumSketch":
+        """Sibling with identical subsampling and per-level sketches; level
+        sketches are spawned individually so phase (e.g. an open second
+        pass) carries over."""
+        levels = self._require_mergeable_levels()
+        sibling = super().spawn_sibling()
+        sibling._sketches = [sketch.spawn_sibling() for sketch in levels]
+        return sibling
+
+    def merge(self, other: "RecursiveGSumSketch") -> "RecursiveGSumSketch":
+        """Merge level by level (the subsampling hash is identical for
+        siblings, so level substreams align exactly)."""
+        self.require_sibling(other)
+        for mine, theirs in zip(self._require_mergeable_levels(), other._sketches):
+            mine.merge(theirs)
+        return self
+
+    def _state_payload(self) -> dict:
+        return {
+            "levels": [s.to_state() for s in self._require_mergeable_levels()]
+        }
+
+    def _load_state_payload(self, payload: dict) -> None:
+        states = payload["levels"]
+        levels = self._require_mergeable_levels()
+        if len(states) != len(levels):
+            raise ValueError("state level count mismatch")
+        self._sketches = [
+            sketch.from_state(state) for sketch, state in zip(levels, states)
+        ]
+
+
+class NaiveTopKGSum(MergeableSketch):
     """Ablation baseline for E8: a single CountSketch-based heavy-hitter
     sketch whose cover is summed directly, with no layering.  Accurate only
     when the g-mass is concentrated on the top k items; the layered sketch
@@ -176,6 +231,7 @@ class NaiveTopKGSum:
     def __init__(self, g: GFunction, level_sketch: GHeavyHitterSketch):
         self.g = g
         self._sketch = level_sketch
+        self._register_mergeable(None, g=g)
 
     def update(self, item: int, delta: int) -> None:
         self._sketch.update(item, delta)
@@ -200,6 +256,33 @@ class NaiveTopKGSum:
     @property
     def space_counters(self) -> int:
         return self._sketch.space_counters
+
+    # ------------------------------------------------- mergeable protocol
+
+    def _inner(self) -> MergeableSketch:
+        if not isinstance(self._sketch, MergeableSketch):
+            raise ValueError(
+                f"level sketch {type(self._sketch).__name__} does not "
+                "implement the mergeable-sketch protocol"
+            )
+        return self._sketch
+
+    def _extra_compat(self) -> tuple:
+        return (self._inner().compat_digest(),)
+
+    def spawn_sibling(self) -> "NaiveTopKGSum":
+        return NaiveTopKGSum(self.g, self._inner().spawn_sibling())
+
+    def merge(self, other: "NaiveTopKGSum") -> "NaiveTopKGSum":
+        self.require_sibling(other)
+        self._inner().merge(other._sketch)
+        return self
+
+    def _state_payload(self) -> dict:
+        return {"sketch": self._inner().to_state()}
+
+    def _load_state_payload(self, payload: dict) -> None:
+        self._sketch = self._inner().from_state(payload["sketch"])
 
 
 def two_pass_run(

@@ -31,6 +31,7 @@ from repro.core.heavy_hitters import OnePassGHeavyHitter, TwoPassGHeavyHitter
 from repro.core.recursive_sketch import RecursiveGSumSketch
 from repro.functions.base import GFunction
 from repro.functions.library import indicator, moment
+from repro.sketch.base import MergeableSketch
 from repro.streams.batching import drive, drive_second_pass
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
@@ -43,7 +44,7 @@ class FrequencyCoverEntry:
     survives_next: bool
 
 
-class _FrequencyLevel:
+class _FrequencyLevel(MergeableSketch):
     """A level sketch that records frequency estimates, not g-weights.
 
     Internally an Algorithm-2 sketch for the *identity-agnostic* part
@@ -53,6 +54,7 @@ class _FrequencyLevel:
 
     def __init__(self, inner: OnePassGHeavyHitter):
         self.inner = inner
+        self._register_mergeable(None)
 
     def update(self, item: int, delta: int) -> None:
         self.inner.update(item, delta)
@@ -76,8 +78,27 @@ class _FrequencyLevel:
     def space_counters(self) -> int:
         return self.inner.space_counters
 
+    # ------------------------------------------------- mergeable protocol
 
-class UniversalGSumSketch:
+    def _extra_compat(self) -> tuple:
+        return (self.inner.compat_digest(),)
+
+    def spawn_sibling(self) -> "_FrequencyLevel":
+        return _FrequencyLevel(self.inner.spawn_sibling())
+
+    def merge(self, other: "_FrequencyLevel") -> "_FrequencyLevel":
+        self.require_sibling(other)
+        self.inner.merge(other.inner)
+        return self
+
+    def _state_payload(self) -> dict:
+        return {"inner": self.inner.to_state()}
+
+    def _load_state_payload(self, payload: dict) -> None:
+        self.inner = self.inner.from_state(payload["inner"])
+
+
+class UniversalGSumSketch(MergeableSketch):
     """One-pass, g-oblivious sketch supporting post-hoc g-SUM queries.
 
     Parameters mirror :class:`repro.core.gsum.GSumEstimator`; the g passed
@@ -96,6 +117,7 @@ class UniversalGSumSketch:
         magnitude_bound: int = 1 << 20,
         seed: int | RandomSource | None = None,
         cs_max_buckets: int = 1 << 14,
+        cs_pool: int | None = None,
     ):
         source = as_source(seed, "universal")
         self.n = int(n)
@@ -109,6 +131,7 @@ class UniversalGSumSketch:
                     placeholder, heaviness, epsilon, 0.1, n,
                     h_witness=h_witness, magnitude_bound=magnitude_bound,
                     prune=False, seed=rng, cs_max_buckets=cs_max_buckets,
+                    cs_pool=cs_pool,
                 )
             )
 
@@ -119,6 +142,18 @@ class UniversalGSumSketch:
             )
             for r in range(self.repetitions)
         ]
+        self._register_mergeable(
+            source,
+            n=self.n,
+            epsilon=self.epsilon,
+            heaviness=float(heaviness),
+            repetitions=self.repetitions,
+            levels=levels,
+            h_witness=h_witness,
+            magnitude_bound=int(magnitude_bound),
+            cs_max_buckets=int(cs_max_buckets),
+            cs_pool=cs_pool,
+        )
 
     # ----------------------------------------------------------- streaming
 
@@ -190,8 +225,37 @@ class UniversalGSumSketch:
     def space_counters(self) -> int:
         return sum(s.space_counters for s in self._sketches)
 
+    # ------------------------------------------------- mergeable protocol
 
-class _TwoPassFrequencyLevel:
+    def _extra_compat(self) -> tuple:
+        return tuple(s.compat_digest() for s in self._sketches)
+
+    def spawn_sibling(self) -> "UniversalGSumSketch":
+        sibling = super().spawn_sibling()
+        sibling._sketches = [s.spawn_sibling() for s in self._sketches]
+        return sibling
+
+    def merge(self, other: "UniversalGSumSketch") -> "UniversalGSumSketch":
+        """Merge repetition by repetition."""
+        self.require_sibling(other)
+        for mine, theirs in zip(self._sketches, other._sketches):
+            mine.merge(theirs)
+        return self
+
+    def _state_payload(self) -> dict:
+        return {"reps": [s.to_state() for s in self._sketches]}
+
+    def _load_state_payload(self, payload: dict) -> None:
+        states = payload["reps"]
+        if len(states) != len(self._sketches):
+            raise ValueError("state repetition count mismatch")
+        self._sketches = [
+            sketch.from_state(state)
+            for sketch, state in zip(self._sketches, states)
+        ]
+
+
+class _TwoPassFrequencyLevel(MergeableSketch):
     """Two-pass level: CountSketch candidates in pass one, exact
     frequencies in pass two.  Post-hoc weights are then exact for *any* g
     — the universal sketch inherits Theorem 3's indifference to
@@ -199,6 +263,7 @@ class _TwoPassFrequencyLevel:
 
     def __init__(self, inner: TwoPassGHeavyHitter):
         self.inner = inner
+        self._register_mergeable(None)
 
     def update(self, item: int, delta: int) -> None:
         self.inner.update(item, delta)
@@ -232,6 +297,25 @@ class _TwoPassFrequencyLevel:
     def space_counters(self) -> int:
         return self.inner.space_counters
 
+    # ------------------------------------------------- mergeable protocol
+
+    def _extra_compat(self) -> tuple:
+        return (self.inner.compat_digest(),)
+
+    def spawn_sibling(self) -> "_TwoPassFrequencyLevel":
+        return _TwoPassFrequencyLevel(self.inner.spawn_sibling())
+
+    def merge(self, other: "_TwoPassFrequencyLevel") -> "_TwoPassFrequencyLevel":
+        self.require_sibling(other)
+        self.inner.merge(other.inner)
+        return self
+
+    def _state_payload(self) -> dict:
+        return {"inner": self.inner.to_state()}
+
+    def _load_state_payload(self, payload: dict) -> None:
+        self.inner = self.inner.from_state(payload["inner"])
+
 
 class TwoPassUniversalSketch(UniversalGSumSketch):
     """Universal sketch over Algorithm-1 levels: pass one identifies
@@ -250,6 +334,7 @@ class TwoPassUniversalSketch(UniversalGSumSketch):
         magnitude_bound: int = 1 << 20,
         seed: int | RandomSource | None = None,
         cs_max_buckets: int = 1 << 14,
+        cs_pool: int | None = None,
     ):
         source = as_source(seed, "universal2")
         self.n = int(n)
@@ -262,7 +347,7 @@ class TwoPassUniversalSketch(UniversalGSumSketch):
                 TwoPassGHeavyHitter(
                     placeholder, heaviness, 0.1, n,
                     h_witness=h_witness, magnitude_bound=magnitude_bound,
-                    seed=rng, cs_max_buckets=cs_max_buckets,
+                    seed=rng, cs_max_buckets=cs_max_buckets, cs_pool=cs_pool,
                 )
             )
 
@@ -273,6 +358,18 @@ class TwoPassUniversalSketch(UniversalGSumSketch):
             )
             for r in range(self.repetitions)
         ]
+        self._register_mergeable(
+            source,
+            n=self.n,
+            epsilon=self.epsilon,
+            heaviness=float(heaviness),
+            repetitions=self.repetitions,
+            levels=levels,
+            h_witness=h_witness,
+            magnitude_bound=int(magnitude_bound),
+            cs_max_buckets=int(cs_max_buckets),
+            cs_pool=cs_pool,
+        )
 
     def begin_second_pass(self) -> None:
         for sketch in self._sketches:

@@ -1,6 +1,8 @@
-"""Linear sketch substrates (Section 3.1): hashing, CountSketch, AMS, Count-Min."""
+"""Linear sketch substrates (Section 3.1): hashing, CountSketch, AMS,
+Count-Min — all implementing the mergeable-sketch protocol."""
 
 from repro.sketch.ams import AmsF2Sketch
+from repro.sketch.base import MergeableSketch, dumps_state, loads_state
 from repro.sketch.countmin import CountMinSketch
 from repro.sketch.countsketch import CountSketch, CountSketchEstimate
 from repro.sketch.exact import ExactCounter
@@ -10,6 +12,7 @@ from repro.sketch.hashing import BernoulliHash, KWiseHash, SignHash, SubsampleHa
 __all__ = [
     "BernoulliHash",
     "KWiseHash",
+    "MergeableSketch",
     "SignHash",
     "SubsampleHash",
     "CountSketch",
@@ -19,4 +22,6 @@ __all__ = [
     "ExactCounter",
     "BjkstF0Sketch",
     "TurnstileF0Estimator",
+    "dumps_state",
+    "loads_state",
 ]

@@ -14,13 +14,14 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.sketch.base import MergeableSketch, decode_array, encode_array
 from repro.sketch.hashing import VectorKWiseHash
 from repro.streams.batching import aggregate_batch, as_batch, drive
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
 
 
-class AmsF2Sketch:
+class AmsF2Sketch(MergeableSketch):
     """Median-of-means AMS estimator for ``F2 = sum v_i^2``."""
 
     def __init__(
@@ -39,6 +40,9 @@ class AmsF2Sketch:
         self._registers = np.zeros(count, dtype=np.float64)
         # Per-item sign-vector memo (repeat items skip the hash entirely).
         self._sign_cache: dict[int, np.ndarray] = {}
+        self._register_mergeable(
+            source, medians=self.medians, means_size=self.means_size
+        )
 
     def _sign_vector(self, item: int) -> np.ndarray:
         cached = self._sign_cache.get(item)
@@ -79,11 +83,26 @@ class AmsF2Sketch:
     def space_counters(self) -> int:
         return len(self._registers)
 
+    # ------------------------------------------------- mergeable protocol
+
+    def _extra_compat(self) -> tuple:
+        return (self._signs.fingerprint(),)
+
     def merge(self, other: "AmsF2Sketch") -> "AmsF2Sketch":
-        if (self.medians, self.means_size) != (other.medians, other.means_size):
-            raise ValueError("cannot merge AMS sketches with different dimensions")
+        """Linearity: registers add, so merging sibling sketches of two
+        streams sketches their concatenation."""
+        self.require_sibling(other)
         self._registers += other._registers
         return self
+
+    def _state_payload(self) -> dict:
+        return {"registers": encode_array(self._registers)}
+
+    def _load_state_payload(self, payload: dict) -> None:
+        registers = decode_array(payload["registers"])
+        if registers.shape != self._registers.shape:
+            raise ValueError("state register shape mismatch")
+        self._registers = registers
 
     @classmethod
     def for_accuracy(

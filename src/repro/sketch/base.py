@@ -1,0 +1,220 @@
+"""The mergeable-sketch protocol: merge / serialize / sibling-spawn.
+
+Every structure in the library is (or is built from) a *linear* sketch, so
+the state of two sketches of two streams, built from the same randomness,
+adds to the state of the concatenated stream.  This module makes that an
+explicit, uniform contract implemented by every layer of the stack — raw
+sketches (CountSketch, Count-Min, AMS, F0, exact, DIST, g_np), heavy-hitter
+sketches, the Recursive Sketch, the universal sketches, and the top-level
+:class:`~repro.core.gsum.GSumEstimator`:
+
+``spawn_sibling()``
+    A fresh, empty sketch with identical configuration *and identical hash
+    functions*.  The labeled :class:`~repro.util.rng.RandomSource` guarantees
+    same ``(seed, label)`` lineage -> same polynomials, so siblings are
+    merge-compatible by construction.  Siblings also clone *phase*: spawning
+    from a two-pass sketch that has begun its second pass yields a sibling
+    in its second pass, restricted to the same candidates.
+
+``merge(other)``
+    Fold a sibling's state into ``self`` (tables add, registers add, counts
+    add, candidate pools union).  Raises ``ValueError`` unless the two
+    sketches share a :meth:`~MergeableSketch.compat_digest` — configuration,
+    randomness lineage, and (for the raw sketches) the hash-function
+    fingerprints themselves.
+
+``to_state()`` / ``from_state(state)``
+    Round-trip serialization of the *mutable* state (never the hash
+    functions — those are reproducible from the lineage).  The state dict is
+    JSON-serializable, so shard workers in other processes or on other
+    machines can ship states back to a coordinator holding a sibling.
+    ``sketch.from_state(sketch.to_state())`` reconstructs an equal sketch.
+
+The invariance contract (enforced by ``tests/test_mergeable.py``): for any
+stream split into k shard substreams, ingesting each shard into a sibling
+and merging yields state and estimates *identical* to single-sketch
+ingestion — bit for bit, for every implementer.  This is what makes the
+sharded ingestion engine in :mod:`repro.streams.sharding` exact rather than
+approximate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.util.rng import RandomSource
+
+STATE_FORMAT = "repro-sketch-state"
+STATE_VERSION = 1
+
+
+# --------------------------------------------------------------- state codecs
+
+def encode_array(arr: np.ndarray) -> dict:
+    """JSON-friendly encoding of a numpy array (exact: float64 values
+    round-trip through JSON's shortest-repr float serialization)."""
+    return {
+        "__ndarray__": arr.tolist(),
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+    }
+
+
+def decode_array(spec: dict) -> np.ndarray:
+    arr = np.asarray(spec["__ndarray__"], dtype=np.dtype(spec["dtype"]))
+    return arr.reshape(tuple(spec["shape"]))
+
+
+def encode_int_map(mapping: Dict[int, Any]) -> list:
+    """A dict with integer keys as a sorted list of ``[key, value]`` pairs
+    (JSON objects force string keys; sorting makes the encoding canonical,
+    so equal states compare equal)."""
+    return [[int(k), mapping[k]] for k in sorted(mapping)]
+
+
+def decode_int_map(pairs: Iterable) -> Dict[int, Any]:
+    return {int(k): v for k, v in pairs}
+
+
+def dumps_state(state: dict) -> str:
+    """Serialize a ``to_state()`` dict to a JSON string (the wire format for
+    cross-process / cross-machine shard shipping)."""
+    return json.dumps(state, separators=(",", ":"))
+
+
+def loads_state(text: str) -> dict:
+    return json.loads(text)
+
+
+def _config_token(value: Any) -> Any:
+    """Reduce a config value to a hashable, representation-stable token for
+    the compat digest.  Callables (g functions, witnesses, level factories)
+    are reduced to their names: two sketches configured with *different
+    functions of the same name* will digest equal, which is the documented
+    limit of the compatibility check."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_config_token(v) for v in value]
+    name = getattr(value, "name", None)
+    if isinstance(name, str):
+        return f"{type(value).__name__}:{name}"
+    if callable(value):
+        return f"callable:{getattr(value, '__qualname__', repr(value))}"
+    return f"{type(value).__name__}"
+
+
+class MergeableSketch(ABC):
+    """Base class for every mergeable streaming structure.
+
+    Subclasses call :meth:`_register_mergeable` at the end of ``__init__``
+    with the resolved :class:`RandomSource` (or ``None`` for deterministic
+    structures) and the constructor configuration, then implement
+    :meth:`merge`, :meth:`_state_payload`, and :meth:`_load_state_payload`.
+    The default :meth:`spawn_sibling` re-invokes the constructor with the
+    recorded configuration and the exact randomness lineage.
+    """
+
+    _merge_config: Dict[str, Any]
+    _merge_lineage: Tuple[int, str] | None
+
+    # ------------------------------------------------------------- registry
+
+    def _register_mergeable(
+        self, source: RandomSource | None, **config: Any
+    ) -> None:
+        self._merge_config = dict(config)
+        self._merge_lineage = None if source is None else source.lineage
+
+    # ----------------------------------------------------------- protocol
+
+    def spawn_sibling(self) -> "MergeableSketch":
+        """A fresh, empty, merge-compatible sketch: same configuration, same
+        hash functions (reconstructed from the randomness lineage)."""
+        config = dict(self._merge_config)
+        if self._merge_lineage is not None:
+            config["seed"] = RandomSource.resolved(*self._merge_lineage)
+        return type(self)(**config)
+
+    @abstractmethod
+    def merge(self, other: "MergeableSketch") -> "MergeableSketch":
+        """Fold a sibling's state into ``self`` and return ``self``."""
+
+    @abstractmethod
+    def _state_payload(self) -> dict:
+        """The mutable state as a JSON-serializable dict."""
+
+    @abstractmethod
+    def _load_state_payload(self, payload: dict) -> None:
+        """Replace this sketch's mutable state with a decoded payload."""
+
+    # ------------------------------------------------------- compatibility
+
+    def _extra_compat(self) -> tuple:
+        """Subclass hook: extra compatibility evidence (e.g. hash-function
+        fingerprints) folded into the digest."""
+        return ()
+
+    def compat_digest(self) -> str:
+        """Digest of everything that must match for two sketches to merge:
+        class, configuration, randomness lineage, and any extra evidence."""
+        material = {
+            "class": type(self).__name__,
+            "config": {
+                k: _config_token(v) for k, v in sorted(self._merge_config.items())
+            },
+            "lineage": list(self._merge_lineage) if self._merge_lineage else None,
+            "extra": _config_token(list(self._extra_compat())),
+        }
+        blob = json.dumps(material, sort_keys=True, default=str).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def require_sibling(self, other: "MergeableSketch") -> None:
+        """Raise ``ValueError`` unless ``other`` is merge-compatible."""
+        if type(other) is not type(self):
+            raise ValueError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if self.compat_digest() != other.compat_digest():
+            raise ValueError(
+                f"cannot merge {type(self).__name__} sketches with different "
+                "configuration or randomness lineage (they are not siblings)"
+            )
+
+    # -------------------------------------------------------- serialization
+
+    def to_state(self) -> dict:
+        """Serializable snapshot of the mutable state, tagged with the
+        compatibility digest so a mismatched load fails loudly."""
+        return {
+            "format": STATE_FORMAT,
+            "version": STATE_VERSION,
+            "sketch": type(self).__name__,
+            "compat": self.compat_digest(),
+            "payload": self._state_payload(),
+        }
+
+    def from_state(self, state: dict) -> "MergeableSketch":
+        """A new sibling loaded with ``state`` (produced by a sibling's
+        :meth:`to_state`); ``self`` is left untouched."""
+        if state.get("format") != STATE_FORMAT:
+            raise ValueError("not a repro sketch state")
+        if state.get("version") != STATE_VERSION:
+            raise ValueError(f"unsupported state version {state.get('version')!r}")
+        if state.get("sketch") != type(self).__name__:
+            raise ValueError(
+                f"state is for {state.get('sketch')!r}, not {type(self).__name__}"
+            )
+        if state.get("compat") != self.compat_digest():
+            raise ValueError(
+                "state belongs to a sketch with different configuration or "
+                "randomness lineage"
+            )
+        sibling = self.spawn_sibling()
+        sibling._load_state_payload(state["payload"])
+        return sibling

@@ -13,13 +13,14 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.sketch.base import MergeableSketch, decode_array, encode_array
 from repro.sketch.hashing import KWiseHash
 from repro.streams.batching import aggregate_batch, as_batch, drive
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
 
 
-class CountMinSketch:
+class CountMinSketch(MergeableSketch):
     """Classic Count-Min: min over rows of hashed counters."""
 
     def __init__(self, rows: int, buckets: int, seed: int | RandomSource | None = None):
@@ -32,6 +33,7 @@ class CountMinSketch:
         self._hashes = [
             KWiseHash(self.buckets, 2, source.child(f"h{j}")) for j in range(self.rows)
         ]
+        self._register_mergeable(source, rows=self.rows, buckets=self.buckets)
 
     def update(self, item: int, delta: float) -> None:
         for j in range(self.rows):
@@ -69,3 +71,24 @@ class CountMinSketch:
     @property
     def space_counters(self) -> int:
         return self.rows * self.buckets
+
+    # ------------------------------------------------- mergeable protocol
+
+    def _extra_compat(self) -> tuple:
+        return tuple(h.fingerprint() for h in self._hashes)
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Linearity: counters add, so merging sibling sketches of two
+        streams sketches their concatenation."""
+        self.require_sibling(other)
+        self._table += other._table
+        return self
+
+    def _state_payload(self) -> dict:
+        return {"table": encode_array(self._table)}
+
+    def _load_state_payload(self, payload: dict) -> None:
+        table = decode_array(payload["table"])
+        if table.shape != self._table.shape:
+            raise ValueError("state table shape mismatch")
+        self._table = table

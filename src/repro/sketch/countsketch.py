@@ -8,22 +8,27 @@ parameterization of Section 3.1, a ``CountSketch(lambda, eps, delta)`` uses
 candidate pairs containing every ``lambda``-heavy hitter for F2, each with
 additive error at most ``eps * sqrt(lambda * F2)``.
 
-This implementation is a genuine turnstile linear sketch plus a top-k
-candidate tracker (the standard practical device for recovering identities
-without an O(n) query sweep).  The candidate tracker re-estimates an item on
-every update touching it, so deletions demote candidates naturally.
+This implementation is a genuine turnstile linear sketch plus a *deferred*
+top-k candidate tracker (the practical device for recovering identities
+without an O(n) query sweep).  Streaming only maintains a **candidate
+pool** — the set of distinct items seen, bounded at ``pool`` entries by
+keeping the items with the smallest values of a dedicated pairwise hash
+(BJKST-style threshold sampling, so membership is a pure function of the
+set of items seen).  All estimation is deferred to query time:
+``top_candidates`` re-estimates the whole pool against the final table in
+one vectorized median pass and selects the top ``track`` by
+``np.argpartition``.
 
-Ingestion has two paths sharing one ``(rows, buckets)`` float64 table:
-the scalar ``update`` (one item, one delta) and the vectorized
-``update_batch`` (whole int64 arrays), which nets deltas per distinct
-item, hashes each distinct item once across all rows with the batched
-Horner evaluator, and scatter-adds the signed mass row by row with
-``np.bincount``.  Candidate tracking is replayed exactly: a grouped
-prefix-sum over each row's bucket sequence reconstructs the *running*
-cell value at every update of the chunk, so the tracker sees the same
-estimate sequence the scalar path computes.  Every quantity is an
-integer-valued float64 far below 2^53, so both paths — table, estimates,
-and tracked candidates — agree bit for bit.
+That deferral is what makes the tracker *mergeable*: the pool is a
+set-union (re-pruned by the same hash order) and the table is linear, so
+any chunking, any update order, and any sharded split-and-merge of a
+stream yield bit-for-bit identical candidates and estimates.  The scalar
+``update`` and the vectorized ``update_batch`` share the exact same state
+transition; ``tests/test_batch_equivalence.py`` and
+``tests/test_mergeable.py`` enforce both invariances.  (Caveat: beyond
+``pool`` distinct items — default 2^20 — identification degrades to a
+uniform sample of identities; the linear table, and hence all frequency
+estimates, are unaffected.)
 """
 
 from __future__ import annotations
@@ -36,29 +41,23 @@ from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
+from repro.sketch.base import (
+    MergeableSketch,
+    decode_array,
+    decode_int_map,
+    encode_array,
+    encode_int_map,
+)
 from repro.sketch.hashing import KWiseHash, SignHash
 from repro.streams.batching import as_batch, drive
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
 
+#: Default candidate-pool bound: large enough that realistic workloads keep
+#: every distinct item (exact identification), small enough to bound memory.
+DEFAULT_POOL = 1 << 20
 
-def _running_cell_sums(buckets: np.ndarray, contributions: np.ndarray) -> np.ndarray:
-    """Inclusive running total of ``contributions`` per bucket, in update
-    order: element ``t`` is the sum of all contributions at updates
-    ``t' <= t`` that hit ``buckets[t]``.  This reconstructs, vectorized,
-    the evolving value of each update's table cell inside a chunk — the
-    quantity the scalar path reads back after every write."""
-    order = np.argsort(buckets, kind="stable")
-    sorted_buckets = buckets[order]
-    sorted_csum = np.cumsum(contributions[order])
-    starts = np.flatnonzero(np.r_[True, sorted_buckets[1:] != sorted_buckets[:-1]])
-    offsets = np.empty(starts.shape[0], dtype=np.float64)
-    offsets[0] = 0.0
-    offsets[1:] = sorted_csum[starts[1:] - 1]
-    sizes = np.diff(np.r_[starts, sorted_buckets.shape[0]])
-    running = np.empty_like(sorted_csum)
-    running[order] = sorted_csum - np.repeat(offsets, sizes)
-    return running
+_POOL_SPACE = 1 << 30
 
 
 @dataclass(frozen=True)
@@ -69,8 +68,9 @@ class CountSketchEstimate:
     estimate: float
 
 
-class CountSketch:
-    """Turnstile CountSketch with median-of-rows estimates and top-k tracking.
+class CountSketch(MergeableSketch):
+    """Turnstile CountSketch with median-of-rows estimates and deferred
+    top-k candidate tracking.
 
     Parameters
     ----------
@@ -80,12 +80,16 @@ class CountSketch:
     buckets:
         Buckets per row; additive error scales as ``sqrt(F2 / buckets)``.
     track:
-        Number of candidate heavy items to track (``k`` in the paper's
-        ``O(1/lambda)`` candidate list).  ``0`` disables tracking (pure
-        frequency-estimation mode).
+        Number of candidate heavy items returned by :meth:`top_candidates`
+        (``k`` in the paper's ``O(1/lambda)`` candidate list).  ``0``
+        disables tracking (pure frequency-estimation mode).
     sign_independence:
         Independence of the sign hash; 4 matches the variance analysis, 2 is
         provided for the E12 ablation.
+    pool:
+        Candidate-pool bound (default ``2^20``).  Identification is exact —
+        and sharded ingestion bit-identical to sequential — whenever the
+        stream has at most this many distinct items.
     """
 
     def __init__(
@@ -95,6 +99,7 @@ class CountSketch:
         track: int = 0,
         seed: int | RandomSource | None = None,
         sign_independence: int = 4,
+        pool: int | None = None,
     ):
         if rows < 1 or buckets < 1:
             raise ValueError("rows and buckets must be positive")
@@ -102,6 +107,7 @@ class CountSketch:
         self.rows = int(rows)
         self.buckets = int(buckets)
         self.track = int(track)
+        self.pool = max(int(pool) if pool is not None else DEFAULT_POOL, self.track)
         self._table = np.zeros((self.rows, self.buckets), dtype=np.float64)
         self._bucket_hashes = [
             KWiseHash(self.buckets, 2, source.child(f"bucket{j}"))
@@ -111,12 +117,26 @@ class CountSketch:
             SignHash(sign_independence, source.child(f"sign{j}"))
             for j in range(self.rows)
         ]
+        self._pool_hash = KWiseHash(_POOL_SPACE, 2, source.child("pool"))
         # Per-item memo of (bucket index, sign) pairs: hash evaluation is
         # the Python-level bottleneck and hashes are deterministic per item.
         self._item_cache: Dict[int, List[tuple[int, float]]] = {}
-        # Candidate tracking: item -> latest estimate, plus a lazily-pruned heap.
-        self._candidates: Dict[int, float] = {}
-        self._heap: List[tuple[float, int]] = []
+        # Candidate pool: item -> pool-hash value.  Bounded at ``pool``
+        # entries by keeping the smallest (hash, item) pairs — membership is
+        # a pure function of the set of distinct items seen, so any update
+        # order / chunking / sharding leaves the same pool.
+        self._candidates: Dict[int, int] = {}
+        self._pool_heap: List[tuple[int, int]] = []  # (-hash, -item) max-heap
+        self._register_mergeable(
+            source,
+            rows=self.rows,
+            buckets=self.buckets,
+            track=self.track,
+            sign_independence=int(sign_independence),
+            pool=self.pool,
+        )
+
+    # ------------------------------------------------------------------ core
 
     def _item_slots(self, item: int) -> List[tuple[int, float]]:
         cached = self._item_cache.get(item)
@@ -129,15 +149,13 @@ class CountSketch:
                 self._item_cache[item] = cached
         return cached
 
-    # ------------------------------------------------------------------ core
-
     def update(self, item: int, delta: float) -> None:
         slots = self._item_slots(item)
         table = self._table
         for j, (bucket, sign) in enumerate(slots):
             table[j, bucket] += sign * delta
-        if self.track > 0:
-            self._track_item(item, abs(self.estimate(item)))
+        if self.track > 0 and item not in self._candidates:
+            self._pool_admit(item, self._pool_hash(item))
 
     def update_batch(
         self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
@@ -145,42 +163,37 @@ class CountSketch:
         """Vectorized ingestion of ``(items, deltas)`` int64 arrays.
 
         Bit-for-bit identical to replaying the batch through
-        :meth:`update`, tracking included: each distinct item is hashed
-        once per row, the table is scatter-added with ``np.bincount``,
-        and (when tracking) a grouped prefix-sum reconstructs the running
-        cell value at every update so the candidate tracker replays the
-        exact scalar estimate sequence.
+        :meth:`update`: each distinct item is hashed once per row, the
+        table is scatter-added with ``np.bincount``, and the candidate
+        pool admits the chunk's distinct items (pool state is
+        order-insensitive, so no replay is needed).
         """
         items, deltas = as_batch(items, deltas)
-        count = items.shape[0]
-        if count == 0:
+        if items.shape[0] == 0:
             return
         unique, inverse = np.unique(items, return_inverse=True)
-        per_update = deltas.astype(np.float64)
-        net = np.bincount(inverse, weights=per_update, minlength=unique.shape[0])
-        tracking = self.track > 0
-        if tracking:
-            running_rows = np.empty((self.rows, count), dtype=np.float64)
+        net = np.bincount(
+            inverse, weights=deltas.astype(np.float64), minlength=unique.shape[0]
+        )
         for j in range(self.rows):
             bucket_u = self._bucket_hashes[j].values_batch(unique)
             sign_u = self._sign_hashes[j].values_batch(unique)
-            if tracking:
-                buckets = bucket_u[inverse]
-                signs = sign_u[inverse]
-                running_rows[j] = signs * (
-                    self._table[j, buckets]
-                    + _running_cell_sums(buckets, signs * per_update)
-                )
             self._table[j] += np.bincount(
                 bucket_u, weights=sign_u * net, minlength=self.buckets
             )
-        if tracking:
-            estimates = np.abs(np.median(running_rows, axis=0))
-            for item, est in zip(items.tolist(), estimates.tolist()):
-                self._track_item(item, est)
+        if self.track > 0:
+            fresh = [i for i in unique.tolist() if i not in self._candidates]
+            if fresh:
+                hashes = self._pool_hash.values_batch(
+                    np.asarray(fresh, dtype=np.int64)
+                )
+                for item, value in zip(fresh, hashes.tolist()):
+                    self._pool_admit(item, value)
 
     def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "CountSketch":
         return drive(self, stream)
+
+    # ------------------------------------------------------------ estimation
 
     def estimate(self, item: int) -> float:
         slots = self._item_slots(item)
@@ -191,74 +204,125 @@ class CountSketch:
             )
         )
 
+    def _estimate_batch(self, items: np.ndarray) -> np.ndarray:
+        """Median-of-rows estimates for a whole item array; element ``i``
+        equals ``estimate(items[i])`` bit for bit (same arithmetic)."""
+        signed = np.empty((self.rows, items.shape[0]), dtype=np.float64)
+        for j in range(self.rows):
+            buckets = self._bucket_hashes[j].values_batch(items)
+            signs = self._sign_hashes[j].values_batch(items)
+            signed[j] = signs * self._table[j, buckets]
+        return np.median(signed, axis=0)
+
     def estimate_many(self, items: Sequence[int]) -> list[CountSketchEstimate]:
-        return [CountSketchEstimate(int(i), self.estimate(int(i))) for i in items]
+        arr = np.asarray([int(i) for i in items], dtype=np.int64)
+        if arr.shape[0] == 0:
+            return []
+        estimates = self._estimate_batch(arr)
+        return [
+            CountSketchEstimate(int(i), float(e))
+            for i, e in zip(arr.tolist(), estimates.tolist())
+        ]
 
-    # ------------------------------------------------------- candidate heap
+    # ------------------------------------------------------- candidate pool
 
-    def _track_item(self, item: int, est: float) -> None:
-        if item in self._candidates:
-            self._candidates[item] = est
+    def _pool_admit(self, item: int, value: int) -> None:
+        """Admit ``item`` (not currently pooled) under the bounded-pool rule:
+        keep the ``pool`` smallest (hash, item) pairs ever seen."""
+        candidates = self._candidates
+        if len(candidates) < self.pool:
+            candidates[item] = value
+            heapq.heappush(self._pool_heap, (-value, -item))
             return
-        if len(self._candidates) < self.track:
-            self._candidates[item] = est
-            heapq.heappush(self._heap, (est, item))
-            return
-        floor, _ = self._current_min()
-        if est > floor:
-            self._candidates[item] = est
-            heapq.heappush(self._heap, (est, item))
-            self._evict()
+        worst_value, worst_item = self._pool_heap[0]
+        if (value, item) < (-worst_value, -worst_item):
+            heapq.heappop(self._pool_heap)
+            candidates.pop(-worst_item, None)
+            candidates[item] = value
+            heapq.heappush(self._pool_heap, (-value, -item))
 
-    def _current_min(self) -> tuple[float, int]:
-        while self._heap:
-            est, item = self._heap[0]
-            live = self._candidates.get(item)
-            if live is None or not math.isclose(live, est, rel_tol=0.25, abs_tol=1.0):
-                heapq.heappop(self._heap)
-                if live is not None:
-                    heapq.heappush(self._heap, (live, item))
-                continue
-            return est, item
-        return (-math.inf, -1)
-
-    def _evict(self) -> None:
-        while len(self._candidates) > self.track:
-            est, item = self._current_min()
-            if item < 0:
-                return
-            heapq.heappop(self._heap)
-            self._candidates.pop(item, None)
+    def _rebuild_pool_heap(self) -> None:
+        self._pool_heap = [(-v, -i) for i, v in self._candidates.items()]
+        heapq.heapify(self._pool_heap)
 
     def top_candidates(self, k: int | None = None) -> list[CountSketchEstimate]:
-        """The tracked candidates, re-estimated against the final sketch and
-        sorted by decreasing |estimate|.  Contains every F2 heavy hitter with
-        the probability guaranteed by the sketch dimensions."""
-        fresh = [
-            CountSketchEstimate(item, self.estimate(item)) for item in self._candidates
+        """The top candidates, estimated against the final sketch and sorted
+        by decreasing |estimate| (item id breaks ties, so the result is a
+        pure function of the sketch state).  Contains every F2 heavy hitter
+        with the probability guaranteed by the sketch dimensions.
+
+        Selection is deferred: the whole candidate pool is re-estimated in
+        one vectorized pass and the top ``k`` (default ``track``) survive an
+        ``np.argpartition`` cut.
+        """
+        limit = self.track if k is None else min(int(k), self.track)
+        if limit <= 0 or not self._candidates:
+            return []
+        items = np.fromiter(
+            self._candidates.keys(), dtype=np.int64, count=len(self._candidates)
+        )
+        estimates = self._estimate_batch(items)
+        magnitudes = np.abs(estimates)
+        if items.shape[0] > limit:
+            # Keep everything tied with the k-th largest magnitude, then
+            # order deterministically — ties at the cut cannot silently
+            # drop the smaller item id.
+            kth = np.partition(magnitudes, items.shape[0] - limit)[
+                items.shape[0] - limit
+            ]
+            keep = magnitudes >= kth
+            items, estimates, magnitudes = (
+                items[keep],
+                estimates[keep],
+                magnitudes[keep],
+            )
+        order = np.lexsort((items, -magnitudes))[:limit]
+        return [
+            CountSketchEstimate(int(items[i]), float(estimates[i])) for i in order
         ]
-        fresh.sort(key=lambda e: abs(e.estimate), reverse=True)
-        if k is not None:
-            fresh = fresh[:k]
-        return fresh
 
     # ---------------------------------------------------------------- admin
 
     @property
     def space_counters(self) -> int:
-        """Space in counters: table cells plus tracked candidates."""
+        """Space in counters: table cells plus pooled candidates."""
         return self.rows * self.buckets + 2 * len(self._candidates)
+
+    # ------------------------------------------------- mergeable protocol
+
+    def _extra_compat(self) -> tuple:
+        return (
+            tuple(h.fingerprint() for h in self._bucket_hashes)
+            + tuple(h.fingerprint() for h in self._sign_hashes)
+            + (self._pool_hash.fingerprint(),)
+        )
 
     def merge(self, other: "CountSketch") -> "CountSketch":
         """Linearity: merging sketches of two streams sketches their
-        concatenation.  Requires identical dimensions and seeds (i.e. the
-        two sketches were constructed from the same RandomSource lineage)."""
-        if (self.rows, self.buckets) != (other.rows, other.buckets):
-            raise ValueError("cannot merge sketches with different dimensions")
+        concatenation.  Requires sibling sketches (identical dimensions and
+        randomness lineage); the candidate pools union under the same
+        bounded-pool rule, so the merged sketch is bit-identical to one that
+        ingested both streams itself."""
+        self.require_sibling(other)
         self._table += other._table
-        for item in other._candidates:
-            self._track_item(item, abs(self.estimate(item)))
+        for item, value in other._candidates.items():
+            if item not in self._candidates:
+                self._pool_admit(item, value)
         return self
+
+    def _state_payload(self) -> dict:
+        return {
+            "table": encode_array(self._table),
+            "candidates": encode_int_map(self._candidates),
+        }
+
+    def _load_state_payload(self, payload: dict) -> None:
+        table = decode_array(payload["table"])
+        if table.shape != self._table.shape:
+            raise ValueError("state table shape mismatch")
+        self._table = table
+        self._candidates = decode_int_map(payload["candidates"])
+        self._rebuild_pool_heap()
 
     @classmethod
     def for_heavy_hitters(
@@ -272,13 +336,16 @@ class CountSketch:
         max_buckets: int = 1 << 14,
         max_rows: int = 7,
         max_track: int = 192,
+        pool: int | None = None,
     ) -> "CountSketch":
         """The paper's ``CountSketch(lambda, eps, delta)`` parameterization:
         ``O(1/(lambda eps^2))`` buckets, ``O(log(n/delta))`` rows, and a
         candidate list of size ``O(1/lambda)``.
 
         The ``max_*`` caps bound the constants for interactive Python runs;
-        theory-faithful experiments raise them explicitly.
+        theory-faithful experiments raise them explicitly.  ``pool`` bounds
+        the candidate pool (see the class docstring) for memory-sensitive
+        deployments.
         """
         if not 0 < heaviness <= 1:
             raise ValueError("heaviness must be in (0, 1]")
@@ -291,4 +358,4 @@ class CountSketch:
         rows = max(3, int(math.ceil(math.log(max(n, 2) / max(failure, 1e-9), 2))) | 1)
         rows = min(rows, max_rows | 1)
         track = min(max(4, int(math.ceil(4.0 / heaviness))), max_track)
-        return cls(rows, buckets, track, seed, sign_independence)
+        return cls(rows, buckets, track, seed, sign_independence, pool)

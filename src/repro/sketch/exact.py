@@ -12,11 +12,12 @@ from typing import Callable, Dict, Iterable, Sequence
 
 import numpy as np
 
+from repro.sketch.base import MergeableSketch, decode_int_map, encode_int_map
 from repro.streams.batching import aggregate_batch, apply_net_counts, as_batch, drive
 from repro.streams.model import FrequencyVector, StreamUpdate, TurnstileStream
 
 
-class ExactCounter:
+class ExactCounter(MergeableSketch):
     """Hash-map counter over the stream; optionally restricted to a
     candidate set (the second-pass mode: only tabulate first-pass survivors,
     so space is proportional to the candidate count, not the domain)."""
@@ -30,6 +31,11 @@ class ExactCounter:
             else np.fromiter(self._restrict, dtype=np.int64, count=len(self._restrict))
         )
         self._counts: Dict[int, int] = {}
+        self._register_mergeable(
+            None,
+            domain_size=self.domain_size,
+            restrict_to=None if self._restrict is None else sorted(self._restrict),
+        )
 
     def update(self, item: int, delta: int) -> None:
         if self._restrict is not None and item not in self._restrict:
@@ -83,3 +89,23 @@ class ExactCounter:
     @property
     def space_counters(self) -> int:
         return len(self._counts)
+
+    # ------------------------------------------------- mergeable protocol
+
+    def merge(self, other: "ExactCounter") -> "ExactCounter":
+        """Net counts add; zero totals drop (so the merged counter equals
+        one that tabulated the concatenated stream)."""
+        self.require_sibling(other)
+        for item, count in other._counts.items():
+            new = self._counts.get(item, 0) + count
+            if new == 0:
+                self._counts.pop(item, None)
+            else:
+                self._counts[item] = new
+        return self
+
+    def _state_payload(self) -> dict:
+        return {"counts": encode_int_map(self._counts)}
+
+    def _load_state_payload(self, payload: dict) -> None:
+        self._counts = decode_int_map(payload["counts"])

@@ -23,6 +23,7 @@ from typing import Dict, Iterable, Sequence
 
 import numpy as np
 
+from repro.sketch.base import MergeableSketch, decode_int_map, encode_int_map
 from repro.sketch.hashing import KWiseHash
 from repro.streams.batching import aggregate_batch, apply_net_counts, as_batch, drive
 from repro.streams.model import StreamUpdate, TurnstileStream
@@ -31,7 +32,7 @@ from repro.util.rng import RandomSource, as_source
 _HASH_SPACE = 1 << 30
 
 
-class BjkstF0Sketch:
+class BjkstF0Sketch(MergeableSketch):
     """BJKST threshold sampling for distinct counts (insertion-only).
 
     Maintains the set of seen items whose 30-bit hash has at least
@@ -48,6 +49,7 @@ class BjkstF0Sketch:
         self._hash = KWiseHash(_HASH_SPACE, 2, source)
         self.level = 0
         self._sample: Dict[int, int] = {}  # item -> hash value
+        self._register_mergeable(source, sample_budget=self.sample_budget)
 
     def _threshold(self) -> int:
         return _HASH_SPACE >> self.level
@@ -101,8 +103,41 @@ class BjkstF0Sketch:
     def space_counters(self) -> int:
         return 2 * len(self._sample) + 1
 
+    # ------------------------------------------------- mergeable protocol
 
-class TurnstileF0Estimator:
+    def _extra_compat(self) -> tuple:
+        return (self._hash.fingerprint(),)
+
+    def merge(self, other: "BjkstF0Sketch") -> "BjkstF0Sketch":
+        """Union at the deeper of the two levels, then re-apply the budget
+        rule.  The retained sample is always "every seen item hashing below
+        the level threshold", a pure function of the union of items seen —
+        so merging siblings reproduces single-sketch ingestion exactly."""
+        self.require_sibling(other)
+        self.level = max(self.level, other.level)
+        threshold = self._threshold()
+        merged = {
+            i: v for i, v in self._sample.items() if v < threshold
+        }
+        for item, value in other._sample.items():
+            if value < threshold:
+                merged[item] = value
+        while len(merged) > self.sample_budget:
+            self.level += 1
+            threshold = self._threshold()
+            merged = {i: v for i, v in merged.items() if v < threshold}
+        self._sample = merged
+        return self
+
+    def _state_payload(self) -> dict:
+        return {"level": self.level, "sample": encode_int_map(self._sample)}
+
+    def _load_state_payload(self, payload: dict) -> None:
+        self.level = int(payload["level"])
+        self._sample = decode_int_map(payload["sample"])
+
+
+class TurnstileF0Estimator(MergeableSketch):
     """Deletion-safe F0: exact tabulation over a subsampled substream.
 
     Items are kept with probability ``2^-level`` (pairwise hashing); the
@@ -125,6 +160,11 @@ class TurnstileF0Estimator:
         ))) if f0_upper_bound > sample_budget / 2 else 0)
         self._hash = KWiseHash(1 << max(self.level, 1), 2, source)
         self._counts: Dict[int, int] = {}
+        self._register_mergeable(
+            source,
+            f0_upper_bound=int(f0_upper_bound),
+            sample_budget=int(sample_budget),
+        )
 
     def _sampled(self, item: int) -> bool:
         if self.level == 0:
@@ -169,3 +209,26 @@ class TurnstileF0Estimator:
     @property
     def space_counters(self) -> int:
         return 2 * len(self._counts)
+
+    # ------------------------------------------------- mergeable protocol
+
+    def _extra_compat(self) -> tuple:
+        return (self.level, self._hash.fingerprint())
+
+    def merge(self, other: "TurnstileF0Estimator") -> "TurnstileF0Estimator":
+        """Net counts add (the subsampling level is fixed at construction,
+        so siblings tabulate the same substream)."""
+        self.require_sibling(other)
+        for item, count in other._counts.items():
+            new = self._counts.get(item, 0) + count
+            if new == 0:
+                self._counts.pop(item, None)
+            else:
+                self._counts[item] = new
+        return self
+
+    def _state_payload(self) -> dict:
+        return {"counts": encode_int_map(self._counts)}
+
+    def _load_state_payload(self, payload: dict) -> None:
+        self._counts = decode_int_map(payload["counts"])

@@ -15,6 +15,12 @@ array of items in a handful of numpy operations.  Residues are 31-bit, so
 Horner steps multiply inside ``uint64`` without overflow and the batched
 arithmetic is *exactly* the scalar arithmetic — batch and scalar paths
 agree bit for bit on every item.
+
+Mergeable-sketch support: hash families are immutable once constructed, so
+their part of the protocol is identity, not state — each family exposes a
+``fingerprint()`` (the coefficients themselves) that sketches fold into
+their merge-compatibility digests, plus ``to_state()``/``from_state()``
+that round-trip the coefficients exactly, bypassing the RNG.
 """
 
 from __future__ import annotations
@@ -77,6 +83,28 @@ class VectorKWiseHash:
             0, MERSENNE_P31, size=(self.independence, self.count), dtype=np.uint64
         )
 
+    def fingerprint(self) -> tuple:
+        """Identity of the family: every coefficient of every polynomial."""
+        return ("vec", self.count, self.independence, self._coeffs.tobytes().hex())
+
+    def to_state(self) -> dict:
+        return {
+            "family": "VectorKWiseHash",
+            "count": self.count,
+            "independence": self.independence,
+            "coeffs": self._coeffs.tolist(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "VectorKWiseHash":
+        if state.get("family") != "VectorKWiseHash":
+            raise ValueError("not a VectorKWiseHash state")
+        family = cls.__new__(cls)
+        family.count = int(state["count"])
+        family.independence = int(state["independence"])
+        family._coeffs = np.asarray(state["coeffs"], dtype=np.uint64)
+        return family
+
     def values(self, x: int) -> np.ndarray:
         """The ``count`` hash values of ``x`` in [0, 2^31 - 1)."""
         arg = np.uint64((x + 1) % MERSENNE_P31)
@@ -135,6 +163,27 @@ class KWiseHash:
             coeffs[0] = 1
         self._coeffs = coeffs
 
+    def fingerprint(self) -> tuple:
+        return ("kwise", self.range_size, self.independence, tuple(self._coeffs))
+
+    def to_state(self) -> dict:
+        return {
+            "family": "KWiseHash",
+            "range_size": self.range_size,
+            "independence": self.independence,
+            "coeffs": list(self._coeffs),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "KWiseHash":
+        if state.get("family") != "KWiseHash":
+            raise ValueError("not a KWiseHash state")
+        hash_fn = cls.__new__(cls)
+        hash_fn.range_size = int(state["range_size"])
+        hash_fn.independence = int(state["independence"])
+        hash_fn._coeffs = [int(c) for c in state["coeffs"]]
+        return hash_fn
+
     def __call__(self, x: int) -> int:
         acc = 0
         arg = (x + 1) % MERSENNE_P31
@@ -166,6 +215,20 @@ class SignHash:
     def __init__(self, independence: int = 4, seed: int | RandomSource | None = None):
         self._hash = KWiseHash(2, independence, as_source(seed, "sign"))
 
+    def fingerprint(self) -> tuple:
+        return ("sign",) + self._hash.fingerprint()
+
+    def to_state(self) -> dict:
+        return {"family": "SignHash", "inner": self._hash.to_state()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SignHash":
+        if state.get("family") != "SignHash":
+            raise ValueError("not a SignHash state")
+        sign = cls.__new__(cls)
+        sign._hash = KWiseHash.from_state(state["inner"])
+        return sign
+
     def __call__(self, x: int) -> int:
         return 1 if self._hash(x) == 1 else -1
 
@@ -193,6 +256,28 @@ class SubsampleHash:
             KWiseHash(2, 2, source.child(f"level{j}")) for j in range(levels)
         ]
         self._level_cache: dict[int, int] = {}
+
+    def fingerprint(self) -> tuple:
+        return ("subsample", self.levels) + tuple(
+            bit.fingerprint() for bit in self._bits
+        )
+
+    def to_state(self) -> dict:
+        return {
+            "family": "SubsampleHash",
+            "levels": self.levels,
+            "bits": [bit.to_state() for bit in self._bits],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SubsampleHash":
+        if state.get("family") != "SubsampleHash":
+            raise ValueError("not a SubsampleHash state")
+        sub = cls.__new__(cls)
+        sub.levels = int(state["levels"])
+        sub._bits = [KWiseHash.from_state(s) for s in state["bits"]]
+        sub._level_cache = {}
+        return sub
 
     def level(self, x: int) -> int:
         """Deepest level item ``x`` survives to (0 = present in base stream)."""
@@ -237,5 +322,24 @@ class BernoulliHash:
     def __init__(self, seed: int | RandomSource | None = None):
         self._hash = KWiseHash(2, 2, as_source(seed, "bernoulli"))
 
+    def fingerprint(self) -> tuple:
+        return ("bernoulli",) + self._hash.fingerprint()
+
+    def to_state(self) -> dict:
+        return {"family": "BernoulliHash", "inner": self._hash.to_state()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BernoulliHash":
+        if state.get("family") != "BernoulliHash":
+            raise ValueError("not a BernoulliHash state")
+        bern = cls.__new__(cls)
+        bern._hash = KWiseHash.from_state(state["inner"])
+        return bern
+
     def __call__(self, x: int) -> int:
         return self._hash(x)
+
+    def values_batch(self, xs: "np.ndarray | Iterable[int]") -> np.ndarray:
+        """Bernoulli bits for a whole item array; element ``i`` equals
+        ``self(xs[i])``."""
+        return self._hash.values_batch(xs)

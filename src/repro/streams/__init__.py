@@ -33,6 +33,11 @@ from repro.streams.model import (
     stream_from_frequencies,
     stream_from_samples,
 )
+from repro.streams.sharding import (
+    ingest_sharded,
+    shard_slabs,
+    supports_sharding,
+)
 
 __all__ = [
     "DEFAULT_CHUNK",
@@ -44,8 +49,11 @@ __all__ = [
     "as_batch",
     "drive",
     "drive_second_pass",
+    "ingest_sharded",
     "iter_stream_array_chunks",
     "iter_update_chunks",
+    "shard_slabs",
+    "supports_sharding",
     "load_frequency_profile",
     "load_stream",
     "mixture_sample_stream",

@@ -1,0 +1,175 @@
+"""Sharded parallel ingestion over mergeable sketches.
+
+The scale lever the mergeable-sketch protocol exists for: split a stream's
+columnar ``(items, deltas)`` arrays into N contiguous shard slabs, drive
+each slab into a :meth:`~repro.sketch.base.MergeableSketch.spawn_sibling`
+of the target structure on a worker pool, and fold the shard states back
+with :meth:`~repro.sketch.base.MergeableSketch.merge`.  Because every
+implementer's state transition is order- and chunking-insensitive (the
+invariance contract of :mod:`repro.sketch.base`), the merged result is
+**bit-identical** to sequential ingestion — sharding is a pure throughput
+decision, never an accuracy trade.
+
+Three execution modes:
+
+``thread`` (default)
+    ``ThreadPoolExecutor`` over ``update_batch``.  The numpy kernels
+    (Horner hashing, ``np.bincount`` scatter-adds) release the GIL, so
+    linear-sketch ingestion scales with cores without pickling anything.
+``process``
+    ``ProcessPoolExecutor``; each worker receives a pickled empty sibling
+    plus its slab and ships its ``to_state()`` dict back.  Requires the
+    sketch to be picklable (raw sketches are; estimators configured with
+    lambdas are not) — use threads for those.
+``serial``
+    Same spawn/merge dataflow on the caller's thread.  Useful for testing
+    the merge path and as the degenerate N=1 case.
+
+The same engine drives second passes (``second_pass=True`` uses
+``update_batch_second_pass`` on phase-cloned siblings), which is how
+``GSumEstimator(..., passes=2, shards=N)`` runs both passes in parallel.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.sketch.base import MergeableSketch
+from repro.streams.batching import DEFAULT_CHUNK, iter_update_chunks
+from repro.streams.model import StreamUpdate, TurnstileStream
+
+SHARD_MODES = ("thread", "process", "serial")
+
+
+def shard_slabs(
+    items: np.ndarray, deltas: np.ndarray, shards: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Split columnar arrays into up to ``shards`` contiguous, zero-copy,
+    near-equal slabs (fewer when there are fewer updates than shards)."""
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    total = items.shape[0]
+    shards = min(shards, max(total, 1))
+    bounds = np.linspace(0, total, shards + 1, dtype=np.int64)
+    return [
+        (items[start:stop], deltas[start:stop])
+        for start, stop in zip(bounds[:-1], bounds[1:])
+        if stop > start
+    ]
+
+
+def _as_columnar(
+    stream: "TurnstileStream | Iterable[StreamUpdate] | Tuple[np.ndarray, np.ndarray]",
+    chunk_size: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Materialize a stream (or accept a prebuilt array pair) as columnar
+    int64 arrays in arrival order."""
+    if (
+        isinstance(stream, tuple)
+        and len(stream) == 2
+        and all(isinstance(part, np.ndarray) for part in stream)
+    ):
+        return stream  # already columnar
+    if isinstance(stream, TurnstileStream):
+        return stream.as_arrays()
+    chunks = list(iter_update_chunks(stream, chunk_size))
+    if not chunks:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return (
+        np.concatenate([c[0] for c in chunks]),
+        np.concatenate([c[1] for c in chunks]),
+    )
+
+
+def _feed(structure, items, deltas, chunk_size, second_pass):
+    update = (
+        structure.update_batch_second_pass if second_pass else structure.update_batch
+    )
+    for start in range(0, items.shape[0], chunk_size):
+        update(items[start : start + chunk_size], deltas[start : start + chunk_size])
+    return structure
+
+
+def _process_worker(args):
+    """Module-level so ProcessPoolExecutor can pickle it: fill the shipped
+    sibling and return its serialized state."""
+    sibling, items, deltas, chunk_size, second_pass = args
+    _feed(sibling, items, deltas, chunk_size, second_pass)
+    return sibling.to_state()
+
+
+def supports_sharding(structure) -> bool:
+    """True when ``structure`` implements enough of the mergeable-sketch
+    protocol for :func:`ingest_sharded` (spawn + merge + batch updates)."""
+    return isinstance(structure, MergeableSketch) and hasattr(
+        structure, "update_batch"
+    )
+
+
+def ingest_sharded(
+    structure,
+    stream: "TurnstileStream | Iterable[StreamUpdate]",
+    shards: int,
+    chunk_size: int = DEFAULT_CHUNK,
+    mode: str = "thread",
+    second_pass: bool = False,
+):
+    """Ingest ``stream`` into ``structure`` across ``shards`` parallel
+    shards and merge; state afterwards is bit-identical to sequential
+    ingestion.  Returns ``structure``.
+    """
+    if mode not in SHARD_MODES:
+        raise ValueError(f"shard mode must be one of {SHARD_MODES}, got {mode!r}")
+    if not supports_sharding(structure):
+        raise TypeError(
+            f"{type(structure).__name__} does not implement the "
+            "mergeable-sketch protocol required for sharded ingestion"
+        )
+    if second_pass and not hasattr(structure, "update_batch_second_pass"):
+        raise TypeError(
+            f"{type(structure).__name__} has no update_batch_second_pass; "
+            "drive its second pass sequentially instead"
+        )
+    items, deltas = _as_columnar(stream, chunk_size)
+    slabs = shard_slabs(items, deltas, shards)
+    if len(slabs) <= 1:
+        for slab_items, slab_deltas in slabs:
+            _feed(structure, slab_items, slab_deltas, chunk_size, second_pass)
+        return structure
+
+    # Shard 0 folds straight into the caller's structure (which may already
+    # carry state from earlier streams); the rest go through empty siblings.
+    siblings = [structure.spawn_sibling() for _ in slabs[1:]]
+    workers = [structure] + siblings
+
+    if mode == "serial":
+        for worker, (slab_items, slab_deltas) in zip(workers, slabs):
+            _feed(worker, slab_items, slab_deltas, chunk_size, second_pass)
+    elif mode == "thread":
+        with ThreadPoolExecutor(max_workers=len(slabs)) as pool:
+            futures = [
+                pool.submit(_feed, worker, si, sd, chunk_size, second_pass)
+                for worker, (si, sd) in zip(workers, slabs)
+            ]
+            for future in futures:
+                future.result()
+    else:  # process
+        with ProcessPoolExecutor(max_workers=len(slabs) - 1) as pool:
+            jobs = [
+                pool.submit(
+                    _process_worker, (sib, si, sd, chunk_size, second_pass)
+                )
+                for sib, (si, sd) in zip(siblings, slabs[1:])
+            ]
+            _feed(structure, slabs[0][0], slabs[0][1], chunk_size, second_pass)
+            siblings = [
+                sib.from_state(job.result()) for sib, job in zip(siblings, jobs)
+            ]
+
+    for sibling in siblings:
+        structure.merge(sibling)
+    return structure

@@ -13,7 +13,14 @@ import numpy as np
 
 
 class RandomSource:
-    """A labeled, forkable wrapper around ``numpy.random.Generator``."""
+    """A labeled, forkable wrapper around ``numpy.random.Generator``.
+
+    The generator stream is a pure function of ``(seed, label)`` — that pair
+    is the source's *lineage*, and reconstructing a source from its lineage
+    (see :meth:`resolved`) reproduces every child and every draw exactly.
+    The mergeable-sketch protocol leans on this: two sketches built from the
+    same lineage hold identical hash functions, so their states add.
+    """
 
     def __init__(self, seed: int | None = None, label: str = "root"):
         self.label = label
@@ -28,6 +35,19 @@ class RandomSource:
     @property
     def generator(self) -> np.random.Generator:
         return self._gen
+
+    @property
+    def lineage(self) -> tuple[int, str]:
+        """The ``(seed, label)`` pair that fully determines this source."""
+        return (self.seed, self.label)
+
+    @classmethod
+    def resolved(cls, seed: int, label: str) -> "ResolvedSource":
+        """Reconstruct the source with exactly this lineage.  Unlike a plain
+        ``RandomSource``, the result passes through :func:`as_source`
+        unchanged (no label suffix is appended), so feeding it back into a
+        sketch constructor rebuilds the *same* hash functions."""
+        return ResolvedSource(seed, label)
 
     def child(self, label: str) -> "RandomSource":
         """Derive an independent source; same (seed, label) -> same stream."""
@@ -50,8 +70,21 @@ class RandomSource:
         return self._gen.integers(0, 2, size=size) * 2 - 1
 
 
+class ResolvedSource(RandomSource):
+    """A source reconstructed from an exact lineage (see
+    :meth:`RandomSource.resolved`); :func:`as_source` returns it as-is
+    instead of deriving a child, so it can stand in for the source a sketch
+    resolved at construction time."""
+
+
 def as_source(seed_or_source: "int | RandomSource | None", label: str) -> RandomSource:
     """Normalize a seed-or-source argument into a :class:`RandomSource`."""
+    if isinstance(seed_or_source, ResolvedSource):
+        # Consumed exactly once: the first resolution lands on the recorded
+        # lineage verbatim; anything derived further down (children, hashes
+        # receiving this source) must follow the ordinary labeling rules,
+        # so downgrade to a plain RandomSource with the same lineage.
+        return RandomSource(seed_or_source.seed, seed_or_source.label)
     if isinstance(seed_or_source, RandomSource):
         return seed_or_source.child(label)
     return RandomSource(seed_or_source, label)

@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 from repro.core.dist import DistDetector
+from repro.core.gnp import GnpHeavyHitterSketch
 from repro.core.gsum import GSumEstimator
 from repro.core.heavy_hitters import (
     ExactHeavyHitter,
@@ -112,6 +113,12 @@ class TestSketchLayerEquivalence:
         b = batch_feed(DistDetector([5, 101], 1, N, pieces=24, seed=9), stream, chunk)
         assert np.array_equal(a._counters, b._counters)
         assert a.decide() == b.decide()
+
+    def test_gnp_heavy_hitter(self, name, stream, chunk):
+        a = scalar_feed(GnpHeavyHitterSketch(N, 0.3, seed=9), stream)
+        b = batch_feed(GnpHeavyHitterSketch(N, 0.3, seed=9), stream, chunk)
+        assert a.to_state() == b.to_state()  # every substream counter
+        assert a.recoveries() == b.recoveries()
 
 
 @pytest.mark.parametrize("name,stream", STREAMS)

@@ -137,6 +137,52 @@ class TestSizing:
         assert cs.space_counters == base + 2
 
 
+class TestCandidatePool:
+    def test_pool_bound_respected(self):
+        cs = CountSketch(3, 64, track=4, seed=1, pool=8)
+        for i in range(50):
+            cs.update(i, 5)
+        assert len(cs._candidates) == 8
+        assert len(cs.top_candidates()) == 4
+
+    def test_pool_overflow_is_order_insensitive(self):
+        """Even past the pool bound, the retained candidate set is a pure
+        function of the set of items seen (smallest pool-hash rule), so any
+        update order or chunking leaves the same pool."""
+        import numpy as np
+
+        items = list(range(60))
+        forward = CountSketch(3, 64, track=4, seed=1, pool=8)
+        backward = CountSketch(3, 64, track=4, seed=1, pool=8)
+        for i in items:
+            forward.update(i, 2)
+        for i in reversed(items):
+            backward.update(i, 2)
+        batched = CountSketch(3, 64, track=4, seed=1, pool=8)
+        batched.update_batch(
+            np.array(items, dtype=np.int64),
+            np.full(len(items), 2, dtype=np.int64),
+        )
+        assert forward._candidates == backward._candidates == batched._candidates
+
+    def test_pool_floors_at_track(self):
+        cs = CountSketch(3, 64, track=16, seed=1, pool=2)
+        assert cs.pool == 16
+
+    def test_cs_pool_threads_through_estimator(self, zipf_small):
+        from repro.core.gsum import GSumEstimator
+        from repro.functions.library import moment
+
+        est = GSumEstimator(
+            moment(2.0), 512, heaviness=0.2, repetitions=1, seed=3, cs_pool=32
+        )
+        est.process(zipf_small)
+        assert est.estimate() >= 0.0
+        level_cs = est._sketches[0]._sketches[0]._countsketch
+        assert level_cs.pool == max(32, level_cs.track)  # pool floors at track
+        assert len(level_cs._candidates) <= level_cs.pool
+
+
 class TestSignIndependence:
     def test_two_wise_mode_runs(self, zipf_small):
         cs = CountSketch(5, 128, track=8, seed=3, sign_independence=2)

@@ -53,11 +53,11 @@ class TestFunctionMisuse:
 
 class TestSketchMisuse:
     def test_countsketch_merge_dimension_mismatch(self):
-        with pytest.raises(ValueError, match="dimensions"):
+        with pytest.raises(ValueError, match="different configuration"):
             CountSketch(3, 16).merge(CountSketch(5, 16))
 
     def test_ams_merge_dimension_mismatch(self):
-        with pytest.raises(ValueError, match="dimensions"):
+        with pytest.raises(ValueError, match="different configuration"):
             AmsF2Sketch(3, 8).merge(AmsF2Sketch(3, 4))
 
     def test_two_pass_order_enforced_everywhere(self):

@@ -1,0 +1,341 @@
+"""The mergeable-sketch protocol contract, for every implementer.
+
+Three properties, enforced bit-for-bit:
+
+* **Shard invariance** — splitting any stream across k sibling sketches
+  (k in {1, 2, 7}) and merging yields state and estimates identical to
+  single-sketch ingestion.  This is the exactness guarantee behind
+  ``repro.streams.sharding``.
+* **State round-trip** — ``from_state(to_state())`` reconstructs an equal
+  sketch, including through an actual JSON wire encoding.
+* **Sibling discipline** — ``spawn_sibling`` yields an empty,
+  merge-compatible clone; merging or loading state across different
+  configurations or randomness lineages raises ``ValueError``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.dist import DistDetector
+from repro.core.gnp import GnpHeavyHitterSketch
+from repro.core.gsum import GSumEstimator
+from repro.core.heavy_hitters import (
+    ExactHeavyHitter,
+    OnePassGHeavyHitter,
+    TwoPassGHeavyHitter,
+)
+from repro.core.recursive_sketch import NaiveTopKGSum, RecursiveGSumSketch
+from repro.core.universal import TwoPassUniversalSketch, UniversalGSumSketch
+from repro.functions.library import moment
+from repro.sketch.ams import AmsF2Sketch
+from repro.sketch.base import dumps_state, loads_state
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.exact import ExactCounter
+from repro.sketch.f0 import BjkstF0Sketch, TurnstileF0Estimator
+from repro.streams.batching import drive, drive_second_pass
+from repro.streams.generators import zipf_stream
+from repro.streams.sharding import ingest_sharded, shard_slabs
+from repro.util.rng import RandomSource
+
+N = 256
+G2 = moment(2.0)
+SHARD_COUNTS = (1, 2, 7)
+
+STREAM = zipf_stream(n=N, total_mass=8_000, skew=1.2, seed=23, turnstile_noise=0.4)
+
+
+def _recursive_exact(seed=5):
+    return RecursiveGSumSketch(
+        G2, N, lambda level, rng: ExactHeavyHitter(G2, N), seed=seed
+    )
+
+
+def _recursive_one_pass(seed=5):
+    return RecursiveGSumSketch(
+        G2,
+        N,
+        lambda level, rng: OnePassGHeavyHitter(G2, 0.1, 0.25, 0.1, N, seed=rng),
+        seed=seed,
+    )
+
+
+# (name, build, observe) — ``observe`` extracts comparable estimates.
+IMPLEMENTERS = [
+    (
+        "countsketch",
+        lambda: CountSketch(5, 128, track=8, seed=9),
+        lambda s: (s.top_candidates(), [s.estimate(i) for i in range(N)]),
+    ),
+    (
+        "countsketch_untracked",
+        lambda: CountSketch(5, 128, track=0, seed=9),
+        lambda s: [s.estimate(i) for i in range(N)],
+    ),
+    (
+        "countmin",
+        lambda: CountMinSketch(5, 128, seed=9),
+        lambda s: [s.estimate(i) for i in range(N)],
+    ),
+    ("ams", lambda: AmsF2Sketch(5, 16, seed=9), lambda s: s.estimate()),
+    ("bjkst_f0", lambda: BjkstF0Sketch(32, seed=9), lambda s: s.estimate()),
+    (
+        "turnstile_f0",
+        lambda: TurnstileF0Estimator(N, 32, seed=9),
+        lambda s: s.estimate(),
+    ),
+    (
+        "exact_counter",
+        lambda: ExactCounter(N),
+        lambda s: s.frequency_vector().to_dict(),
+    ),
+    (
+        "exact_counter_restricted",
+        lambda: ExactCounter(N, restrict_to=range(0, N, 3)),
+        lambda s: s.frequency_vector().to_dict(),
+    ),
+    (
+        "dist_detector",
+        lambda: DistDetector([5, 101], 1, N, pieces=24, seed=9),
+        lambda s: s.decide(),
+    ),
+    (
+        "one_pass_hh",
+        lambda: OnePassGHeavyHitter(G2, 0.1, 0.25, 0.1, N, seed=5),
+        lambda s: (s.cover(), s.frequency_error_bound()),
+    ),
+    (
+        "exact_hh",
+        lambda: ExactHeavyHitter(G2, N, heaviness=0.05),
+        lambda s: s.cover(),
+    ),
+    (
+        "gnp_hh",
+        lambda: GnpHeavyHitterSketch(N, 0.3, seed=7),
+        lambda s: s.recoveries(),
+    ),
+    ("recursive_exact", _recursive_exact, lambda s: s.estimate()),
+    ("recursive_one_pass", _recursive_one_pass, lambda s: s.estimate()),
+    (
+        "naive_topk",
+        lambda: NaiveTopKGSum(G2, OnePassGHeavyHitter(G2, 0.1, 0.25, 0.1, N, seed=5)),
+        lambda s: s.estimate(),
+    ),
+    (
+        "universal",
+        lambda: UniversalGSumSketch(N, repetitions=2, seed=5),
+        lambda s: (s.estimate(G2), s.distinct_count()),
+    ),
+    (
+        "gsum_one_pass",
+        lambda: GSumEstimator(G2, N, heaviness=0.1, repetitions=2, seed=5),
+        lambda s: s.estimate(),
+    ),
+]
+
+IDS = [name for name, _, _ in IMPLEMENTERS]
+CASES = [(build, observe) for _, build, observe in IMPLEMENTERS]
+
+
+def sharded_copy(build, stream, shards):
+    """Build a structure and ingest ``stream`` through k spawned siblings
+    merged back (the serial engine: same spawn/merge dataflow as the
+    thread and process pools, deterministic scheduling)."""
+    return ingest_sharded(build(), stream, shards, chunk_size=61, mode="serial")
+
+
+@pytest.mark.parametrize("build,observe", CASES, ids=IDS)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+class TestShardInvariance:
+    def test_split_merge_identical(self, build, observe, shards):
+        sequential = drive(build(), STREAM)
+        sharded = sharded_copy(build, STREAM, shards)
+        assert sharded.to_state() == sequential.to_state()
+        assert observe(sharded) == observe(sequential)
+
+
+@pytest.mark.parametrize("build,observe", CASES, ids=IDS)
+class TestStateRoundTrip:
+    def test_round_trip_through_json(self, build, observe):
+        original = drive(build(), STREAM)
+        wire = dumps_state(original.to_state())
+        clone = original.from_state(loads_state(wire))
+        assert clone.to_state() == original.to_state()
+        assert observe(clone) == observe(original)
+
+    def test_spawn_sibling_is_empty_and_compatible(self, build, observe):
+        original = drive(build(), STREAM)
+        sibling = original.spawn_sibling()
+        assert sibling.compat_digest() == original.compat_digest()
+        fresh = build()
+        assert sibling.to_state() == fresh.to_state()
+
+    def test_merge_into_sibling_equals_original(self, build, observe):
+        original = drive(build(), STREAM)
+        merged = original.spawn_sibling().merge(original)
+        assert merged.to_state() == original.to_state()
+        assert observe(merged) == observe(original)
+
+
+class TestTwoPassSharding:
+    """Two-pass structures shard both passes: first-pass shards merge, the
+    merged sketch elects candidates, and phase-cloned siblings tabulate the
+    second pass in shards."""
+
+    def _run_sequential(self, build):
+        sketch = build()
+        drive(sketch, STREAM)
+        sketch.begin_second_pass()
+        drive_second_pass(sketch, STREAM)
+        return sketch
+
+    def _run_sharded(self, build, shards):
+        sketch = build()
+        ingest_sharded(sketch, STREAM, shards, chunk_size=61, mode="serial")
+        sketch.begin_second_pass()
+        ingest_sharded(
+            sketch, STREAM, shards, chunk_size=61, mode="serial", second_pass=True
+        )
+        return sketch
+
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_two_pass_heavy_hitter(self, shards):
+        def build():
+            return TwoPassGHeavyHitter(G2, 0.1, 0.1, N, seed=5)
+
+        sequential = self._run_sequential(build)
+        sharded = self._run_sharded(build, shards)
+        assert sharded.to_state() == sequential.to_state()
+        assert sharded.cover() == sequential.cover()
+
+    @pytest.mark.parametrize("shards", (2, 7))
+    def test_gsum_two_pass(self, shards):
+        def build():
+            return GSumEstimator(G2, N, passes=2, heaviness=0.1, repetitions=2, seed=5)
+
+        sequential = self._run_sequential(build)
+        sharded = self._run_sharded(build, shards)
+        assert sharded.estimate() == sequential.estimate()
+        assert sharded.to_state() == sequential.to_state()
+
+    def test_two_pass_universal(self):
+        sequential = TwoPassUniversalSketch(N, repetitions=2, seed=5).run(STREAM)
+        sharded = self._run_sharded(
+            lambda: TwoPassUniversalSketch(N, repetitions=2, seed=5), 3
+        )
+        for g in (G2, moment(1.5)):
+            assert sharded.estimate(g) == sequential.estimate(g)
+
+    def test_merge_across_passes_rejected(self):
+        first = TwoPassGHeavyHitter(G2, 0.1, 0.1, N, seed=5)
+        second = TwoPassGHeavyHitter(G2, 0.1, 0.1, N, seed=5)
+        drive(first, STREAM)
+        drive(second, STREAM)
+        second.begin_second_pass()
+        with pytest.raises(ValueError, match="different passes"):
+            first.merge(second)
+
+
+class TestSiblingDiscipline:
+    def test_merge_rejects_different_seed(self):
+        a = CountSketch(5, 64, track=4, seed=1)
+        b = CountSketch(5, 64, track=4, seed=2)
+        with pytest.raises(ValueError, match="different configuration"):
+            a.merge(b)
+
+    def test_merge_rejects_different_class(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            CountSketch(5, 64, seed=1).merge(CountMinSketch(5, 64, seed=1))
+
+    def test_from_state_rejects_different_seed(self):
+        a = drive(AmsF2Sketch(3, 8, seed=1), STREAM)
+        b = AmsF2Sketch(3, 8, seed=2)
+        with pytest.raises(ValueError, match="different configuration"):
+            b.from_state(a.to_state())
+
+    def test_from_state_rejects_wrong_class(self):
+        a = drive(AmsF2Sketch(3, 8, seed=1), STREAM)
+        with pytest.raises(ValueError, match="state is for"):
+            CountMinSketch(3, 8, seed=1).from_state(a.to_state())
+
+    def test_shared_source_objects_make_siblings(self):
+        source = RandomSource(11, "shared")
+        a = CountSketch(5, 64, track=4, seed=source)
+        b = CountSketch(5, 64, track=4, seed=source)
+        assert a.compat_digest() == b.compat_digest()
+        drive(a, STREAM)
+        drive(b, STREAM)
+        a.merge(b)  # doubles every table cell
+        assert np.array_equal(a._table, 2.0 * b._table)
+
+    def test_gsum_estimator_merge_equals_concat(self):
+        merged = GSumEstimator(G2, N, heaviness=0.1, repetitions=2, seed=5)
+        other = merged.spawn_sibling()
+        drive(merged, STREAM)
+        drive(other, STREAM)
+        merged.merge(other)
+        direct = GSumEstimator(G2, N, heaviness=0.1, repetitions=2, seed=5)
+        direct.process(STREAM.concat(STREAM))
+        assert merged.estimate() == direct.estimate()
+
+
+class TestShardSlabs:
+    def test_slabs_cover_in_order(self):
+        items, deltas = STREAM.as_arrays()
+        slabs = shard_slabs(items, deltas, 7)
+        assert np.array_equal(np.concatenate([s[0] for s in slabs]), items)
+        assert np.array_equal(np.concatenate([s[1] for s in slabs]), deltas)
+
+    def test_more_shards_than_updates(self):
+        items = np.arange(3, dtype=np.int64)
+        deltas = np.ones(3, dtype=np.int64)
+        slabs = shard_slabs(items, deltas, 10)
+        assert len(slabs) == 3
+
+    def test_empty_stream(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert shard_slabs(empty, empty, 4) == []
+
+    def test_invalid_shards(self):
+        empty = np.empty(0, dtype=np.int64)
+        with pytest.raises(ValueError):
+            shard_slabs(empty, empty, 0)
+
+
+class TestHashFamilyState:
+    def test_kwise_round_trip(self):
+        from repro.sketch.hashing import KWiseHash
+
+        h = KWiseHash(128, 4, seed=3)
+        clone = KWiseHash.from_state(h.to_state())
+        xs = np.arange(0, 500, 3, dtype=np.int64)
+        assert np.array_equal(clone.values_batch(xs), h.values_batch(xs))
+        assert clone.fingerprint() == h.fingerprint()
+
+    def test_sign_and_subsample_round_trip(self):
+        from repro.sketch.hashing import SignHash, SubsampleHash
+
+        s = SignHash(4, seed=3)
+        s2 = SignHash.from_state(s.to_state())
+        xs = np.arange(0, 500, 3, dtype=np.int64)
+        assert np.array_equal(s2.values_batch(xs), s.values_batch(xs))
+        sub = SubsampleHash(8, seed=3)
+        sub2 = SubsampleHash.from_state(sub.to_state())
+        assert np.array_equal(sub2.levels_batch(xs), sub.levels_batch(xs))
+
+    def test_vector_round_trip(self):
+        from repro.sketch.hashing import VectorKWiseHash
+
+        v = VectorKWiseHash(24, 4, seed=3)
+        v2 = VectorKWiseHash.from_state(v.to_state())
+        xs = np.arange(0, 200, 3, dtype=np.int64)
+        assert np.array_equal(v2.values_batch(xs), v.values_batch(xs))
+
+    def test_different_seeds_different_fingerprints(self):
+        from repro.sketch.hashing import KWiseHash
+
+        assert KWiseHash(64, 2, seed=1).fingerprint() != KWiseHash(
+            64, 2, seed=2
+        ).fingerprint()
