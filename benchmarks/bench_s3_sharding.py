@@ -161,6 +161,65 @@ def test_s3_gsum_estimator_sharded(benchmark):
     )
 
 
+def test_s3_gsum_shard_crossover(benchmark):
+    """Where does estimator sharding start to pay?  Sweep stream sizes and
+    compare serial ingestion against slab-axis sharding (sibling spawn +
+    merge per stream) and repetition-axis sharding (no spawn/merge — the
+    repetitions already exist).  The per-size ``speedup`` columns measure
+    when each axis's fixed overhead is amortized: on a 1-core machine the
+    ratio climbs toward ~1.0 as the stream grows (overhead -> noise) and
+    the crossover to >1.0 requires real cores.  The ``overhead_amortized``
+    column marks speedup >= 0.95 — the documented crossover criterion.
+    State equality is asserted at every point, as always."""
+    sizes = (2_000, 10_000, 30_000) if SMOKE else (10_000, 100_000, 1_000_000)
+    heaviness = 0.3 if SMOKE else 0.1
+    reps = 2
+
+    def build(**kwargs):
+        return GSumEstimator(
+            moment(2.0), N, heaviness=heaviness, repetitions=reps, seed=1,
+            **kwargs,
+        )
+
+    benchmark(lambda: build())
+    rows = []
+    for total_mass in sizes:
+        profile = zipf_stream(n=N, total_mass=total_mass, skew=1.2, seed=3)
+        stream = stream_from_frequencies(
+            dict(profile.frequency_vector().items()), N, chunk=1
+        )
+        stream.as_arrays()
+        serial = build()
+        start = time.perf_counter()
+        serial.process(stream)
+        serial_s = time.perf_counter() - start
+        for axis in ("slab", "repetition"):
+            est = build(shards=2, shard_axis=axis)
+            start = time.perf_counter()
+            est.process(stream)
+            elapsed = time.perf_counter() - start
+            assert est.estimate() == serial.estimate(), (total_mass, axis)
+            speedup = serial_s / elapsed
+            rows.append(
+                {
+                    "updates": len(stream),
+                    "shard_axis": axis,
+                    "shards": 2,
+                    "upd_per_sec": len(stream) / elapsed,
+                    "speedup_vs_serial": speedup,
+                    "overhead_amortized": speedup >= 0.95,
+                }
+            )
+    emit_table(
+        "S3_CROSSOVER",
+        "GSumEstimator sharding crossover: stream size vs shard-axis overhead",
+        rows,
+        claim="repetition-axis sharding amortizes at smaller streams than "
+        "slab-axis (no sibling construction or merge); wall-clock wins "
+        f"need real cores (this machine: {CPUS})",
+    )
+
+
 def test_s3_process_mode_round_trip():
     """Process-pool mode ships sibling states across process boundaries via
     to_state()/from_state(); the result must stay bit-identical."""

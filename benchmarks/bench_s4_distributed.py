@@ -1,0 +1,139 @@
+"""S4 (supplementary) — distributed coordinator/worker ingestion.
+
+Measures what the distributed deployment costs relative to in-process
+sharded ingestion: the same stream is driven (a) through the sharding
+engine's thread pool, (b) through ``distributed_ingest`` over the file
+drop-box transport, and (c) over the TCP socket transport, with thread-
+and process-hosted workers.  The states are asserted bit-identical to
+sequential ingestion at every point — the invariance contract survives
+crossing the wire — and the table reports the transport overhead
+(serialization + transport + merge) each deployment pays.
+
+Set ``REPRO_BENCH_SMOKE=1`` for the reduced-size CI version.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.gsum import GSumEstimator
+from repro.distributed import distributed_ingest
+from repro.functions.library import moment
+from repro.sketch.base import dumps_state
+from repro.sketch.countsketch import CountSketch
+from repro.streams.generators import zipf_stream
+from repro.streams.model import stream_from_frequencies
+from repro.streams.sharding import ingest_sharded
+
+from _tables import emit_table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+CPUS = os.cpu_count() or 1
+N = 1 << 12
+TOTAL_MASS = 20_000 if SMOKE else 500_000
+WORKERS = 2 if SMOKE else 4
+
+_PROFILE = zipf_stream(n=N, total_mass=TOTAL_MASS, skew=1.2, seed=3)
+STREAM = stream_from_frequencies(
+    dict(_PROFILE.frequency_vector().items()), N, chunk=1
+)
+
+
+def _sketch():
+    return CountSketch(5, 1024, track=32, seed=1)
+
+
+def _estimator():
+    return GSumEstimator(
+        moment(2.0), N, heaviness=0.3 if SMOKE else 0.1, repetitions=2, seed=1
+    )
+
+
+def test_s4_distributed_vs_sharded(benchmark):
+    benchmark(lambda: distributed_ingest(_sketch(), STREAM, workers=2))
+    STREAM.as_arrays()
+    count = len(STREAM)
+
+    for label, factory in (("CountSketch(5x1024)", _sketch),
+                           ("GSumEstimator(2 reps)", _estimator)):
+        sequential = factory()
+        start = time.perf_counter()
+        for items, deltas in STREAM.iter_array_chunks(4096):
+            sequential.update_batch(items, deltas)
+        sequential_s = time.perf_counter() - start
+        reference = dumps_state(sequential.to_state())
+
+        deployments = [
+            ("sharded/thread", lambda f=factory: ingest_sharded(
+                f(), STREAM, WORKERS, mode="thread")),
+            ("dist/file/thread", lambda f=factory: distributed_ingest(
+                f(), STREAM, workers=WORKERS, transport="file")),
+            ("dist/socket/thread", lambda f=factory: distributed_ingest(
+                f(), STREAM, workers=WORKERS, transport="socket")),
+            ("dist/file/process", lambda f=factory: distributed_ingest(
+                f(), STREAM, workers=WORKERS, transport="file",
+                mode="process")),
+        ]
+        rows = [
+            {
+                "structure": label,
+                "deployment": "sequential",
+                "workers": 1,
+                "upd_per_sec": count / sequential_s,
+                "overhead_vs_sequential": 1.0,
+                "state_identical": True,
+            }
+        ]
+        for name, run in deployments:
+            start = time.perf_counter()
+            merged = run()
+            elapsed = time.perf_counter() - start
+            identical = dumps_state(merged.to_state()) == reference
+            assert identical, f"{label} via {name}: state diverged"
+            rows.append(
+                {
+                    "structure": label,
+                    "deployment": name,
+                    "workers": WORKERS,
+                    "upd_per_sec": count / elapsed,
+                    "overhead_vs_sequential": elapsed / sequential_s,
+                    "state_identical": identical,
+                }
+            )
+        emit_table(
+            f"S4_{'CS' if factory is _sketch else 'GSUM'}",
+            f"distributed vs sharded ingestion: {label}",
+            rows,
+            claim="every deployment's merged state is bit-identical to "
+            "sequential ingestion; the table prices the transport "
+            f"overhead (this machine: {CPUS} CPUs)",
+        )
+
+
+def test_s4_state_sizes():
+    """How big are the shipped states?  (What the wire actually carries.)"""
+    rows = []
+    for label, factory in (("CountSketch(5x1024)", _sketch),
+                           ("GSumEstimator(2 reps)", _estimator)):
+        empty = len(dumps_state(factory().to_state()))
+        filled_sketch = factory()
+        for items, deltas in STREAM.iter_array_chunks(4096):
+            filled_sketch.update_batch(items, deltas)
+        filled = len(dumps_state(filled_sketch.to_state()))
+        rows.append(
+            {
+                "structure": label,
+                "empty_state_bytes": empty,
+                "filled_state_bytes": filled,
+                "bytes_per_update": filled / max(len(STREAM), 1),
+            }
+        )
+    emit_table(
+        "S4_STATE",
+        "wire-format state sizes (JSON bytes)",
+        rows,
+        claim="state size is sketch-sized, not stream-sized: shipping "
+        "states beats shipping updates once streams outgrow sketches",
+    )
+    assert all(np.isfinite(r["filled_state_bytes"]) for r in rows)

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Docs CI check: the documentation must stay executable and anchored.
+
+Two gates, run over ``docs/*.md`` and ``README.md``:
+
+1. **Snippets execute.**  Every fenced ```` ```python ```` block is
+   executed (blocks in one file share a namespace, in order, so later
+   blocks may use earlier imports).  A block preceded by an HTML comment
+   ``<!-- check: skip -->`` is skipped.  Any exception fails the check —
+   documentation code that cannot run is documentation that lies.
+
+2. **Anchors resolve.**  Every ``path`` or ``path:line`` reference into
+   the repository (``src/...``, ``tests/...``, ``benchmarks/...``,
+   ``examples/...``, ``docs/...``) must point at an existing file; a
+   ``:line`` anchor must lie within the file, and — since the map anchors
+   definition sites — the anchored line must actually contain a ``class``
+   or ``def`` statement.  Moving code without updating PAPER_MAP.md
+   therefore fails CI instead of silently rotting the map.
+
+Usage::
+
+    python docs/check_docs.py            # from the repository root
+    python docs/check_docs.py --only-anchors
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import traceback
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(REPO.glob("docs/*.md")) + [REPO / "README.md"]
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+SKIP_MARKER = "<!-- check: skip -->"
+ANCHOR_RE = re.compile(
+    r"\b((?:src|tests|benchmarks|examples|docs)/[\w./-]+?\.\w+)(?::(\d+))?\b"
+)
+
+
+def extract_python_blocks(text: str) -> list[tuple[int, str]]:
+    """``(first_line_number, source)`` for every runnable python fence."""
+    blocks = []
+    lines = text.splitlines()
+    i = 0
+    skip_next = False
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped == SKIP_MARKER:
+            skip_next = True
+        match = FENCE_RE.match(stripped)
+        if match and match.group(1) == "python":
+            start = i + 2  # 1-based line number of the first source line
+            body = []
+            i += 1
+            while i < len(lines) and not lines[i].strip().startswith("```"):
+                body.append(lines[i])
+                i += 1
+            if skip_next:
+                skip_next = False
+            else:
+                blocks.append((start, "\n".join(body)))
+        elif match:
+            skip_next = False  # marker only applies to the very next fence
+            i += 1
+            while i < len(lines) and not lines[i].strip().startswith("```"):
+                i += 1
+        i += 1
+    return blocks
+
+
+def run_snippets(path: pathlib.Path) -> list[str]:
+    failures = []
+    namespace: dict = {"__name__": f"docsnippet:{path.name}"}
+    for line, source in extract_python_blocks(path.read_text()):
+        try:
+            code = compile(source, f"{path}:{line}", "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own docs
+        except Exception:
+            failures.append(
+                f"{path.relative_to(REPO)}:{line}: snippet raised\n"
+                + traceback.format_exc(limit=3)
+            )
+    return failures
+
+
+def check_anchors(path: pathlib.Path) -> list[str]:
+    failures = []
+    for match in ANCHOR_RE.finditer(path.read_text()):
+        target = REPO / match.group(1)
+        label = f"{path.relative_to(REPO)}: anchor {match.group(0)}"
+        if not target.is_file():
+            failures.append(f"{label}: file does not exist")
+            continue
+        if match.group(2) is None:
+            continue
+        line_no = int(match.group(2))
+        lines = target.read_text().splitlines()
+        if not 1 <= line_no <= len(lines):
+            failures.append(
+                f"{label}: line {line_no} outside file (has {len(lines)})"
+            )
+            continue
+        content = lines[line_no - 1]
+        if target.suffix == ".py" and not re.search(r"\b(class|def)\b", content):
+            failures.append(
+                f"{label}: line {line_no} is not a class/def site "
+                f"(found: {content.strip()[:60]!r})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--only-anchors", action="store_true")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO / "src"))
+    failures = []
+    for path in DOC_FILES:
+        if not path.is_file():
+            failures.append(f"{path}: documented file missing")
+            continue
+        anchor_failures = check_anchors(path)
+        failures.extend(anchor_failures)
+        snippet_count = len(extract_python_blocks(path.read_text()))
+        if not args.only_anchors:
+            snippet_failures = run_snippets(path)
+            failures.extend(snippet_failures)
+            status = "ok" if not snippet_failures and not anchor_failures else "FAIL"
+        else:
+            status = "ok" if not anchor_failures else "FAIL"
+        print(
+            f"{status:>5}  {path.relative_to(REPO)}: "
+            f"{snippet_count} python snippet(s), anchors checked"
+        )
+    if failures:
+        print(f"\n{len(failures)} docs check failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\ndocs are executable and fully anchored")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

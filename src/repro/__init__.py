@@ -4,17 +4,29 @@ Frequency Vectors*.
 
 Public API tour
 ---------------
-* :mod:`repro.streams` — the turnstile model and workload generators.
-* :mod:`repro.sketch` — CountSketch, AMS, Count-Min, hashing substrates.
-* :mod:`repro.functions` — the class G, the paper's function catalog,
-  numeric property testers, transforms, nearly periodic functions.
+* :mod:`repro.streams` — the turnstile model, batch/sharded ingestion
+  engines, and workload generators.
+* :mod:`repro.sketch` — CountSketch, AMS, Count-Min, hashing substrates,
+  and the mergeable-sketch protocol (``base.py``).
+* :mod:`repro.functions` — the class G, the paper's function catalog, the
+  named-function registry (serialization), numeric property testers,
+  transforms, nearly periodic functions.
 * :mod:`repro.core` — g-SUM estimators (1-pass/2-pass), the Recursive
   Sketch, the zero-one-law classifier, the g_np algorithm, and the
   (u,d)-DIST detector.
+* :mod:`repro.distributed` — coordinator/worker ingestion over file and
+  TCP transports; states merge bit-identically to single-machine runs.
 * :mod:`repro.commlower` — communication problems and the lower-bound
   reduction harness.
 * :mod:`repro.applications` — log-likelihood/MLE sketching, utility
   aggregates, higher-order function encoding.
+
+Documentation
+-------------
+* ``docs/ARCHITECTURE.md`` — the layer map, the mergeable-sketch protocol
+  contract, and the JSON state wire format with a worked example.
+* ``docs/PAPER_MAP.md`` — paper concept -> module/class navigation table.
+* ``README.md`` — install, quickstart, scaling (``--shards``, distributed).
 
 Quickstart
 ----------
@@ -39,6 +51,7 @@ from repro.core import (
     exact_gsum,
     zero_one_table,
 )
+from repro.distributed import distributed_ingest
 from repro.functions import (
     GFunction,
     analyze,
@@ -46,6 +59,7 @@ from repro.functions import (
     g_np,
     l_eta_transform,
     moment,
+    resolve_function,
     sin_sqrt_x2,
 )
 from repro.sketch import MergeableSketch
@@ -83,7 +97,9 @@ __all__ = [
     "MergeableSketch",
     "TurnstileStream",
     "StreamUpdate",
+    "distributed_ingest",
     "ingest_sharded",
+    "resolve_function",
     "planted_heavy_hitter_stream",
     "stream_from_frequencies",
     "uniform_stream",

@@ -8,23 +8,36 @@ generate   synthesize a workload stream file
 catalog    print the zero-one-law table for the built-in catalog
 ingest     measure scalar vs batch vs sharded ingestion throughput on a
            stream file (``--shards N`` exercises the parallel engine)
+worker     ingest one stream partition and ship the sketch state to a
+           coordinator (file drop-box or TCP socket transport)
+coordinate collect worker states, merge them, and report — bit-identical
+           to single-machine ingestion (``--verify-stream`` proves it)
 
 The function argument accepts either a catalog name (see ``catalog``) or a
 Python expression in ``x`` (evaluated in a restricted math namespace),
 e.g. ``"x**1.5"`` or ``"(2+math.sin(math.sqrt(x)))*x*x"``.
+
+A distributed run points every participant at the same *rendezvous* — a
+drop-box directory for the file transport, ``host:port`` for the socket
+transport — and the same sketch flags and ``--seed`` (the sketch spec; see
+``repro.distributed.specs``).  Mismatched specs are rejected at merge time
+by the compatibility digest.  Example, 2 workers over a drop-box::
+
+    repro worker stream.jsonl --worker-id 0 --workers 2 --rendezvous /tmp/rv &
+    repro worker stream.jsonl --worker-id 1 --workers 2 --rendezvous /tmp/rv &
+    repro coordinate --workers 2 --rendezvous /tmp/rv --verify-stream stream.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
-import math
 import sys
-from typing import Callable
 
 from repro.core.gsum import estimate_gsum
 from repro.core.tractability import classify, zero_one_table
 from repro.functions.base import GFunction
 from repro.functions.library import catalog
+from repro.functions.registry import resolve_function
 from repro.streams.generators import uniform_stream, zipf_stream
 from repro.streams.io import load_stream, save_stream
 
@@ -37,25 +50,12 @@ def _positive_int(text: str) -> int:
 
 
 def _resolve_function(spec: str) -> GFunction:
-    """Catalog name or restricted ``x``-expression."""
-    named = catalog()
-    if spec in named:
-        return named[spec]
-    safe_globals = {"__builtins__": {}, "math": math, "abs": abs, "min": min,
-                    "max": max, "float": float, "log": math.log,
-                    "sqrt": math.sqrt, "sin": math.sin, "cos": math.cos,
-                    "exp": math.exp}
+    """Catalog name or restricted ``x``-expression, via the named-function
+    registry (so the resolved function also serializes and process-shards)."""
     try:
-        fn: Callable[[int], float] = eval(  # noqa: S307 - restricted namespace
-            f"lambda x: float({spec})", safe_globals
-        )
-        fn(2)  # smoke-evaluate
-    except Exception as exc:  # pragma: no cover - error path formatting
-        raise SystemExit(
-            f"error: {spec!r} is neither a catalog name nor a valid "
-            f"expression in x ({exc})"
-        )
-    return GFunction(fn, spec)
+        return resolve_function(spec)
+    except ValueError as exc:  # pragma: no cover - error path formatting
+        raise SystemExit(f"error: {exc}")
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
@@ -156,6 +156,143 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------- distributed cmds
+
+def _sketch_spec(args: argparse.Namespace) -> dict:
+    """The shared sketch spec both distributed commands build from their
+    flags — every worker and the coordinator must agree on it."""
+    spec = {"kind": args.sketch, "seed": args.seed}
+    if args.sketch == "countsketch":
+        spec.update(rows=args.rows, buckets=args.buckets, track=args.track)
+    elif args.sketch == "countmin":
+        spec.update(rows=args.rows, buckets=args.buckets)
+    elif args.sketch == "ams":
+        spec.update(medians=args.rows, means_size=args.buckets)
+    else:  # gsum
+        spec.update(
+            function=args.function, n=args.n, epsilon=args.epsilon,
+            heaviness=args.heaviness, repetitions=args.repetitions,
+        )
+    return spec
+
+
+def _add_distributed_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--transport", choices=("file", "socket"), default="file")
+    p.add_argument("--rendezvous", required=True,
+                   help="drop-box directory (file transport) or host:port "
+                        "(socket transport)")
+    p.add_argument("--sketch",
+                   choices=("gsum", "countsketch", "countmin", "ams"),
+                   default="gsum")
+    p.add_argument("--function", default="x^2",
+                   help="gsum: catalog name or expression in x")
+    p.add_argument("--n", type=_positive_int, default=4096,
+                   help="gsum: domain size")
+    p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--heaviness", type=float, default=0.05)
+    p.add_argument("--repetitions", type=_positive_int, default=3)
+    p.add_argument("--rows", type=_positive_int, default=5,
+                   help="countsketch/countmin rows; ams medians")
+    p.add_argument("--buckets", type=_positive_int, default=1024,
+                   help="countsketch/countmin buckets; ams means-size")
+    p.add_argument("--track", type=int, default=16,
+                   help="countsketch candidate tracking width")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--chunk", type=_positive_int, default=4096)
+
+
+def _socket_address(rendezvous: str) -> tuple[str, int]:
+    host, sep, port = rendezvous.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(
+            f"error: socket rendezvous must be host:port, got {rendezvous!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def _state_summary(sketch) -> str:
+    """One line a human can compare across machines: the compat digest
+    (what must match) and an estimate when the sketch has one."""
+    from repro.sketch.base import dumps_state
+
+    line = f"  compat digest: {sketch.compat_digest()}"
+    estimate = getattr(sketch, "estimate", None)
+    if callable(estimate):
+        try:
+            line += f"\n  estimate: {estimate():,.4f}"
+        except Exception:
+            pass
+    line += f"\n  state bytes: {len(dumps_state(sketch.to_state())):,}"
+    return line
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed.specs import build_sketch
+    from repro.distributed.transport import FileTransport, SocketTransport
+    from repro.distributed.worker import run_worker, worker_slice
+
+    if not 0 <= args.worker_id < args.workers:
+        raise SystemExit(
+            f"error: --worker-id must be in [0, {args.workers})"
+        )
+    sketch = build_sketch(_sketch_spec(args))
+    stream = load_stream(args.stream)
+    items, deltas = stream.as_arrays()
+    part_items, part_deltas = worker_slice(
+        items, deltas, args.worker_id, args.workers
+    )
+    if args.transport == "file":
+        transport = FileTransport(args.rendezvous)
+    else:
+        host, port = _socket_address(args.rendezvous)
+        transport = SocketTransport(host, port, connect_timeout=args.timeout)
+    run_worker(
+        sketch, part_items, part_deltas, args.worker_id, transport,
+        chunk_size=args.chunk,
+    )
+    print(f"worker {args.worker_id}/{args.workers}: ingested "
+          f"{part_items.shape[0]:,} of {items.shape[0]:,} updates, "
+          f"state shipped via {args.transport} to {args.rendezvous}")
+    print(_state_summary(sketch))
+    return 0
+
+
+def _cmd_coordinate(args: argparse.Namespace) -> int:
+    from repro.distributed.coordinator import coordinate
+    from repro.distributed.specs import build_sketch
+    from repro.distributed.transport import FileTransport, SocketListener
+    from repro.sketch.base import dumps_state
+
+    sketch = build_sketch(_sketch_spec(args))
+    if args.transport == "file":
+        collector = FileTransport(args.rendezvous)
+        coordinate(sketch, collector, args.workers, timeout=args.timeout)
+        # Consume the merged messages: a reused rendezvous dir must not
+        # feed this run's states to the next run's coordinator.
+        collector.purge()
+    else:
+        host, port = _socket_address(args.rendezvous)
+        with SocketListener(host, port) as collector:
+            coordinate(sketch, collector, args.workers, timeout=args.timeout)
+    print(f"coordinator: merged {args.workers} worker states "
+          f"via {args.transport} from {args.rendezvous}")
+    print(_state_summary(sketch))
+    if args.verify_stream is not None:
+        reference = build_sketch(_sketch_spec(args))
+        for items, deltas in load_stream(args.verify_stream).iter_array_chunks(
+            args.chunk
+        ):
+            reference.update_batch(items, deltas)
+        identical = dumps_state(sketch.to_state()) == dumps_state(
+            reference.to_state()
+        )
+        print(f"  merged state identical to single-machine ingestion: "
+              f"{identical}")
+        if not identical:
+            return 1
+    return 0
+
+
 def _cmd_catalog(args: argparse.Namespace) -> int:
     table = zero_one_table(list(catalog().values()))
     width = max(len(v.name) for v in table)
@@ -224,6 +361,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-mode", choices=("thread", "process", "serial"),
                    default="thread")
     p.set_defaults(fn=_cmd_ingest)
+
+    p = sub.add_parser(
+        "worker",
+        help="ingest one stream partition and ship the state to a "
+             "coordinator",
+    )
+    p.add_argument("stream", help="stream file from `repro generate`")
+    p.add_argument("--worker-id", type=int, required=True,
+                   help="this worker's partition index, 0-based")
+    p.add_argument("--workers", type=_positive_int, required=True,
+                   help="total worker count (defines the partitioning)")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="socket connect timeout in seconds")
+    _add_distributed_args(p)
+    p.set_defaults(fn=_cmd_worker)
+
+    p = sub.add_parser(
+        "coordinate",
+        help="collect and merge worker states; bit-identical to "
+             "single-machine ingestion",
+    )
+    p.add_argument("--workers", type=_positive_int, required=True,
+                   help="how many worker states to wait for")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="collection timeout in seconds")
+    p.add_argument("--verify-stream", default=None,
+                   help="stream file to ingest single-machine and compare "
+                        "states bit-for-bit (exit 1 on mismatch)")
+    _add_distributed_args(p)
+    p.set_defaults(fn=_cmd_coordinate)
 
     p = sub.add_parser("catalog", help="print the catalog zero-one table")
     p.set_defaults(fn=_cmd_catalog)

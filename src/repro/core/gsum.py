@@ -85,7 +85,21 @@ class GSumEstimator(MergeableSketch):
         merges their states — estimates are bit-identical to sequential
         ingestion (see :mod:`repro.streams.sharding`).
     shard_mode:
-        ``"thread"`` (default), ``"process"``, or ``"serial"``.
+        ``"thread"`` (default), ``"process"``, or ``"serial"``.  Process
+        mode ships pickled siblings to a process pool, so it needs ``g``
+        to serialize — true for every registry-built function (the whole
+        catalog, the ``random_g`` families, CLI expressions); see
+        :mod:`repro.functions.registry`.
+    shard_axis:
+        What ``shards > 1`` parallelizes.  ``"slab"`` (default) splits the
+        stream into contiguous slabs fed to sibling *estimators* that are
+        merged afterwards — scales past the repetition count but pays
+        sibling construction + merge per stream.  ``"repetition"`` feeds
+        the whole stream to each of the ``repetitions`` independent
+        recursive sketches on its own thread — no spawn/merge overhead at
+        all (the repetitions already exist), parallelism capped at
+        ``repetitions``, thread mode only.  Both are bit-identical to
+        sequential ingestion.
     """
 
     def __init__(
@@ -107,6 +121,7 @@ class GSumEstimator(MergeableSketch):
         cs_pool: int | None = None,
         shards: int = 1,
         shard_mode: str = "thread",
+        shard_axis: str = "slab",
     ):
         if passes not in (0, 1, 2):
             raise ValueError("passes must be 0 (exact), 1, or 2")
@@ -114,6 +129,16 @@ class GSumEstimator(MergeableSketch):
             raise ValueError("repetitions must be positive")
         if shards < 1:
             raise ValueError("shards must be positive")
+        if shard_axis not in ("slab", "repetition"):
+            raise ValueError(
+                f"shard_axis must be 'slab' or 'repetition', got {shard_axis!r}"
+            )
+        if shard_axis == "repetition" and shard_mode == "process":
+            raise ValueError(
+                "shard_axis='repetition' runs on threads only (the "
+                "repetition sketches live in this process); use "
+                "shard_axis='slab' for process-mode sharding"
+            )
         source = as_source(seed, "gsum")
         self.g = g
         self.n = int(n)
@@ -166,6 +191,7 @@ class GSumEstimator(MergeableSketch):
         ]
         self.shards = int(shards)
         self.shard_mode = str(shard_mode)
+        self.shard_axis = str(shard_axis)
         self._register_mergeable(
             source,
             g=g,
@@ -196,17 +222,51 @@ class GSumEstimator(MergeableSketch):
         for sketch in self._sketches:
             sketch.update_batch(items, deltas)
 
+    def _process_by_repetition(
+        self,
+        stream: TurnstileStream | Iterable[StreamUpdate],
+        chunk_size: int,
+        shards: int,
+        second_pass: bool,
+    ) -> "GSumEstimator":
+        """Per-repetition parallelism: every repetition's recursive sketch
+        ingests the whole stream on its own thread.  Each sketch performs
+        exactly the work sequential ingestion would, so the result is
+        trivially bit-identical — there is no spawn or merge step to pay
+        for, which is what makes this axis win at small stream sizes."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.streams.sharding import as_columnar, feed_chunks
+
+        items, deltas = as_columnar(stream, chunk_size)
+        workers = min(shards, len(self._sketches))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    feed_chunks, sketch, items, deltas, chunk_size, second_pass
+                )
+                for sketch in self._sketches
+            ]
+            for future in futures:
+                future.result()
+        return self
+
     def process(
         self,
         stream: TurnstileStream | Iterable[StreamUpdate],
         chunk_size: int = DEFAULT_CHUNK,
         shards: int | None = None,
     ) -> "GSumEstimator":
+        shards = self.shards if shards is None else shards
+        if shards > 1 and self.shard_axis == "repetition":
+            return self._process_by_repetition(
+                stream, chunk_size, shards, second_pass=False
+            )
         return drive(
             self,
             stream,
             chunk_size,
-            shards=self.shards if shards is None else shards,
+            shards=shards,
             shard_mode=self.shard_mode,
         )
 
@@ -230,11 +290,16 @@ class GSumEstimator(MergeableSketch):
         chunk_size: int = DEFAULT_CHUNK,
         shards: int | None = None,
     ) -> "GSumEstimator":
+        shards = self.shards if shards is None else shards
+        if shards > 1 and self.shard_axis == "repetition":
+            return self._process_by_repetition(
+                stream, chunk_size, shards, second_pass=True
+            )
         return drive_second_pass(
             self,
             stream,
             chunk_size,
-            shards=self.shards if shards is None else shards,
+            shards=shards,
             shard_mode=self.shard_mode,
         )
 
@@ -248,6 +313,28 @@ class GSumEstimator(MergeableSketch):
         return sum(s.space_counters for s in self._sketches)
 
     # ------------------------------------------------- mergeable protocol
+
+    def __reduce__(self):
+        """Pickle as ``(constructor config, randomness lineage, state)``
+        rather than the object graph: the repetition sketches hold level
+        factories (closures) that cannot cross process boundaries, but the
+        constructor rebuilds them from the recorded configuration and the
+        lineage rebuilds the exact hash functions.  Requires ``g`` (and a
+        callable ``h_witness``, if one was passed) to be picklable — true
+        for every registry-built function.  This is what makes sharding's
+        process mode and the distributed process workers work for
+        estimators."""
+        config = dict(self._merge_config)
+        return (
+            _rebuild_estimator,
+            (
+                type(self),
+                config,
+                self._merge_lineage,
+                (self.shards, self.shard_mode, self.shard_axis),
+                self.to_state(),
+            ),
+        )
 
     def _extra_compat(self) -> tuple:
         return tuple(s.compat_digest() for s in self._sketches)
@@ -301,6 +388,27 @@ class GSumEstimator(MergeableSketch):
             repetitions=self.repetitions,
             passes=self.passes,
         )
+
+
+def _rebuild_estimator(cls, config, lineage, shard_opts, state):
+    """Unpickling counterpart of :meth:`GSumEstimator.__reduce__`: re-run
+    the constructor on the recorded configuration and exact randomness
+    lineage (identical hash functions), then load the serialized mutable
+    state — including any open second pass — in place."""
+    config = dict(config)
+    if lineage is not None:
+        config["seed"] = RandomSource.resolved(*lineage)
+    shards, shard_mode, shard_axis = shard_opts
+    estimator = cls(
+        **config, shards=shards, shard_mode=shard_mode, shard_axis=shard_axis
+    )
+    if state.get("compat") != estimator.compat_digest():
+        raise ValueError(
+            "pickled estimator state does not match its rebuilt "
+            "configuration or randomness lineage"
+        )
+    estimator._load_state_payload(state["payload"])
+    return estimator
 
 
 def exact_gsum(stream: TurnstileStream, g: GFunction) -> float:

@@ -1,0 +1,53 @@
+"""Distributed coordinator/worker ingestion over the state wire format.
+
+N workers ingest disjoint stream partitions into sibling sketches and ship
+their serialized states (:meth:`~repro.sketch.base.MergeableSketch.to_state`
+JSON) to a coordinator that merges them — over a file drop-box or a TCP
+socket transport.  Because every sketch's merge is exact, the coordinator
+ends bit-identical to single-machine ingestion; the transports only decide
+*how* states travel, never *what* the answer is.
+
+Entry points: :func:`distributed_ingest` (single-call local driver),
+``repro worker`` / ``repro coordinate`` (multi-machine CLI), and the
+building blocks (:mod:`~repro.distributed.wire`,
+:mod:`~repro.distributed.transport`, :mod:`~repro.distributed.worker`,
+:mod:`~repro.distributed.coordinator`).  Architecture and wire-format
+documentation: ``docs/ARCHITECTURE.md``.
+"""
+
+from repro.distributed.coordinator import coordinate, merge_states
+from repro.distributed.driver import distributed_ingest
+from repro.distributed.specs import build_sketch
+from repro.distributed.transport import (
+    CollectTimeout,
+    FileTransport,
+    SocketListener,
+    SocketTransport,
+    WorkerFailure,
+)
+from repro.distributed.wire import (
+    error_message,
+    recv_frame,
+    send_frame,
+    state_message,
+)
+from repro.distributed.worker import partition_bounds, run_worker, worker_slice
+
+__all__ = [
+    "CollectTimeout",
+    "FileTransport",
+    "SocketListener",
+    "SocketTransport",
+    "WorkerFailure",
+    "build_sketch",
+    "coordinate",
+    "distributed_ingest",
+    "error_message",
+    "merge_states",
+    "partition_bounds",
+    "recv_frame",
+    "run_worker",
+    "send_frame",
+    "state_message",
+    "worker_slice",
+]

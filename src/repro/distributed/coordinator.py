@@ -1,0 +1,38 @@
+"""The coordinator side: collect worker states, merge, answer.
+
+The coordinator holds the authoritative sketch.  It waits on a transport
+until every expected worker has published a state envelope, then folds the
+states in through the mergeable-sketch protocol:
+``from_state`` validates each payload against the coordinator's own
+compatibility digest (configuration + randomness lineage + hash
+fingerprints), so a worker built from a different spec or seed is rejected
+*before* anything merges; ``merge`` then adds the states.  Because every
+implementer's merge is exact, the coordinator's final state is
+bit-identical to single-machine ingestion of the whole stream — the
+distributed deployment inherits the invariance contract unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["merge_states", "coordinate"]
+
+
+def merge_states(structure, messages: List[dict]):
+    """Fold a list of ``state`` envelopes into ``structure`` (in worker-id
+    order — irrelevant to the result, since merges commute, but canonical
+    for debugging).  Returns ``structure``."""
+    for message in messages:
+        sibling = structure.from_state(message["state"])
+        structure.merge(sibling)
+    return structure
+
+
+def coordinate(structure, collector, workers: int, timeout: float = 120.0):
+    """Run one coordination round: wait for ``workers`` states on
+    ``collector`` (a :class:`~repro.distributed.transport.FileTransport`
+    or :class:`~repro.distributed.transport.SocketListener`), merge them
+    into ``structure``, and return it."""
+    messages = collector.collect(workers, timeout=timeout)
+    return merge_states(structure, messages)

@@ -1,0 +1,135 @@
+"""Single-call driver: distributed ingestion on one machine.
+
+:func:`distributed_ingest` runs the full coordinator/worker dataflow —
+partition the stream, ingest each partition into a sibling sketch in a
+worker, ship every worker's ``to_state()`` through a real transport,
+collect and merge on the coordinator — with all participants hosted
+locally (threads or processes).  The states cross an actual file system or
+TCP socket either way, so this exercises exactly the machinery a real
+multi-machine deployment uses; only the scheduling is local.  It is the
+integration surface the equality tests drive: for every transport and
+worker count, the merged state must be bit-identical to single-machine
+ingestion.
+
+For genuinely separate machines, run ``repro worker`` on each shard host
+and ``repro coordinate`` on the collector (see :mod:`repro.cli`) — those
+commands are thin wrappers over the same worker/coordinator modules.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable
+
+from repro.distributed.coordinator import merge_states
+from repro.distributed.transport import FileTransport, SocketListener, SocketTransport
+from repro.distributed.worker import run_worker, worker_slice
+from repro.streams.batching import DEFAULT_CHUNK
+from repro.streams.model import StreamUpdate, TurnstileStream
+from repro.streams.sharding import as_columnar, supports_sharding
+
+TRANSPORTS = ("file", "socket")
+WORKER_MODES = ("thread", "process")
+
+
+def _spawned_worker(args):
+    """Module-level so process mode can pickle it: run one worker end to
+    end in a child process (the sibling arrives pickled, the state leaves
+    through the transport like any remote worker's would)."""
+    sibling, items, deltas, worker_id, transport, chunk_size, second_pass = args
+    run_worker(sibling, items, deltas, worker_id, transport, chunk_size, second_pass)
+    return worker_id
+
+
+def distributed_ingest(
+    structure,
+    stream: "TurnstileStream | Iterable[StreamUpdate]",
+    workers: int = 2,
+    transport: str = "file",
+    mode: str = "thread",
+    chunk_size: int = DEFAULT_CHUNK,
+    second_pass: bool = False,
+    rendezvous: str | None = None,
+    timeout: float = 120.0,
+):
+    """Ingest ``stream`` into ``structure`` through ``workers`` distributed
+    workers over a real transport; the merged state is bit-identical to
+    sequential ingestion.  Returns ``structure``.
+
+    Parameters
+    ----------
+    structure:
+        Any mergeable sketch with a batch path (same requirement as
+        :func:`repro.streams.sharding.ingest_sharded`).  Its existing state
+        is kept: the stream's contribution is added on top.
+    workers:
+        Worker count; each gets one contiguous stream partition.
+    transport:
+        ``"file"`` (drop-box directory; ``rendezvous`` names it, default a
+        fresh temp dir) or ``"socket"`` (TCP on 127.0.0.1, ephemeral port).
+    mode:
+        ``"thread"`` hosts workers on a thread pool; ``"process"`` on a
+        process pool (siblings must pickle — see
+        :mod:`repro.functions.registry` for estimators).
+    second_pass:
+        Drive ``update_batch_second_pass`` on phase-cloned siblings (the
+        distributed analogue of sharded two-pass ingestion).
+    """
+    if transport not in TRANSPORTS:
+        raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
+    if mode not in WORKER_MODES:
+        raise ValueError(f"mode must be one of {WORKER_MODES}, got {mode!r}")
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    if not supports_sharding(structure):
+        raise TypeError(
+            f"{type(structure).__name__} does not implement the "
+            "mergeable-sketch protocol required for distributed ingestion"
+        )
+    if second_pass and not hasattr(structure, "update_batch_second_pass"):
+        raise TypeError(
+            f"{type(structure).__name__} has no update_batch_second_pass"
+        )
+
+    items, deltas = as_columnar(stream, chunk_size)
+    siblings = [structure.spawn_sibling() for _ in range(workers)]
+    partitions = [worker_slice(items, deltas, i, workers) for i in range(workers)]
+
+    tempdir = None
+    listener = None
+    try:
+        if transport == "file":
+            if rendezvous is None:
+                tempdir = tempfile.TemporaryDirectory(prefix="repro-dist-")
+                rendezvous = tempdir.name
+            drop_box = FileTransport(rendezvous)
+            drop_box.purge()
+            sender = drop_box
+            collector = drop_box
+        else:
+            listener = SocketListener()
+            host, port = listener.address
+            sender = SocketTransport(host, port)
+            collector = listener
+
+        pool_cls = ThreadPoolExecutor if mode == "thread" else ProcessPoolExecutor
+        with pool_cls(max_workers=workers) as pool:
+            jobs = [
+                pool.submit(
+                    _spawned_worker,
+                    (sib, part[0], part[1], i, sender, chunk_size, second_pass),
+                )
+                for i, (sib, part) in enumerate(zip(siblings, partitions))
+            ]
+            # Collect concurrently: socket workers hand their frames to the
+            # listener as they finish, file workers drop files we poll for.
+            messages = collector.collect(workers, timeout=timeout)
+            for job in jobs:
+                job.result()  # surface worker exceptions with tracebacks
+        return merge_states(structure, messages)
+    finally:
+        if listener is not None:
+            listener.close()
+        if tempdir is not None:
+            tempdir.cleanup()

@@ -1,0 +1,249 @@
+"""Transports for the coordinator/worker protocol.
+
+Two interchangeable ways to move :mod:`repro.distributed.wire` envelopes
+from shard workers to a coordinator:
+
+:class:`FileTransport`
+    A drop-box directory (typically on a shared filesystem).  Each worker
+    writes its message to ``msg-<worker>.json`` via an atomic
+    write-to-temp-then-rename, so the coordinator — polling the directory —
+    only ever observes complete messages.  No daemon, no ports, survives
+    coordinator restarts; the natural choice for batch jobs and tests.
+
+:class:`SocketTransport` / :class:`SocketListener`
+    TCP with length-prefixed JSON frames (see :mod:`repro.distributed.wire`).
+    The coordinator owns a listening socket; each worker connects, sends one
+    frame, and disconnects.  Workers retry the connect until the coordinator
+    is up, so start order does not matter.  The online choice: no shared
+    filesystem required, states arrive the moment a worker finishes.
+
+Both sides validate envelopes on receipt; a worker ``error`` message makes
+``collect`` raise immediately instead of waiting for the timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import socket
+import time
+from typing import List
+
+from repro.distributed.wire import (
+    dumps_message,
+    recv_frame,
+    send_frame,
+    validate_message,
+)
+
+
+class WorkerFailure(RuntimeError):
+    """A worker shipped an ``error`` envelope instead of a state."""
+
+
+class CollectTimeout(TimeoutError):
+    """``collect`` gave up before every expected worker reported."""
+
+
+def _check_collected(messages: List[dict]) -> List[dict]:
+    """Shared post-processing: fail on any error envelope, reject duplicate
+    worker ids, and return state messages sorted by worker id (a canonical
+    merge order, so coordinator results do not depend on arrival order)."""
+    for message in messages:
+        if message["type"] == "error":
+            raise WorkerFailure(
+                f"worker {message['worker']} failed: {message.get('detail', '?')}"
+            )
+    by_worker = {}
+    for message in messages:
+        worker = message["worker"]
+        if worker in by_worker:
+            raise ValueError(f"duplicate state from worker {worker}")
+        by_worker[worker] = message
+    return [by_worker[worker] for worker in sorted(by_worker)]
+
+
+# ------------------------------------------------------------ file drop-box
+
+class FileTransport:
+    """Drop-box directory transport (both endpoints).
+
+    Parameters
+    ----------
+    directory:
+        The rendezvous directory; created on first use.  Workers and the
+        coordinator must point at the same path (typically on a shared
+        filesystem for real cross-machine runs).
+    poll_interval:
+        Coordinator polling period in seconds.
+    """
+
+    def __init__(self, directory: str | pathlib.Path, poll_interval: float = 0.05):
+        self.directory = pathlib.Path(directory)
+        self.poll_interval = float(poll_interval)
+
+    def _message_path(self, worker: int) -> pathlib.Path:
+        return self.directory / f"msg-{int(worker):04d}.json"
+
+    # ---------------------------------------------------------- worker side
+
+    def send(self, message: dict) -> None:
+        """Atomically publish one envelope: write ``*.tmp``, then rename.
+        POSIX rename is atomic within a filesystem, so a polling coordinator
+        never reads a half-written message."""
+        validate_message(message)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        final = self._message_path(message["worker"])
+        temp = final.with_suffix(".json.tmp")
+        temp.write_bytes(dumps_message(message))
+        temp.replace(final)
+
+    # ----------------------------------------------------- coordinator side
+
+    def pending(self) -> List[dict]:
+        """All complete messages currently in the drop-box."""
+        if not self.directory.is_dir():
+            return []
+        messages = []
+        for path in sorted(self.directory.glob("msg-*.json")):
+            messages.append(validate_message(json.loads(path.read_text())))
+        return messages
+
+    def collect(self, expected: int, timeout: float = 60.0) -> List[dict]:
+        """Poll until ``expected`` distinct workers have reported (or one
+        reported an error); returns state envelopes sorted by worker id.
+
+        Messages are immutable once atomically renamed into place, so each
+        file is parsed exactly once however long the polling lasts — a
+        straggler worker does not make the coordinator re-parse the large
+        states that already arrived on every poll tick.
+        """
+        deadline = time.monotonic() + timeout
+        parsed: dict[str, dict] = {}
+        while True:
+            if self.directory.is_dir():
+                for path in sorted(self.directory.glob("msg-*.json")):
+                    if path.name not in parsed:
+                        parsed[path.name] = validate_message(
+                            json.loads(path.read_text())
+                        )
+            messages = list(parsed.values())
+            if any(m["type"] == "error" for m in messages):
+                return _check_collected(messages)  # raises WorkerFailure
+            if len({m["worker"] for m in messages}) >= expected:
+                return _check_collected(messages)
+            if time.monotonic() >= deadline:
+                raise CollectTimeout(
+                    f"file transport: {len(messages)}/{expected} worker "
+                    f"states in {self.directory} after {timeout:.0f}s"
+                )
+            time.sleep(self.poll_interval)
+
+    def purge(self) -> None:
+        """Delete all drop-box messages (between runs on a reused dir)."""
+        if self.directory.is_dir():
+            for path in self.directory.glob("msg-*.json*"):
+                path.unlink()
+
+
+# ------------------------------------------------------------- TCP sockets
+
+class SocketTransport:
+    """Worker-side TCP sender: connect, ship one frame, disconnect.
+
+    Connecting retries until ``connect_timeout`` elapses, so workers may
+    start before the coordinator is listening.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 30.0,
+        retry_interval: float = 0.05,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.connect_timeout = float(connect_timeout)
+        self.retry_interval = float(retry_interval)
+
+    def send(self, message: dict) -> None:
+        validate_message(message)
+        deadline = time.monotonic() + self.connect_timeout
+        while True:
+            try:
+                with socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                ) as sock:
+                    send_frame(sock, message)
+                return
+            except OSError as exc:
+                # Covers refused, host/net unreachable, and connect
+                # timeouts alike — all transient while the coordinator
+                # host is still coming up, which is exactly the window
+                # the retry loop exists for.
+                if time.monotonic() >= deadline:
+                    raise CollectTimeout(
+                        f"socket transport: could not deliver to "
+                        f"coordinator at {self.host}:{self.port} within "
+                        f"{self.connect_timeout:.0f}s ({exc})"
+                    ) from exc
+                time.sleep(self.retry_interval)
+
+
+class SocketListener:
+    """Coordinator-side TCP receiver.
+
+    Binds immediately (``port=0`` picks an ephemeral port — read
+    :attr:`address` to learn it), accepts one connection per worker
+    message.  Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 16):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — what workers should dial."""
+        host, port = self._sock.getsockname()[:2]
+        return host, port
+
+    def collect(self, expected: int, timeout: float = 60.0) -> List[dict]:
+        """Accept connections until ``expected`` distinct workers have
+        shipped a state frame; returns envelopes sorted by worker id."""
+        deadline = time.monotonic() + timeout
+        messages: List[dict] = []
+        while len({m["worker"] for m in messages}) < expected:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise CollectTimeout(
+                    f"socket transport: {len(messages)}/{expected} worker "
+                    f"states on {self.address} after {timeout:.0f}s"
+                )
+            self._sock.settimeout(remaining)
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            with conn:
+                conn.settimeout(max(remaining, 1.0))
+                message = recv_frame(conn)
+            if message["type"] == "error":
+                raise WorkerFailure(
+                    f"worker {message['worker']} failed: "
+                    f"{message.get('detail', '?')}"
+                )
+            messages.append(message)
+        return _check_collected(messages)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "SocketListener":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

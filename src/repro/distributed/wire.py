@@ -1,0 +1,124 @@
+"""The distributed wire protocol: message envelopes and socket framing.
+
+Everything that crosses a machine boundary is one JSON document — the same
+wire format the mergeable-sketch protocol already speaks
+(:meth:`~repro.sketch.base.MergeableSketch.to_state`), wrapped in a small
+envelope that names the sender and the message kind:
+
+.. code-block:: json
+
+    {"format": "repro-dist", "version": 1, "type": "state",
+     "worker": 2, "state": { ...to_state() dict... }}
+
+Message types:
+
+``state``
+    A worker's finished shard state.  ``state`` is the sketch's
+    ``to_state()`` dict, whose embedded compatibility digest is what lets
+    the coordinator reject a worker built with the wrong configuration or
+    seed *before* merging anything.
+``error``
+    A worker announcing failure (``detail`` carries the reason) so the
+    coordinator can stop waiting instead of timing out.
+
+Transports move these envelopes without looking inside: the file transport
+writes one JSON file per message, the socket transport sends
+**length-prefixed frames** — a 4-byte big-endian payload length followed by
+the UTF-8 JSON bytes.  The prefix makes message recovery trivial on a
+stream socket (read 4 bytes, read exactly that many more) and caps frames
+at 2^32-1 bytes, far above any realistic sketch state.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+WIRE_FORMAT = "repro-dist"
+WIRE_VERSION = 1
+
+#: struct layout of the socket frame length prefix: 4-byte big-endian.
+LENGTH_PREFIX = struct.Struct(">I")
+
+MESSAGE_TYPES = ("state", "error")
+
+
+# --------------------------------------------------------------- envelopes
+
+def state_message(worker: int, state: dict) -> dict:
+    """Envelope for a worker's finished shard state."""
+    return {
+        "format": WIRE_FORMAT,
+        "version": WIRE_VERSION,
+        "type": "state",
+        "worker": int(worker),
+        "state": state,
+    }
+
+
+def error_message(worker: int, detail: str) -> dict:
+    """Envelope announcing a worker failure."""
+    return {
+        "format": WIRE_FORMAT,
+        "version": WIRE_VERSION,
+        "type": "error",
+        "worker": int(worker),
+        "detail": str(detail),
+    }
+
+
+def validate_message(message: dict) -> dict:
+    """Check the envelope and return it; raise ``ValueError`` on anything
+    that is not a well-formed repro-dist message."""
+    if not isinstance(message, dict):
+        raise ValueError(f"wire message must be a JSON object, got {type(message)}")
+    if message.get("format") != WIRE_FORMAT:
+        raise ValueError("not a repro-dist message")
+    if message.get("version") != WIRE_VERSION:
+        raise ValueError(f"unsupported wire version {message.get('version')!r}")
+    if message.get("type") not in MESSAGE_TYPES:
+        raise ValueError(f"unknown message type {message.get('type')!r}")
+    if not isinstance(message.get("worker"), int):
+        raise ValueError("wire message lacks an integer worker id")
+    if message["type"] == "state" and not isinstance(message.get("state"), dict):
+        raise ValueError("state message lacks a state dict")
+    return message
+
+
+def dumps_message(message: dict) -> bytes:
+    """Envelope -> canonical UTF-8 JSON bytes (no whitespace)."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8")
+
+
+def loads_message(data: bytes) -> dict:
+    return validate_message(json.loads(data.decode("utf-8")))
+
+
+# ----------------------------------------------------------- socket frames
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Write one length-prefixed JSON frame to a connected stream socket."""
+    payload = dumps_message(message)
+    sock.sendall(LENGTH_PREFIX.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"peer closed mid-frame ({count - remaining}/{count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Read one length-prefixed JSON frame from a connected stream socket."""
+    header = _recv_exact(sock, LENGTH_PREFIX.size)
+    (length,) = LENGTH_PREFIX.unpack(header)
+    return loads_message(_recv_exact(sock, length))

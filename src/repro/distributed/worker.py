@@ -1,0 +1,67 @@
+"""The worker side: ingest a stream partition, ship the state.
+
+A worker owns one contiguous partition of the stream and a sketch that is
+a sibling of the coordinator's (same configuration, same randomness
+lineage — by construction from a shared spec, or by receiving a
+``spawn_sibling()`` from the driver).  It feeds its partition through the
+ordinary batch path and publishes its ``to_state()`` through whichever
+transport it was given; failures are published too, so the coordinator
+fails fast instead of timing out.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.distributed.wire import error_message, state_message
+from repro.streams.batching import DEFAULT_CHUNK
+from repro.streams.sharding import feed_chunks
+
+__all__ = ["partition_bounds", "worker_slice", "run_worker"]
+
+
+def partition_bounds(total: int, workers: int) -> np.ndarray:
+    """Contiguous near-equal partition boundaries: worker ``i`` of ``k``
+    owns ``[bounds[i], bounds[i+1])``.  Matches the slab geometry of
+    :func:`repro.streams.sharding.shard_slabs`, except that short streams
+    yield *empty* partitions rather than fewer (every worker id must have
+    a well-defined slice, even one that turns out to be empty)."""
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    return np.linspace(0, total, workers + 1, dtype=np.int64)
+
+
+def worker_slice(
+    items: np.ndarray, deltas: np.ndarray, worker_id: int, workers: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Worker ``worker_id``'s zero-copy partition of the columnar stream."""
+    if not 0 <= worker_id < workers:
+        raise ValueError(f"worker_id must be in [0, {workers}), got {worker_id}")
+    bounds = partition_bounds(items.shape[0], workers)
+    start, stop = int(bounds[worker_id]), int(bounds[worker_id + 1])
+    return items[start:stop], deltas[start:stop]
+
+
+def run_worker(
+    structure,
+    items: np.ndarray,
+    deltas: np.ndarray,
+    worker_id: int,
+    transport,
+    chunk_size: int = DEFAULT_CHUNK,
+    second_pass: bool = False,
+) -> dict:
+    """Ingest one partition into ``structure`` and publish its serialized
+    state.  Returns the sent envelope.  On any ingestion error an ``error``
+    envelope is published before re-raising, so the coordinator aborts
+    immediately."""
+    try:
+        feed_chunks(structure, items, deltas, chunk_size, second_pass)
+        message = state_message(worker_id, structure.to_state())
+    except Exception as exc:
+        transport.send(error_message(worker_id, f"{type(exc).__name__}: {exc}"))
+        raise
+    transport.send(message)
+    return message

@@ -83,6 +83,10 @@ class GFunction:
         self.name = name
         self.description = description
         self.properties = properties or DeclaredProperties()
+        # Rebuildable factory spec, stamped by repro.functions.registry on
+        # registry-built instances; what __reduce__ pickles instead of the
+        # wrapped callable.
+        self.spec: dict | None = None
         # Largest argument at which the callable is numerically safe (e.g.
         # 2^x overflows doubles near x ~ 1000); numeric property testers
         # clamp their domain to this.
@@ -121,6 +125,8 @@ class GFunction:
 
     def with_properties(self, **flags) -> "GFunction":
         """A copy with updated declared properties."""
+        from repro.functions.registry import derived_spec
+
         clone = GFunction.__new__(GFunction)
         clone.name = self.name
         clone.description = self.description
@@ -128,9 +134,12 @@ class GFunction:
         clone.analysis_cap = self.analysis_cap
         clone._cache = {}
         clone._fn = self._fn
+        clone.spec = derived_spec(self, "with_properties", flags=dict(flags))
         return clone
 
     def renamed(self, name: str) -> "GFunction":
+        from repro.functions.registry import derived_spec
+
         clone = GFunction.__new__(GFunction)
         clone.name = name
         clone.description = self.description
@@ -138,7 +147,24 @@ class GFunction:
         clone.analysis_cap = self.analysis_cap
         clone._cache = {}
         clone._fn = self._fn
+        clone.spec = derived_spec(self, "renamed", name=name)
         return clone
+
+    def __reduce__(self):
+        """Pickle as the registry spec (never the wrapped callable): the
+        unpickling side rebuilds through the registered factory, which is
+        what lets estimators configured with library or ``random_g``
+        functions cross process boundaries (sharding process mode, the
+        distributed workers)."""
+        import pickle
+
+        from repro.functions.registry import from_spec, to_spec
+
+        try:
+            spec = to_spec(self)
+        except TypeError as exc:
+            raise pickle.PicklingError(str(exc)) from None
+        return (from_spec, (spec,))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"GFunction({self.name})"

@@ -20,11 +20,13 @@ import math
 from typing import Dict, Iterable
 
 from repro.functions.base import DeclaredProperties, GFunction
+from repro.functions.registry import register
 from repro.util.intmath import lowest_set_bit
 
 _NORMAL = dict(s_normal=True, p_normal=True)
 
 
+@register()
 def moment(p: float) -> GFunction:
     """Frequency moment ``g(x) = x^p`` (the AMS problem).
 
@@ -45,6 +47,7 @@ def moment(p: float) -> GFunction:
     return GFunction(lambda x: float(x) ** p, f"x^{p:g}", props)
 
 
+@register()
 def negative_moment(p: float) -> GFunction:
     """``g(x) = x^-p`` for x>0 (frequency negative moments).  Polynomial
     decay: not slow-dropping, hence intractable in any constant number of
@@ -63,6 +66,7 @@ def negative_moment(p: float) -> GFunction:
     )
 
 
+@register()
 def log_decay() -> GFunction:
     """``g(x) = 1/log2(1+x)`` for x>0 — sub-polynomial decay, slow-dropping
     (the paper's example right after Definition 7)."""
@@ -82,6 +86,7 @@ def log_decay() -> GFunction:
     return GFunction(fn, "1/log(1+x)", props, normalize=False)
 
 
+@register()
 def x2_log() -> GFunction:
     """``x^2 lg(1+x)`` — 1-pass tractable (Section 4.6)."""
     props = DeclaredProperties(
@@ -94,6 +99,7 @@ def x2_log() -> GFunction:
     return GFunction(lambda x: x * x * math.log2(1.0 + x), "x^2*lg(1+x)", props)
 
 
+@register()
 def x2_sqrtlog_exp() -> GFunction:
     """``x^2 * 2^sqrt(log x)`` — slow-jumping example from Definition 6."""
     props = DeclaredProperties(
@@ -112,6 +118,7 @@ def x2_sqrtlog_exp() -> GFunction:
     return GFunction(fn, "x^2*2^sqrt(lg x)", props)
 
 
+@register()
 def sin_log_x2() -> GFunction:
     """``(2 + sin log(1+x)) x^2`` — oscillating but so slowly that it is
     predictable; 1-pass tractable (Section 4.6)."""
@@ -126,6 +133,7 @@ def sin_log_x2() -> GFunction:
     )
 
 
+@register()
 def exp_sqrt_log() -> GFunction:
     """``e^{log^{1/2}(1+x)}`` — sub-polynomial growth, 1-pass tractable
     (Section 4.6)."""
@@ -139,6 +147,7 @@ def exp_sqrt_log() -> GFunction:
     return GFunction(lambda x: math.exp(math.sqrt(math.log(1.0 + x))), "e^sqrt(log(1+x))", props)
 
 
+@register()
 def sin_sqrt_x2() -> GFunction:
     """``(2 + sin sqrt(x)) x^2`` — slow-jumping and slow-dropping but NOT
     predictable: the sinusoid's phase moves at rate x^{-1/2}, so at scale x
@@ -156,6 +165,7 @@ def sin_sqrt_x2() -> GFunction:
     )
 
 
+@register()
 def sin_x_x2() -> GFunction:
     """``(2 + sin x) x^2`` — Definition 8's negative example: varies by a
     factor 3 between adjacent integers while growing, so not predictable."""
@@ -168,6 +178,7 @@ def sin_x_x2() -> GFunction:
     return GFunction(lambda x: (2.0 + math.sin(float(x))) * x * x, "(2+sin x)x^2", props)
 
 
+@register()
 def bounded_oscillation() -> GFunction:
     """``(2 + sin x) 1(x>0)`` — locally highly variable but bounded, hence
     predictable (Definition 8's positive example)."""
@@ -186,6 +197,7 @@ def bounded_oscillation() -> GFunction:
     return GFunction(fn, "(2+sin x)1(x>0)", props, normalize=False)
 
 
+@register()
 def exponential() -> GFunction:
     """``2^x`` (scaled) — the canonical not-slow-jumping function.  Also not
     predictable: within ``y < x^{1-gamma}`` the value multiplies by ``2^y``
@@ -200,11 +212,13 @@ def exponential() -> GFunction:
     return GFunction(lambda x: 2.0 ** float(x) - 1.0, "2^x", props, analysis_cap=900)
 
 
+@register()
 def reciprocal() -> GFunction:
     """``1/x`` — Section 4.6's not-slow-dropping example."""
     return negative_moment(1.0).renamed("1/x")
 
 
+@register()
 def g_np() -> GFunction:
     """The tractable S-nearly periodic function of Definition 52:
     ``g_np(x) = 2^{-i_x}`` where ``i_x`` is the lowest set bit of x.
@@ -231,11 +245,13 @@ def g_np() -> GFunction:
     return GFunction(fn, "g_np", props, normalize=False)
 
 
+@register()
 def linear() -> GFunction:
     """``g(x) = x`` (F1)."""
     return moment(1.0).renamed("x")
 
 
+@register()
 def indicator() -> GFunction:
     """``g(x) = 1(x > 0)`` (F0, distinct elements)."""
     props = DeclaredProperties(
@@ -248,6 +264,7 @@ def indicator() -> GFunction:
     return GFunction(lambda x: 0.0 if x == 0 else 1.0, "1(x>0)", props, normalize=False)
 
 
+@register()
 def capped_linear(cap: int) -> GFunction:
     """``min(x, cap)`` — bounded utility, tractable."""
     props = DeclaredProperties(
@@ -260,6 +277,7 @@ def capped_linear(cap: int) -> GFunction:
     return GFunction(lambda x: float(min(x, cap)), f"min(x,{cap})", props, normalize=False)
 
 
+@register()
 def spam_damped_fee(threshold: int) -> GFunction:
     """Non-monotone billing utility from Section 1.1.2: fee grows linearly
     up to ``threshold`` clicks, then is discounted hyperbolically (suspected

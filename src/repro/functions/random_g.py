@@ -28,6 +28,7 @@ import math
 from typing import Tuple
 
 from repro.functions.base import DeclaredProperties, GFunction
+from repro.functions.registry import register
 from repro.util.rng import RandomSource, as_source
 
 _NORMAL = dict(s_normal=True, p_normal=True)
@@ -47,6 +48,7 @@ def _noise_field(source: RandomSource, amplitude: float):
     return field
 
 
+@register()
 def random_power_like(
     seed: int | RandomSource | None = None,
     p_range: Tuple[float, float] = (0.3, 3.0),
@@ -71,6 +73,7 @@ def random_power_like(
     return GFunction(fn, f"rand[x^{p:.2f}]", props, normalize=False), props
 
 
+@register()
 def random_decaying(
     seed: int | RandomSource | None = None,
     p_range: Tuple[float, float] = (0.3, 1.5),
@@ -94,6 +97,7 @@ def random_decaying(
     return GFunction(fn, f"rand[x^-{p:.2f}]", props, normalize=False), props
 
 
+@register()
 def random_oscillator(
     seed: int | RandomSource | None = None,
     predictable: bool | None = None,
@@ -131,6 +135,7 @@ def random_oscillator(
     return GFunction(fn, label, props, normalize=False), props
 
 
+@register()
 def random_step_function(
     seed: int | RandomSource | None = None,
     levels: int = 24,

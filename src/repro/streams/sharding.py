@@ -19,8 +19,12 @@ Three execution modes:
 ``process``
     ``ProcessPoolExecutor``; each worker receives a pickled empty sibling
     plus its slab and ships its ``to_state()`` dict back.  Requires the
-    sketch to be picklable (raw sketches are; estimators configured with
-    lambdas are not) — use threads for those.
+    sketch to be picklable: the raw sketches are, and ``GSumEstimator``
+    is whenever its ``GFunction`` was built through the named-function
+    registry (:mod:`repro.functions.registry`) — every catalog entry,
+    ``random_g`` family member, and CLI expression qualifies.  A
+    hand-rolled ``GFunction(fn, ...)`` is the one thing that still needs
+    thread mode.
 ``serial``
     Same spawn/merge dataflow on the caller's thread.  Useful for testing
     the merge path and as the degenerate N=1 case.
@@ -32,6 +36,7 @@ The same engine drives second passes (``second_pass=True`` uses
 
 from __future__ import annotations
 
+import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, List, Tuple
 
@@ -61,9 +66,9 @@ def shard_slabs(
     ]
 
 
-def _as_columnar(
+def as_columnar(
     stream: "TurnstileStream | Iterable[StreamUpdate] | Tuple[np.ndarray, np.ndarray]",
-    chunk_size: int,
+    chunk_size: int = DEFAULT_CHUNK,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Materialize a stream (or accept a prebuilt array pair) as columnar
     int64 arrays in arrival order."""
@@ -85,7 +90,10 @@ def _as_columnar(
     )
 
 
-def _feed(structure, items, deltas, chunk_size, second_pass):
+def feed_chunks(structure, items, deltas, chunk_size=DEFAULT_CHUNK, second_pass=False):
+    """Drive a columnar slab into ``structure`` through its batch method in
+    ``chunk_size`` pieces (the per-worker inner loop of every shard mode,
+    and of the distributed workers)."""
     update = (
         structure.update_batch_second_pass if second_pass else structure.update_batch
     )
@@ -98,7 +106,7 @@ def _process_worker(args):
     """Module-level so ProcessPoolExecutor can pickle it: fill the shipped
     sibling and return its serialized state."""
     sibling, items, deltas, chunk_size, second_pass = args
-    _feed(sibling, items, deltas, chunk_size, second_pass)
+    feed_chunks(sibling, items, deltas, chunk_size, second_pass)
     return sibling.to_state()
 
 
@@ -134,11 +142,11 @@ def ingest_sharded(
             f"{type(structure).__name__} has no update_batch_second_pass; "
             "drive its second pass sequentially instead"
         )
-    items, deltas = _as_columnar(stream, chunk_size)
+    items, deltas = as_columnar(stream, chunk_size)
     slabs = shard_slabs(items, deltas, shards)
     if len(slabs) <= 1:
         for slab_items, slab_deltas in slabs:
-            _feed(structure, slab_items, slab_deltas, chunk_size, second_pass)
+            feed_chunks(structure, slab_items, slab_deltas, chunk_size, second_pass)
         return structure
 
     # Shard 0 folds straight into the caller's structure (which may already
@@ -148,27 +156,37 @@ def ingest_sharded(
 
     if mode == "serial":
         for worker, (slab_items, slab_deltas) in zip(workers, slabs):
-            _feed(worker, slab_items, slab_deltas, chunk_size, second_pass)
+            feed_chunks(worker, slab_items, slab_deltas, chunk_size, second_pass)
     elif mode == "thread":
         with ThreadPoolExecutor(max_workers=len(slabs)) as pool:
             futures = [
-                pool.submit(_feed, worker, si, sd, chunk_size, second_pass)
+                pool.submit(feed_chunks, worker, si, sd, chunk_size, second_pass)
                 for worker, (si, sd) in zip(workers, slabs)
             ]
             for future in futures:
                 future.result()
     else:  # process
         with ProcessPoolExecutor(max_workers=len(slabs) - 1) as pool:
-            jobs = [
-                pool.submit(
-                    _process_worker, (sib, si, sd, chunk_size, second_pass)
+            try:
+                jobs = [
+                    pool.submit(
+                        _process_worker, (sib, si, sd, chunk_size, second_pass)
+                    )
+                    for sib, (si, sd) in zip(siblings, slabs[1:])
+                ]
+                feed_chunks(
+                    structure, slabs[0][0], slabs[0][1], chunk_size, second_pass
                 )
-                for sib, (si, sd) in zip(siblings, slabs[1:])
-            ]
-            _feed(structure, slabs[0][0], slabs[0][1], chunk_size, second_pass)
-            siblings = [
-                sib.from_state(job.result()) for sib, job in zip(siblings, jobs)
-            ]
+                siblings = [
+                    sib.from_state(job.result()) for sib, job in zip(siblings, jobs)
+                ]
+            except pickle.PicklingError as exc:
+                raise TypeError(
+                    f"{type(structure).__name__} cannot cross a process "
+                    f"boundary ({exc}); use shard mode 'thread', or build "
+                    "its GFunction through repro.functions.registry so it "
+                    "serializes"
+                ) from exc
 
     for sibling in siblings:
         structure.merge(sibling)

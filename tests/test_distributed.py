@@ -1,0 +1,356 @@
+"""Distributed coordinator/worker ingestion (``repro.distributed``).
+
+The acceptance gate: ``distributed_ingest()`` over both transports (file,
+socket) with k in {2, 4} workers produces coordinator state bit-identical
+to single-machine ingestion — for a raw sketch and for the full
+``GSumEstimator`` — and process-mode ``GSumEstimator`` sharding passes the
+same equality bar.  Plus the protocol pieces: framing, envelope
+validation, failure propagation, compat rejection, and the CLI commands.
+"""
+
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.gsum import GSumEstimator
+from repro.distributed import (
+    CollectTimeout,
+    FileTransport,
+    SocketListener,
+    SocketTransport,
+    WorkerFailure,
+    distributed_ingest,
+    error_message,
+    merge_states,
+    partition_bounds,
+    recv_frame,
+    send_frame,
+    state_message,
+    worker_slice,
+)
+from repro.distributed.specs import build_sketch
+from repro.functions.library import moment
+from repro.sketch.base import dumps_state
+from repro.sketch.countsketch import CountSketch
+from repro.streams.batching import drive
+from repro.streams.generators import zipf_stream
+from repro.streams.io import save_stream
+from repro.streams.model import TurnstileStream
+
+N = 512
+G2 = moment(2.0)
+STREAM = zipf_stream(n=N, total_mass=12_000, skew=1.2, seed=31, turnstile_noise=0.3)
+
+TRANSPORTS = ("file", "socket")
+WORKER_COUNTS = (2, 4)
+
+
+def fresh_countsketch():
+    return CountSketch(5, 256, track=16, seed=9)
+
+
+def fresh_estimator(**kwargs):
+    return GSumEstimator(G2, N, heaviness=0.15, repetitions=2, seed=5, **kwargs)
+
+
+class TestEqualityGate:
+    """The non-negotiable: distributed == single-machine, bit for bit."""
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_countsketch_state_bit_identical(self, transport, workers, tmp_path):
+        sequential = drive(fresh_countsketch(), STREAM)
+        rendezvous = str(tmp_path / "rv") if transport == "file" else None
+        merged = distributed_ingest(
+            fresh_countsketch(), STREAM, workers=workers,
+            transport=transport, rendezvous=rendezvous,
+        )
+        assert np.array_equal(merged._table, sequential._table)
+        assert merged._candidates == sequential._candidates
+        assert merged.top_candidates() == sequential.top_candidates()
+        assert dumps_state(merged.to_state()) == dumps_state(sequential.to_state())
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_gsum_estimator_state_bit_identical(self, transport, workers):
+        sequential = drive(fresh_estimator(), STREAM)
+        merged = distributed_ingest(
+            fresh_estimator(), STREAM, workers=workers, transport=transport
+        )
+        assert merged.estimate() == sequential.estimate()
+        assert dumps_state(merged.to_state()) == dumps_state(sequential.to_state())
+
+    def test_gsum_estimator_process_workers(self):
+        """Workers in real child processes: the estimator crosses the
+        boundary via the registry-backed pickle path."""
+        sequential = drive(fresh_estimator(), STREAM)
+        merged = distributed_ingest(
+            fresh_estimator(), STREAM, workers=2, transport="file",
+            mode="process",
+        )
+        assert merged.estimate() == sequential.estimate()
+        assert dumps_state(merged.to_state()) == dumps_state(sequential.to_state())
+
+    def test_gsum_process_mode_sharding_equality(self):
+        """The sharding engine's process mode (unblocked by the registry)
+        passes the same gate: shards=2 process == serial, bit for bit."""
+        sequential = fresh_estimator()
+        sequential.process(STREAM)
+        sharded = fresh_estimator(shards=2, shard_mode="process")
+        sharded.process(STREAM)
+        assert sharded.estimate() == sequential.estimate()
+        assert dumps_state(sharded.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+    def test_two_pass_distributed_both_passes(self):
+        sequential = fresh_estimator(passes=2)
+        sequential.process(STREAM)
+        sequential.begin_second_pass()
+        sequential.process_second_pass(STREAM)
+
+        dist = fresh_estimator(passes=2)
+        distributed_ingest(dist, STREAM, workers=3, transport="file")
+        dist.begin_second_pass()
+        distributed_ingest(
+            dist, STREAM, workers=3, transport="socket", second_pass=True
+        )
+        assert dist.estimate() == sequential.estimate()
+
+    def test_adds_to_existing_state(self):
+        earlier = zipf_stream(n=N, total_mass=4_000, seed=3)
+        merged = drive(fresh_countsketch(), earlier)
+        distributed_ingest(merged, STREAM, workers=2)
+        direct = drive(fresh_countsketch(), earlier.concat(STREAM))
+        assert np.array_equal(merged._table, direct._table)
+
+    def test_empty_stream(self):
+        merged = distributed_ingest(
+            fresh_countsketch(), TurnstileStream(N), workers=4
+        )
+        assert not merged._table.any()
+
+
+class TestPartitioning:
+    def test_bounds_cover_exactly(self):
+        for total in (0, 1, 7, 1000):
+            for workers in (1, 2, 4, 9):
+                bounds = partition_bounds(total, workers)
+                assert bounds[0] == 0 and bounds[-1] == total
+                assert len(bounds) == workers + 1
+                assert (np.diff(bounds) >= 0).all()
+
+    def test_worker_slice_disjoint_union(self):
+        items, deltas = STREAM.as_arrays()
+        parts = [worker_slice(items, deltas, i, 4) for i in range(4)]
+        assert sum(p[0].shape[0] for p in parts) == items.shape[0]
+        assert np.array_equal(np.concatenate([p[0] for p in parts]), items)
+
+    def test_bad_worker_id(self):
+        items, deltas = STREAM.as_arrays()
+        with pytest.raises(ValueError, match="worker_id"):
+            worker_slice(items, deltas, 4, 4)
+
+
+class TestWire:
+    def test_socket_frame_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            message = state_message(3, {"format": "repro-sketch-state"})
+            send_frame(a, message)
+            assert recv_frame(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_validation_rejects_garbage(self):
+        from repro.distributed.wire import validate_message
+
+        with pytest.raises(ValueError, match="not a repro-dist"):
+            validate_message({"format": "nope"})
+        with pytest.raises(ValueError, match="version"):
+            validate_message({"format": "repro-dist", "version": 99})
+        with pytest.raises(ValueError, match="message type"):
+            validate_message(
+                {"format": "repro-dist", "version": 1, "type": "gossip"}
+            )
+        with pytest.raises(ValueError, match="state dict"):
+            validate_message(
+                {"format": "repro-dist", "version": 1, "type": "state",
+                 "worker": 0}
+            )
+
+
+class TestTransports:
+    def test_file_atomic_publish_and_collect(self, tmp_path):
+        box = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        box.send(state_message(1, {"x": 1}))
+        box.send(state_message(0, {"x": 0}))
+        messages = box.collect(2, timeout=1.0)
+        assert [m["worker"] for m in messages] == [0, 1]  # canonical order
+        assert not list((tmp_path / "rv").glob("*.tmp"))
+
+    def test_file_collect_timeout(self, tmp_path):
+        box = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        box.send(state_message(0, {}))
+        with pytest.raises(CollectTimeout, match="1/2"):
+            box.collect(2, timeout=0.05)
+
+    def test_file_error_envelope_fails_fast(self, tmp_path):
+        box = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        box.send(error_message(1, "exploded"))
+        with pytest.raises(WorkerFailure, match="worker 1.*exploded"):
+            box.collect(2, timeout=30.0)  # no 30s wait: error short-circuits
+
+    def test_file_duplicate_worker_rejected(self, tmp_path):
+        box = FileTransport(tmp_path / "rv")
+        from repro.distributed.transport import _check_collected
+
+        with pytest.raises(ValueError, match="duplicate"):
+            _check_collected([state_message(0, {}), state_message(0, {})])
+        box.purge()
+
+    def test_socket_collect_and_failure(self):
+        with SocketListener() as listener:
+            host, port = listener.address
+            sender = SocketTransport(host, port)
+            threads = [
+                threading.Thread(
+                    target=sender.send, args=(state_message(i, {"i": i}),)
+                )
+                for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            messages = listener.collect(3, timeout=10.0)
+            for t in threads:
+                t.join()
+        assert [m["worker"] for m in messages] == [0, 1, 2]
+
+        with SocketListener() as listener:
+            host, port = listener.address
+            SocketTransport(host, port).send(error_message(7, "boom"))
+            with pytest.raises(WorkerFailure, match="worker 7"):
+                listener.collect(2, timeout=10.0)
+
+    def test_socket_connect_timeout(self):
+        with SocketListener() as listener:
+            host, port = listener.address
+        # listener closed: nothing is accepting on that port anymore
+        sender = SocketTransport(host, port, connect_timeout=0.05,
+                                 retry_interval=0.01)
+        with pytest.raises(CollectTimeout, match="could not deliver"):
+            sender.send(state_message(0, {}))
+
+    def test_socket_listener_timeout(self):
+        with SocketListener() as listener:
+            with pytest.raises(CollectTimeout, match="0/1"):
+                listener.collect(1, timeout=0.05)
+
+
+class TestCompatibility:
+    def test_wrong_seed_rejected_at_merge(self):
+        shipped = drive(fresh_countsketch(), STREAM).to_state()
+        other = CountSketch(5, 256, track=16, seed=10)  # different lineage
+        with pytest.raises(ValueError, match="different configuration"):
+            merge_states(other, [state_message(0, shipped)])
+
+    def test_wrong_shape_rejected_at_merge(self):
+        shipped = drive(fresh_countsketch(), STREAM).to_state()
+        other = CountSketch(5, 512, track=16, seed=9)
+        with pytest.raises(ValueError, match="different configuration"):
+            merge_states(other, [state_message(0, shipped)])
+
+    def test_driver_validates_inputs(self):
+        with pytest.raises(ValueError, match="transport"):
+            distributed_ingest(fresh_countsketch(), STREAM, transport="pigeon")
+        with pytest.raises(ValueError, match="mode"):
+            distributed_ingest(fresh_countsketch(), STREAM, mode="fiber")
+        with pytest.raises(TypeError, match="mergeable-sketch"):
+            distributed_ingest(object(), STREAM)
+
+
+class TestSpecs:
+    def test_round_trips_builds_siblings(self):
+        spec = {"kind": "countsketch", "rows": 4, "buckets": 128,
+                "track": 8, "seed": 3}
+        a, b = build_sketch(spec), build_sketch(json.loads(json.dumps(spec)))
+        assert a.compat_digest() == b.compat_digest()
+
+    def test_gsum_spec(self):
+        spec = {"kind": "gsum", "function": "x^2", "n": 256,
+                "heaviness": 0.3, "repetitions": 1, "seed": 2}
+        a, b = build_sketch(spec), build_sketch(dict(spec))
+        assert a.compat_digest() == b.compat_digest()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown sketch spec keys"):
+            build_sketch({"kind": "countmin", "rows": 3, "bukets": 64})
+
+    def test_two_pass_gsum_rejected(self):
+        with pytest.raises(ValueError, match="single pass"):
+            build_sketch({"kind": "gsum", "passes": 2})
+
+
+class TestCli:
+    def _args(self, extra):
+        return extra + ["--sketch", "countsketch", "--rows", "3",
+                        "--buckets", "128", "--track", "8", "--seed", "7"]
+
+    def test_file_transport_round_trip(self, tmp_path, capsys):
+        stream_path = tmp_path / "stream.jsonl"
+        save_stream(STREAM, stream_path)
+        rendezvous = str(tmp_path / "rv")
+        for worker_id in (0, 1):
+            code = main(self._args(
+                ["worker", str(stream_path), "--worker-id", str(worker_id),
+                 "--workers", "2", "--rendezvous", rendezvous]
+            ))
+            assert code == 0
+        code = main(self._args(
+            ["coordinate", "--workers", "2", "--rendezvous", rendezvous,
+             "--verify-stream", str(stream_path)]
+        ))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "merged 2 worker states" in out
+        assert "identical to single-machine ingestion: True" in out
+
+    def test_coordinate_consumes_messages(self, tmp_path, capsys):
+        """A reused rendezvous dir must not replay a previous run's
+        states: coordinate purges the drop-box after a successful merge,
+        so a second coordinate times out instead of silently remerging."""
+        stream_path = tmp_path / "stream.jsonl"
+        save_stream(STREAM, stream_path)
+        rendezvous = tmp_path / "rv"
+        main(self._args(
+            ["worker", str(stream_path), "--worker-id", "0", "--workers", "1",
+             "--rendezvous", str(rendezvous)]
+        ))
+        assert main(self._args(
+            ["coordinate", "--workers", "1", "--rendezvous", str(rendezvous)]
+        )) == 0
+        assert not list(rendezvous.glob("msg-*.json"))
+        with pytest.raises(CollectTimeout):
+            main(self._args(
+                ["coordinate", "--workers", "1", "--timeout", "0.1",
+                 "--rendezvous", str(rendezvous)]
+            ))
+
+    def test_mismatched_seed_fails_loudly(self, tmp_path):
+        stream_path = tmp_path / "stream.jsonl"
+        save_stream(STREAM, stream_path)
+        rendezvous = str(tmp_path / "rv")
+        code = main(self._args(
+            ["worker", str(stream_path), "--worker-id", "0", "--workers", "1",
+             "--rendezvous", rendezvous]
+        ))
+        assert code == 0
+        with pytest.raises(ValueError, match="different configuration"):
+            main(["coordinate", "--workers", "1", "--rendezvous", rendezvous,
+                  "--sketch", "countsketch", "--rows", "3", "--buckets",
+                  "128", "--track", "8", "--seed", "8"])
