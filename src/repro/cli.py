@@ -8,10 +8,15 @@ generate   synthesize a workload stream file
 catalog    print the zero-one-law table for the built-in catalog
 ingest     measure scalar vs batch vs sharded ingestion throughput on a
            stream file (``--shards N`` exercises the parallel engine)
-worker     ingest one stream partition and ship the sketch state to a
-           coordinator (file drop-box or TCP socket transport)
+worker     ingest one stream partition (or a whole shard file via
+           ``--stream-file``) and ship the sketch state to a coordinator
+           (file drop-box or TCP socket transport); ``--passes 2`` joins
+           the coordinated two-pass round protocol, ``--delta-every N``
+           streams incremental state deltas
 coordinate collect worker states, merge them, and report — bit-identical
-           to single-machine ingestion (``--verify-stream`` proves it)
+           to single-machine ingestion (``--verify-stream`` proves it);
+           with ``--passes 2`` drives the round protocol: merge round-1
+           states, broadcast the merged candidates, merge round 2
 
 The function argument accepts either a catalog name (see ``catalog``) or a
 Python expression in ``x`` (evaluated in a restricted math namespace),
@@ -172,8 +177,19 @@ def _sketch_spec(args: argparse.Namespace) -> dict:
         spec.update(
             function=args.function, n=args.n, epsilon=args.epsilon,
             heaviness=args.heaviness, repetitions=args.repetitions,
+            passes=args.passes,
         )
     return spec
+
+
+def _round_mode(args: argparse.Namespace) -> bool:
+    """Whether the distributed commands speak the round protocol (round-
+    tagged delta frames over persistent sessions) rather than the one-shot
+    one-state-per-worker protocol.  Both sides must agree, so the same
+    flags decide it on the worker and the coordinator."""
+    if args.passes == 2 and args.sketch != "gsum":
+        raise SystemExit("error: --passes 2 applies to --sketch gsum only")
+    return args.passes == 2 or args.delta_every > 0
 
 
 def _add_distributed_args(p: argparse.ArgumentParser) -> None:
@@ -191,6 +207,14 @@ def _add_distributed_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--epsilon", type=float, default=0.25)
     p.add_argument("--heaviness", type=float, default=0.05)
     p.add_argument("--repetitions", type=_positive_int, default=3)
+    p.add_argument("--passes", type=int, choices=(1, 2), default=1,
+                   help="gsum: 1 = one-shot state shipping, 2 = the "
+                        "coordinated two-pass round protocol (candidate "
+                        "broadcast between rounds)")
+    p.add_argument("--delta-every", type=int, default=0,
+                   help="ship an incremental state delta every N updates "
+                        "(streaming merges over a persistent session; "
+                        "0 = one state frame per round)")
     p.add_argument("--rows", type=_positive_int, default=5,
                    help="countsketch/countmin rows; ams medians")
     p.add_argument("--buckets", type=_positive_int, default=1024,
@@ -228,61 +252,147 @@ def _state_summary(sketch) -> str:
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.distributed.specs import build_sketch
-    from repro.distributed.transport import FileTransport, SocketTransport
-    from repro.distributed.worker import run_worker, worker_slice
+    from repro.distributed.transport import (
+        FileTransport,
+        FileWorkerSession,
+        SocketSession,
+        SocketTransport,
+    )
+    from repro.distributed.worker import run_worker, run_worker_rounds, worker_slice
 
     if not 0 <= args.worker_id < args.workers:
         raise SystemExit(
             f"error: --worker-id must be in [0, {args.workers})"
         )
+    round_mode = _round_mode(args)
     sketch = build_sketch(_sketch_spec(args))
-    stream = load_stream(args.stream)
-    items, deltas = stream.as_arrays()
-    part_items, part_deltas = worker_slice(
-        items, deltas, args.worker_id, args.workers
-    )
-    if args.transport == "file":
-        transport = FileTransport(args.rendezvous)
+    if args.stream_file is not None:
+        # Many-files-per-worker mode: this worker owns its whole shard
+        # file — no shared stream, no partition bounds.
+        if args.stream is not None:
+            raise SystemExit(
+                "error: give either a shared stream or --stream-file, not both"
+            )
+        items, deltas = load_stream(args.stream_file).as_arrays()
+        part_items, part_deltas = items, deltas
+        source = args.stream_file
+    elif args.stream is not None:
+        stream = load_stream(args.stream)
+        items, deltas = stream.as_arrays()
+        part_items, part_deltas = worker_slice(
+            items, deltas, args.worker_id, args.workers
+        )
+        source = args.stream
     else:
-        host, port = _socket_address(args.rendezvous)
-        transport = SocketTransport(host, port, connect_timeout=args.timeout)
-    run_worker(
-        sketch, part_items, part_deltas, args.worker_id, transport,
-        chunk_size=args.chunk,
-    )
-    print(f"worker {args.worker_id}/{args.workers}: ingested "
-          f"{part_items.shape[0]:,} of {items.shape[0]:,} updates, "
-          f"state shipped via {args.transport} to {args.rendezvous}")
+        raise SystemExit("error: a shared stream or --stream-file is required")
+
+    if round_mode:
+        if args.transport == "file":
+            session = FileWorkerSession(args.rendezvous)
+        else:
+            host, port = _socket_address(args.rendezvous)
+            session = SocketSession(host, port, connect_timeout=args.timeout)
+        try:
+            run_worker_rounds(
+                sketch, part_items, part_deltas, args.worker_id, session,
+                chunk_size=args.chunk, delta_every=args.delta_every,
+                passes=args.passes, timeout=args.timeout,
+            )
+        finally:
+            session.close()
+        print(f"worker {args.worker_id}/{args.workers}: completed "
+              f"{args.passes}-pass round protocol over "
+              f"{part_items.shape[0]:,} updates from {source} "
+              f"via {args.transport} to {args.rendezvous}")
+    else:
+        if args.transport == "file":
+            transport = FileTransport(args.rendezvous)
+        else:
+            host, port = _socket_address(args.rendezvous)
+            transport = SocketTransport(host, port, connect_timeout=args.timeout)
+        run_worker(
+            sketch, part_items, part_deltas, args.worker_id, transport,
+            chunk_size=args.chunk,
+        )
+        print(f"worker {args.worker_id}/{args.workers}: ingested "
+              f"{part_items.shape[0]:,} of {items.shape[0]:,} updates from "
+              f"{source}, state shipped via {args.transport} to "
+              f"{args.rendezvous}")
     print(_state_summary(sketch))
     return 0
 
 
 def _cmd_coordinate(args: argparse.Namespace) -> int:
-    from repro.distributed.coordinator import coordinate
+    from repro.distributed.coordinator import RoundCoordinator, coordinate
     from repro.distributed.specs import build_sketch
-    from repro.distributed.transport import FileTransport, SocketListener
+    from repro.distributed.transport import (
+        FileTransport,
+        SocketHub,
+        SocketListener,
+    )
     from repro.sketch.base import dumps_state
 
+    round_mode = _round_mode(args)
     sketch = build_sketch(_sketch_spec(args))
-    if args.transport == "file":
-        collector = FileTransport(args.rendezvous)
-        coordinate(sketch, collector, args.workers, timeout=args.timeout)
-        # Consume the merged messages: a reused rendezvous dir must not
-        # feed this run's states to the next run's coordinator.
-        collector.purge()
+    if round_mode:
+        def run_rounds(channel) -> RoundCoordinator:
+            coordinator = RoundCoordinator(
+                sketch, channel, args.workers, timeout=args.timeout
+            )
+            if args.passes == 2:
+                coordinator.run_two_pass()
+            else:
+                coordinator.run_single_pass()
+            return coordinator
+
+        if args.transport == "file":
+            channel = FileTransport(args.rendezvous)
+            # A leftover broadcast from a previous run on a reused
+            # rendezvous dir would advance fresh workers to a stale
+            # round 2; worker frames stay (workers may start first).
+            channel.purge_broadcasts()
+            coordinator = run_rounds(channel)
+            # Consume the merged frames: a reused rendezvous dir must not
+            # feed this run's frames to the next run's coordinator.
+            channel.purge()
+        else:
+            host, port = _socket_address(args.rendezvous)
+            with SocketHub(host, port) as channel:
+                coordinator = run_rounds(channel)
+        for summary in coordinator.rounds:
+            frames = sum(summary["frames"].values())
+            print(f"round {summary['round']}: merged {frames} delta "
+                  f"frame(s) from workers {summary['workers']} "
+                  f"({summary['stale']} stale)")
+        print(f"coordinator: completed {args.passes}-pass round protocol "
+              f"with {args.workers} workers via {args.transport} from "
+              f"{args.rendezvous}")
     else:
-        host, port = _socket_address(args.rendezvous)
-        with SocketListener(host, port) as collector:
+        if args.transport == "file":
+            collector = FileTransport(args.rendezvous)
             coordinate(sketch, collector, args.workers, timeout=args.timeout)
-    print(f"coordinator: merged {args.workers} worker states "
-          f"via {args.transport} from {args.rendezvous}")
+            # Consume the merged messages: a reused rendezvous dir must not
+            # feed this run's states to the next run's coordinator.
+            collector.purge()
+        else:
+            host, port = _socket_address(args.rendezvous)
+            with SocketListener(host, port) as collector:
+                coordinate(sketch, collector, args.workers, timeout=args.timeout)
+        print(f"coordinator: merged {args.workers} worker states "
+              f"via {args.transport} from {args.rendezvous}")
     print(_state_summary(sketch))
     if args.verify_stream is not None:
         reference = build_sketch(_sketch_spec(args))
-        for items, deltas in load_stream(args.verify_stream).iter_array_chunks(
-            args.chunk
-        ):
+        chunks = load_stream(args.verify_stream).iter_array_chunks(args.chunk)
+        for items, deltas in chunks:
             reference.update_batch(items, deltas)
+        if round_mode and args.passes == 2:
+            reference.begin_second_pass()
+            chunks = load_stream(args.verify_stream).iter_array_chunks(
+                args.chunk
+            )
+            for items, deltas in chunks:
+                reference.update_batch_second_pass(items, deltas)
         identical = dumps_state(sketch.to_state()) == dumps_state(
             reference.to_state()
         )
@@ -364,16 +474,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "worker",
-        help="ingest one stream partition and ship the state to a "
-             "coordinator",
+        help="ingest one stream partition (or a whole shard file) and "
+             "ship the state to a coordinator",
     )
-    p.add_argument("stream", help="stream file from `repro generate`")
+    p.add_argument("stream", nargs="?", default=None,
+                   help="shared stream file from `repro generate` (this "
+                        "worker ingests its --worker-id partition of it)")
+    p.add_argument("--stream-file", default=None,
+                   help="many-files-per-worker mode: this worker owns the "
+                        "whole named shard file (no shared stream, no "
+                        "partition bounds) — the log-shipping deployment "
+                        "shape")
     p.add_argument("--worker-id", type=int, required=True,
                    help="this worker's partition index, 0-based")
     p.add_argument("--workers", type=_positive_int, required=True,
                    help="total worker count (defines the partitioning)")
     p.add_argument("--timeout", type=float, default=120.0,
-                   help="socket connect timeout in seconds")
+                   help="socket connect / broadcast wait timeout in seconds")
     _add_distributed_args(p)
     p.set_defaults(fn=_cmd_worker)
 

@@ -278,6 +278,31 @@ class GSumEstimator(MergeableSketch):
         for sketch in self._sketches:
             sketch.update_second_pass(item, delta)
 
+    def export_candidates(self) -> dict:
+        """JSON-serializable export of every repetition's open second-pass
+        candidate sets (see
+        :meth:`~repro.core.recursive_sketch.RecursiveGSumSketch.export_candidates`).
+        A round-protocol coordinator broadcasts this after merging the
+        first-pass states, so remote workers tabulate the merged cover."""
+        if self.passes != 2:
+            raise RuntimeError("candidate export requires passes=2")
+        return {"reps": [s.export_candidates() for s in self._sketches]}
+
+    def import_candidates(self, payload: dict) -> None:
+        """Open every repetition's second pass on a coordinator's
+        :meth:`export_candidates` payload — the remote analogue of
+        :meth:`begin_second_pass`."""
+        if self.passes != 2:
+            raise RuntimeError("candidate import requires passes=2")
+        reps = payload["reps"]
+        if len(reps) != len(self._sketches):
+            raise ValueError(
+                f"candidate export has {len(reps)} repetitions, estimator "
+                f"has {len(self._sketches)}"
+            )
+        for sketch, candidates in zip(self._sketches, reps):
+            sketch.import_candidates(candidates)
+
     def update_batch_second_pass(
         self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
     ) -> None:

@@ -304,6 +304,33 @@ class TwoPassGHeavyHitter(MergeableSketch):
         candidates = [c.item for c in self._countsketch.top_candidates()]
         self._second = ExactCounter(self._n, restrict_to=candidates)
 
+    def export_candidates(self) -> list[int]:
+        """The candidate identities the open second pass tabulates, as a
+        JSON-serializable sorted list — what a coordinator broadcasts so
+        remote siblings can tabulate the *merged* first-pass cover instead
+        of their own partition's."""
+        if self._second is None:
+            raise RuntimeError("call begin_second_pass before exporting")
+        restrict = self._second._restrict
+        if restrict is None:
+            # An unrestricted counter must not masquerade as the empty
+            # candidate set (that would make remote workers count nothing).
+            raise RuntimeError(
+                "cannot export an unrestricted second pass as a candidate set"
+            )
+        return sorted(restrict)
+
+    def import_candidates(self, candidates: Sequence[int]) -> None:
+        """Open the second pass on an externally-supplied candidate set
+        (a coordinator's :meth:`export_candidates`) instead of this
+        sketch's own first-pass cover.  The remote-seeding half of the
+        distributed two-pass round protocol."""
+        if self._second is not None:
+            raise RuntimeError("second pass already begun; cannot import")
+        self._second = ExactCounter(
+            self._n, restrict_to=[int(c) for c in candidates]
+        )
+
     def update_second_pass(self, item: int, delta: int) -> None:
         if self._second is None:
             raise RuntimeError("call begin_second_pass first")

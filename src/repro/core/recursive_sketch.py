@@ -130,6 +130,34 @@ class RecursiveGSumSketch(MergeableSketch):
             if begin is not None:
                 begin()
 
+    def export_candidates(self) -> list:
+        """Per-level candidate export for the distributed two-pass round
+        protocol: one entry per level sketch — its ``export_candidates()``
+        payload, or ``None`` for levels without a second pass."""
+        out = []
+        for sketch in self._sketches:
+            export = getattr(sketch, "export_candidates", None)
+            out.append(None if export is None else export())
+        return out
+
+    def import_candidates(self, levels: Sequence) -> None:
+        """Seed every level's second pass from a coordinator's
+        :meth:`export_candidates` (levels must line up exactly)."""
+        if len(levels) != len(self._sketches):
+            raise ValueError(
+                f"candidate export has {len(levels)} levels, sketch has "
+                f"{len(self._sketches)}"
+            )
+        for sketch, candidates in zip(self._sketches, levels):
+            importer = getattr(sketch, "import_candidates", None)
+            if (importer is None) != (candidates is None):
+                raise ValueError(
+                    "candidate export does not match this sketch's level "
+                    "layout (two-pass levels misaligned)"
+                )
+            if importer is not None:
+                importer(candidates)
+
     def update_second_pass(self, item: int, delta: int) -> None:
         depth = min(self._subsample.level(item), self.levels)
         for j in range(depth + 1):

@@ -2,52 +2,93 @@
 
 N workers ingest disjoint stream partitions into sibling sketches and ship
 their serialized states (:meth:`~repro.sketch.base.MergeableSketch.to_state`
-JSON) to a coordinator that merges them — over a file drop-box or a TCP
-socket transport.  Because every sketch's merge is exact, the coordinator
-ends bit-identical to single-machine ingestion; the transports only decide
+JSON) to a merging coordinator — over a file drop-box or a TCP socket
+transport.  Because every sketch's merge is exact, the coordinator ends
+bit-identical to single-machine ingestion; the transports only decide
 *how* states travel, never *what* the answer is.
 
-Entry points: :func:`distributed_ingest` (single-call local driver),
-``repro worker`` / ``repro coordinate`` (multi-machine CLI), and the
+Two protocols share the machinery:
+
+* the **one-shot** protocol (:func:`distributed_ingest`): each worker
+  ships one state frame per connection/file and the coordinator merges a
+  batch of them;
+* the **round protocol** (:func:`distributed_two_pass`,
+  :class:`~repro.distributed.coordinator.RoundCoordinator`): persistent
+  sessions carry round-tagged streaming delta frames up and candidate
+  broadcasts down, so the coordinator can drive the paper's full two-pass
+  G-sum algorithm across machines — round 1 merges first-pass states, the
+  merged candidate cover is broadcast back, round 2 merges exact
+  second-pass tabulations, bit-identical to single-machine
+  :meth:`~repro.core.gsum.GSumEstimator.run`.
+
+Entry points: :func:`distributed_ingest` / :func:`distributed_two_pass`
+(single-call local drivers), ``repro worker`` / ``repro coordinate``
+(multi-machine CLI, ``--passes 2`` for the round protocol), and the
 building blocks (:mod:`~repro.distributed.wire`,
 :mod:`~repro.distributed.transport`, :mod:`~repro.distributed.worker`,
 :mod:`~repro.distributed.coordinator`).  Architecture and wire-format
 documentation: ``docs/ARCHITECTURE.md``.
 """
 
-from repro.distributed.coordinator import coordinate, merge_states
-from repro.distributed.driver import distributed_ingest
+from repro.distributed.coordinator import RoundCoordinator, coordinate, merge_states
+from repro.distributed.driver import distributed_ingest, distributed_two_pass
 from repro.distributed.specs import build_sketch
 from repro.distributed.transport import (
     CollectTimeout,
     FileTransport,
+    FileWorkerSession,
+    RoundTracker,
+    SocketHub,
     SocketListener,
+    SocketSession,
     SocketTransport,
+    TransportTimeout,
     WorkerFailure,
 )
 from repro.distributed.wire import (
+    delta_message,
     error_message,
     recv_frame,
+    round_begin_message,
+    round_end_message,
     send_frame,
     state_message,
 )
-from repro.distributed.worker import partition_bounds, run_worker, worker_slice
+from repro.distributed.worker import (
+    partition_bounds,
+    run_worker,
+    run_worker_rounds,
+    ship_round,
+    worker_slice,
+)
 
 __all__ = [
     "CollectTimeout",
     "FileTransport",
+    "FileWorkerSession",
+    "RoundCoordinator",
+    "RoundTracker",
+    "SocketHub",
     "SocketListener",
+    "SocketSession",
     "SocketTransport",
+    "TransportTimeout",
     "WorkerFailure",
     "build_sketch",
     "coordinate",
+    "delta_message",
     "distributed_ingest",
+    "distributed_two_pass",
     "error_message",
     "merge_states",
     "partition_bounds",
     "recv_frame",
+    "round_begin_message",
+    "round_end_message",
     "run_worker",
+    "run_worker_rounds",
     "send_frame",
+    "ship_round",
     "state_message",
     "worker_slice",
 ]

@@ -1,22 +1,42 @@
 """The coordinator side: collect worker states, merge, answer.
 
-The coordinator holds the authoritative sketch.  It waits on a transport
-until every expected worker has published a state envelope, then folds the
-states in through the mergeable-sketch protocol:
-``from_state`` validates each payload against the coordinator's own
-compatibility digest (configuration + randomness lineage + hash
-fingerprints), so a worker built from a different spec or seed is rejected
-*before* anything merges; ``merge`` then adds the states.  Because every
-implementer's merge is exact, the coordinator's final state is
-bit-identical to single-machine ingestion of the whole stream — the
-distributed deployment inherits the invariance contract unchanged.
+Two protocols share this module:
+
+**One-shot** (:func:`coordinate` / :func:`merge_states`): wait on a
+transport until every expected worker has published a state envelope, then
+fold the states in through the mergeable-sketch protocol.  ``from_state``
+validates each payload against the coordinator's own compatibility digest
+(configuration + randomness lineage + hash fingerprints), so a worker
+built from a different spec or seed is rejected *before* anything merges;
+``merge`` then adds the states.
+
+**Round protocol** (:class:`RoundCoordinator`): the coordinator drives an
+explicit state machine over persistent worker channels.  Round 1 collects
+every worker's first-pass state — as one frame or as streaming delta
+frames merged the moment they land — then, for two-pass estimation, the
+coordinator closes pass one (``begin_second_pass``), **broadcasts the
+merged candidate export back to every worker**, and round 2 collects the
+candidate-restricted second-pass states.  Because every merge is exact and
+the candidate sets are identical on all machines, the final state is
+bit-identical to single-machine 2-pass ingestion
+(:meth:`repro.core.gsum.GSumEstimator.run`).  Per-round timeouts surface
+stragglers (:class:`~repro.distributed.transport.TransportTimeout` names
+the missing workers); duplicate or future-round frames are rejected and
+stale retransmits are dropped and counted (see
+:class:`~repro.distributed.transport.RoundTracker`).
 """
 
 from __future__ import annotations
 
 from typing import List
 
-__all__ = ["merge_states", "coordinate"]
+from repro.distributed.wire import (
+    ROUND_FIRST_PASS,
+    ROUND_SECOND_PASS,
+    round_begin_message,
+)
+
+__all__ = ["merge_states", "coordinate", "RoundCoordinator"]
 
 
 def merge_states(structure, messages: List[dict]):
@@ -36,3 +56,82 @@ def coordinate(structure, collector, workers: int, timeout: float = 120.0):
     into ``structure``, and return it."""
     messages = collector.collect(workers, timeout=timeout)
     return merge_states(structure, messages)
+
+
+class RoundCoordinator:
+    """Round-protocol orchestrator: owns the authoritative sketch and a
+    coordinator channel (:class:`~repro.distributed.transport.FileTransport`
+    or :class:`~repro.distributed.transport.SocketHub` — anything with
+    ``collect_round`` + ``publish_broadcast``), and drives the worker
+    fleet through coordinated rounds.
+
+    Parameters
+    ----------
+    structure:
+        The coordinator's sketch; worker frames merge into it in place.
+    channel:
+        Coordinator-side transport endpoint.
+    workers:
+        How many workers participate (ids 0..workers-1 by convention).
+    timeout:
+        Per-round deadline in seconds; a round that misses it raises
+        :class:`~repro.distributed.transport.TransportTimeout` naming the
+        straggler worker ids.
+    """
+
+    def __init__(self, structure, channel, workers: int, timeout: float = 120.0):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.structure = structure
+        self.channel = channel
+        self.workers = int(workers)
+        self.timeout = float(timeout)
+        self.stale_frames = 0
+        self.rounds: List[dict] = []
+
+    def _merge_frame(self, message: dict) -> None:
+        """Streaming merge hook: fold one delta frame in the moment it
+        arrives.  States are linear, so incremental merges in arrival
+        order equal one batch merge bit for bit."""
+        sibling = self.structure.from_state(message["state"])
+        self.structure.merge(sibling)
+
+    def run_round(self, round_id: int) -> dict:
+        """Collect (and stream-merge) one round; returns its summary."""
+        summary = self.channel.collect_round(
+            round_id, self.workers, timeout=self.timeout,
+            on_state=self._merge_frame,
+        )
+        self.stale_frames += summary["stale"]
+        self.rounds.append(summary)
+        return summary
+
+    def run_single_pass(self):
+        """One-round session over the round protocol (streaming deltas
+        welcome); returns the merged structure."""
+        self.run_round(ROUND_FIRST_PASS)
+        return self.structure
+
+    def run_two_pass(self):
+        """The full coordinated two-pass protocol:
+
+        1. collect round 1 (worker first-pass states, merged on arrival);
+        2. close pass one on the merged state and broadcast the candidate
+           export (with this coordinator's compat digest, so non-sibling
+           workers refuse it) back to every worker;
+        3. collect round 2 (candidate-restricted second-pass states).
+
+        Returns the merged structure — bit-identical to a single machine
+        running both passes over the concatenated stream.
+        """
+        self.run_round(ROUND_FIRST_PASS)
+        self.structure.begin_second_pass()
+        self.channel.publish_broadcast(
+            round_begin_message(
+                ROUND_SECOND_PASS,
+                self.structure.compat_digest(),
+                self.structure.export_candidates(),
+            )
+        )
+        self.run_round(ROUND_SECOND_PASS)
+        return self.structure

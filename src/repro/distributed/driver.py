@@ -1,15 +1,18 @@
-"""Single-call driver: distributed ingestion on one machine.
+"""Single-call drivers: distributed ingestion on one machine.
 
-:func:`distributed_ingest` runs the full coordinator/worker dataflow —
+:func:`distributed_ingest` runs the one-shot coordinator/worker dataflow —
 partition the stream, ingest each partition into a sibling sketch in a
 worker, ship every worker's ``to_state()`` through a real transport,
 collect and merge on the coordinator — with all participants hosted
-locally (threads or processes).  The states cross an actual file system or
-TCP socket either way, so this exercises exactly the machinery a real
-multi-machine deployment uses; only the scheduling is local.  It is the
-integration surface the equality tests drive: for every transport and
-worker count, the merged state must be bit-identical to single-machine
-ingestion.
+locally (threads or processes).  :func:`distributed_two_pass` runs the
+full **round protocol** the same way: round 1 merges first-pass states
+(optionally as streaming delta frames), the coordinator broadcasts the
+merged candidate export, and round 2 merges the candidate-restricted
+second passes — bit-identical to single-machine
+:meth:`~repro.core.gsum.GSumEstimator.run`.  The states cross an actual
+file system or TCP socket either way, so this exercises exactly the
+machinery a real multi-machine deployment uses; only the scheduling is
+local.  These are the integration surfaces the equality tests drive.
 
 For genuinely separate machines, run ``repro worker`` on each shard host
 and ``repro coordinate`` on the collector (see :mod:`repro.cli`) — those
@@ -22,9 +25,16 @@ import tempfile
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable
 
-from repro.distributed.coordinator import merge_states
-from repro.distributed.transport import FileTransport, SocketListener, SocketTransport
-from repro.distributed.worker import run_worker, worker_slice
+from repro.distributed.coordinator import RoundCoordinator, merge_states
+from repro.distributed.transport import (
+    FileTransport,
+    FileWorkerSession,
+    SocketHub,
+    SocketListener,
+    SocketSession,
+    SocketTransport,
+)
+from repro.distributed.worker import run_worker, run_worker_rounds, worker_slice
 from repro.streams.batching import DEFAULT_CHUNK
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.streams.sharding import as_columnar, supports_sharding
@@ -40,6 +50,20 @@ def _spawned_worker(args):
     sibling, items, deltas, worker_id, transport, chunk_size, second_pass = args
     run_worker(sibling, items, deltas, worker_id, transport, chunk_size, second_pass)
     return worker_id
+
+
+def _validate_common(structure, workers: int, transport: str, mode: str) -> None:
+    if transport not in TRANSPORTS:
+        raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
+    if mode not in WORKER_MODES:
+        raise ValueError(f"mode must be one of {WORKER_MODES}, got {mode!r}")
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    if not supports_sharding(structure):
+        raise TypeError(
+            f"{type(structure).__name__} does not implement the "
+            "mergeable-sketch protocol required for distributed ingestion"
+        )
 
 
 def distributed_ingest(
@@ -76,17 +100,7 @@ def distributed_ingest(
         Drive ``update_batch_second_pass`` on phase-cloned siblings (the
         distributed analogue of sharded two-pass ingestion).
     """
-    if transport not in TRANSPORTS:
-        raise ValueError(f"transport must be one of {TRANSPORTS}, got {transport!r}")
-    if mode not in WORKER_MODES:
-        raise ValueError(f"mode must be one of {WORKER_MODES}, got {mode!r}")
-    if workers < 1:
-        raise ValueError("workers must be positive")
-    if not supports_sharding(structure):
-        raise TypeError(
-            f"{type(structure).__name__} does not implement the "
-            "mergeable-sketch protocol required for distributed ingestion"
-        )
+    _validate_common(structure, workers, transport, mode)
     if second_pass and not hasattr(structure, "update_batch_second_pass"):
         raise TypeError(
             f"{type(structure).__name__} has no update_batch_second_pass"
@@ -131,5 +145,105 @@ def distributed_ingest(
     finally:
         if listener is not None:
             listener.close()
+        if tempdir is not None:
+            tempdir.cleanup()
+
+
+def _spawned_round_worker(args):
+    """Module-level so process mode can pickle it: run one round-protocol
+    worker end to end.  Socket sessions cannot cross a process boundary,
+    so each worker dials the endpoint itself."""
+    (sibling, items, deltas, worker_id, transport, endpoint, chunk_size,
+     delta_every, passes, timeout) = args
+    if transport == "file":
+        session = FileWorkerSession(endpoint)
+    else:
+        host, port = endpoint
+        session = SocketSession(host, port, connect_timeout=timeout)
+    try:
+        run_worker_rounds(
+            sibling, items, deltas, worker_id, session, chunk_size,
+            delta_every, passes, timeout,
+        )
+    finally:
+        session.close()
+    return worker_id
+
+
+def distributed_two_pass(
+    structure,
+    stream: "TurnstileStream | Iterable[StreamUpdate]",
+    workers: int = 2,
+    transport: str = "file",
+    mode: str = "thread",
+    chunk_size: int = DEFAULT_CHUNK,
+    delta_every: int = 0,
+    rendezvous: str | None = None,
+    timeout: float = 120.0,
+):
+    """Run the full coordinated two-pass round protocol locally: round 1
+    merges worker first-pass states, the coordinator broadcasts the merged
+    candidate export back, round 2 merges the candidate-restricted second
+    passes.  The result is bit-identical to single-machine
+    :meth:`~repro.core.gsum.GSumEstimator.run` over the same stream.
+    Returns ``structure``.
+
+    Parameters beyond :func:`distributed_ingest`:
+
+    delta_every:
+        ``0`` ships one state frame per worker per round; ``> 0`` enables
+        streaming merges — every ``delta_every`` updates each worker ships
+        an incremental delta frame the coordinator merges on arrival.
+    """
+    _validate_common(structure, workers, transport, mode)
+    if getattr(structure, "passes", 2) != 2:
+        raise ValueError(
+            "distributed_two_pass requires a two-pass structure "
+            f"(passes=2); got passes={getattr(structure, 'passes', None)!r}"
+        )
+    for hook in ("begin_second_pass", "export_candidates", "import_candidates"):
+        if not hasattr(structure, hook):
+            raise TypeError(
+                f"{type(structure).__name__} has no {hook}; the round "
+                "protocol needs the two-pass candidate hooks"
+            )
+
+    items, deltas = as_columnar(stream, chunk_size)
+    siblings = [structure.spawn_sibling() for _ in range(workers)]
+    partitions = [worker_slice(items, deltas, i, workers) for i in range(workers)]
+
+    tempdir = None
+    hub = None
+    try:
+        if transport == "file":
+            if rendezvous is None:
+                tempdir = tempfile.TemporaryDirectory(prefix="repro-dist-")
+                rendezvous = tempdir.name
+            channel = FileTransport(rendezvous)
+            channel.purge()
+            endpoint = rendezvous
+        else:
+            hub = SocketHub()
+            channel = hub
+            endpoint = hub.address
+
+        pool_cls = ThreadPoolExecutor if mode == "thread" else ProcessPoolExecutor
+        with pool_cls(max_workers=workers) as pool:
+            jobs = [
+                pool.submit(
+                    _spawned_round_worker,
+                    (sib, part[0], part[1], i, transport, endpoint,
+                     chunk_size, delta_every, 2, timeout),
+                )
+                for i, (sib, part) in enumerate(zip(siblings, partitions))
+            ]
+            coordinator = RoundCoordinator(structure, channel, workers, timeout)
+            coordinator.run_two_pass()
+            for job in jobs:
+                job.result()  # surface worker exceptions with tracebacks
+        return structure
+    finally:
+        if hub is not None:
+            hub.close()
         if tempdir is not None:
             tempdir.cleanup()

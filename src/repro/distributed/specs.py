@@ -9,7 +9,12 @@ A **sketch spec** is a small JSON-serializable dict pinning all of that:
 
     {"kind": "countsketch", "rows": 5, "buckets": 1024, "track": 16, "seed": 7}
     {"kind": "gsum", "function": "x^2", "n": 4096, "epsilon": 0.25,
-     "passes": 1, "heaviness": 0.05, "repetitions": 3, "seed": 7}
+     "passes": 2, "heaviness": 0.05, "repetitions": 3, "seed": 7}
+
+``passes: 2`` builds the estimator the coordinated round protocol drives
+(``repro worker --passes 2`` / ``repro coordinate --passes 2``): round 1
+ships first-pass states, the coordinator broadcasts the merged candidate
+export, round 2 ships the exact second-pass tabulations.
 
 ``repro worker`` and ``repro coordinate`` both build their sketch from the
 same CLI flags through :func:`build_sketch`; if the flags differ between
@@ -69,10 +74,11 @@ def build_sketch(spec: dict):
         from repro.functions.registry import resolve_function
 
         passes = int(spec.pop("passes", 1))
-        if passes == 2:
+        if passes not in (1, 2):
             raise ValueError(
-                "the worker/coordinate commands drive a single pass; run "
-                "2-pass estimation through distributed_ingest(second_pass=...)"
+                "distributed gsum specs support passes 1 (one-shot) or 2 "
+                "(the coordinated round protocol); got "
+                f"passes={passes}"
             )
         return GSumEstimator(
             resolve_function(str(spec.pop("function", "x^2"))),

@@ -13,13 +13,30 @@ envelope that names the sender and the message kind:
 Message types:
 
 ``state``
-    A worker's finished shard state.  ``state`` is the sketch's
-    ``to_state()`` dict, whose embedded compatibility digest is what lets
-    the coordinator reject a worker built with the wrong configuration or
-    seed *before* merging anything.
+    A worker's finished shard state (the one-shot protocol).  ``state`` is
+    the sketch's ``to_state()`` dict, whose embedded compatibility digest
+    is what lets the coordinator reject a worker built with the wrong
+    configuration or seed *before* merging anything.
 ``error``
     A worker announcing failure (``detail`` carries the reason) so the
-    coordinator can stop waiting instead of timing out.
+    coordinator can stop waiting instead of timing out.  May carry a
+    ``round`` tag in round-protocol sessions.
+``delta``
+    One incremental state frame of the **round protocol**: the
+    ``to_state()`` of a fresh sibling that ingested only the updates since
+    the previous frame.  Tagged with ``round`` and a per-worker ``seq``
+    number; because sketch states are linear, merging the delta frames in
+    any order reproduces the batch merge bit for bit.
+``round_end``
+    A worker declaring its round finished: ``frames`` says how many delta
+    frames it shipped, so the coordinator can detect a lost frame instead
+    of silently merging a partial partition.
+``round_begin``
+    Coordinator broadcast opening a round (sender ``worker`` is
+    :data:`COORDINATOR_ID`).  For pass 2 of the two-pass protocol it
+    carries the coordinator's ``compat`` digest (workers refuse a
+    broadcast from a non-sibling) and the merged first-pass ``candidates``
+    export that seeds every worker's second pass.
 
 Transports move these envelopes without looking inside: the file transport
 writes one JSON file per message, the socket transport sends
@@ -41,13 +58,21 @@ WIRE_VERSION = 1
 #: struct layout of the socket frame length prefix: 4-byte big-endian.
 LENGTH_PREFIX = struct.Struct(">I")
 
-MESSAGE_TYPES = ("state", "error")
+MESSAGE_TYPES = ("state", "error", "delta", "round_end", "round_begin")
+
+#: The ``worker`` id coordinator-originated broadcasts carry.
+COORDINATOR_ID = -1
+
+#: Round numbering of the two-pass protocol (round 1 collects first-pass
+#: states, round 2 collects the candidate-restricted second-pass states).
+ROUND_FIRST_PASS = 1
+ROUND_SECOND_PASS = 2
 
 
 # --------------------------------------------------------------- envelopes
 
 def state_message(worker: int, state: dict) -> dict:
-    """Envelope for a worker's finished shard state."""
+    """Envelope for a worker's finished shard state (one-shot protocol)."""
     return {
         "format": WIRE_FORMAT,
         "version": WIRE_VERSION,
@@ -57,14 +82,57 @@ def state_message(worker: int, state: dict) -> dict:
     }
 
 
-def error_message(worker: int, detail: str) -> dict:
-    """Envelope announcing a worker failure."""
-    return {
+def error_message(worker: int, detail: str, round_id: int | None = None) -> dict:
+    """Envelope announcing a worker failure (optionally round-tagged)."""
+    message = {
         "format": WIRE_FORMAT,
         "version": WIRE_VERSION,
         "type": "error",
         "worker": int(worker),
         "detail": str(detail),
+    }
+    if round_id is not None:
+        message["round"] = int(round_id)
+    return message
+
+
+def delta_message(worker: int, round_id: int, seq: int, state: dict) -> dict:
+    """Envelope for one incremental state frame of a round."""
+    return {
+        "format": WIRE_FORMAT,
+        "version": WIRE_VERSION,
+        "type": "delta",
+        "worker": int(worker),
+        "round": int(round_id),
+        "seq": int(seq),
+        "state": state,
+    }
+
+
+def round_end_message(worker: int, round_id: int, frames: int) -> dict:
+    """Envelope closing a worker's round (``frames`` delta frames sent)."""
+    return {
+        "format": WIRE_FORMAT,
+        "version": WIRE_VERSION,
+        "type": "round_end",
+        "worker": int(worker),
+        "round": int(round_id),
+        "frames": int(frames),
+    }
+
+
+def round_begin_message(round_id: int, compat: str, candidates=None) -> dict:
+    """Coordinator broadcast opening a round; for the second pass it
+    carries the merged candidate export and the coordinator's compat
+    digest (the worker-side sibling check)."""
+    return {
+        "format": WIRE_FORMAT,
+        "version": WIRE_VERSION,
+        "type": "round_begin",
+        "worker": COORDINATOR_ID,
+        "round": int(round_id),
+        "compat": str(compat),
+        "candidates": candidates,
     }
 
 
@@ -77,12 +145,29 @@ def validate_message(message: dict) -> dict:
         raise ValueError("not a repro-dist message")
     if message.get("version") != WIRE_VERSION:
         raise ValueError(f"unsupported wire version {message.get('version')!r}")
-    if message.get("type") not in MESSAGE_TYPES:
-        raise ValueError(f"unknown message type {message.get('type')!r}")
+    kind = message.get("type")
+    if kind not in MESSAGE_TYPES:
+        raise ValueError(f"unknown message type {kind!r}")
     if not isinstance(message.get("worker"), int):
         raise ValueError("wire message lacks an integer worker id")
-    if message["type"] == "state" and not isinstance(message.get("state"), dict):
-        raise ValueError("state message lacks a state dict")
+    if kind in ("state", "delta") and not isinstance(message.get("state"), dict):
+        raise ValueError(f"{kind} message lacks a state dict")
+    if kind in ("delta", "round_end", "round_begin"):
+        if not isinstance(message.get("round"), int) or message["round"] < 1:
+            raise ValueError(f"{kind} message lacks a positive round id")
+    if kind == "delta" and (
+        not isinstance(message.get("seq"), int) or message["seq"] < 0
+    ):
+        raise ValueError("delta message lacks a non-negative seq number")
+    if kind == "round_end" and (
+        not isinstance(message.get("frames"), int) or message["frames"] < 0
+    ):
+        raise ValueError("round_end message lacks a non-negative frame count")
+    if kind == "round_begin":
+        if not isinstance(message.get("compat"), str):
+            raise ValueError("round_begin message lacks a compat digest")
+        if "candidates" not in message:
+            raise ValueError("round_begin message lacks a candidates field")
     return message
 
 

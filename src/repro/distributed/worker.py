@@ -1,12 +1,25 @@
 """The worker side: ingest a stream partition, ship the state.
 
-A worker owns one contiguous partition of the stream and a sketch that is
-a sibling of the coordinator's (same configuration, same randomness
-lineage — by construction from a shared spec, or by receiving a
-``spawn_sibling()`` from the driver).  It feeds its partition through the
-ordinary batch path and publishes its ``to_state()`` through whichever
-transport it was given; failures are published too, so the coordinator
-fails fast instead of timing out.
+A worker owns one contiguous partition of the stream (or, in
+many-files-per-worker deployments, a whole shard file of its own) and a
+sketch that is a sibling of the coordinator's (same configuration, same
+randomness lineage — by construction from a shared spec, or by receiving a
+``spawn_sibling()`` from the driver).
+
+Two shapes:
+
+* :func:`run_worker` — the one-shot protocol: feed the partition through
+  the ordinary batch path and publish one ``to_state()`` envelope.
+* :func:`run_worker_rounds` — the round protocol over a persistent session
+  (:class:`~repro.distributed.transport.SocketSession` or
+  :class:`~repro.distributed.transport.FileWorkerSession`): ship the
+  first-pass contribution as one or many streaming **delta frames**, and
+  for two-pass estimation wait for the coordinator's candidate broadcast,
+  verify it came from a true sibling (compat digest), import the merged
+  candidate set, and ship the second pass the same way.
+
+Failures are published through the transport either way, so the
+coordinator fails fast instead of timing out.
 """
 
 from __future__ import annotations
@@ -15,11 +28,24 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.distributed.wire import error_message, state_message
+from repro.distributed.wire import (
+    ROUND_FIRST_PASS,
+    ROUND_SECOND_PASS,
+    delta_message,
+    error_message,
+    round_end_message,
+    state_message,
+)
 from repro.streams.batching import DEFAULT_CHUNK
 from repro.streams.sharding import feed_chunks
 
-__all__ = ["partition_bounds", "worker_slice", "run_worker"]
+__all__ = [
+    "partition_bounds",
+    "worker_slice",
+    "run_worker",
+    "ship_round",
+    "run_worker_rounds",
+]
 
 
 def partition_bounds(total: int, workers: int) -> np.ndarray:
@@ -53,10 +79,10 @@ def run_worker(
     chunk_size: int = DEFAULT_CHUNK,
     second_pass: bool = False,
 ) -> dict:
-    """Ingest one partition into ``structure`` and publish its serialized
-    state.  Returns the sent envelope.  On any ingestion error an ``error``
-    envelope is published before re-raising, so the coordinator aborts
-    immediately."""
+    """One-shot protocol: ingest one partition into ``structure`` and
+    publish its serialized state.  Returns the sent envelope.  On any
+    ingestion error an ``error`` envelope is published before re-raising,
+    so the coordinator aborts immediately."""
     try:
         feed_chunks(structure, items, deltas, chunk_size, second_pass)
         message = state_message(worker_id, structure.to_state())
@@ -65,3 +91,106 @@ def run_worker(
         raise
     transport.send(message)
     return message
+
+
+def ship_round(
+    structure,
+    items: np.ndarray,
+    deltas: np.ndarray,
+    worker_id: int,
+    round_id: int,
+    send,
+    chunk_size: int = DEFAULT_CHUNK,
+    delta_every: int = 0,
+    second_pass: bool = False,
+) -> int:
+    """Ship one round's contribution through ``send`` as delta frames plus
+    a ``round_end``; returns the frame count.
+
+    ``delta_every == 0`` ships a single frame holding the whole partition
+    state.  ``delta_every > 0`` is the streaming-merge mode: every
+    ``delta_every`` updates are ingested into a *fresh sibling* whose
+    state ships immediately as one delta frame — the coordinator merges
+    frames as they land, so its view trails the stream by at most one
+    period instead of one round.  Because sketch states are linear over
+    updates, the sum of the deltas equals the batch state bit for bit;
+    siblings spawned mid-second-pass clone the candidate restriction, so
+    the same machinery serves both passes.
+    """
+    period = items.shape[0] if delta_every <= 0 else int(delta_every)
+    period = max(period, 1)
+    seq = 0
+    for start in range(0, items.shape[0], period):
+        sibling = structure.spawn_sibling()
+        feed_chunks(
+            sibling,
+            items[start : start + period],
+            deltas[start : start + period],
+            chunk_size,
+            second_pass,
+        )
+        send(delta_message(worker_id, round_id, seq, sibling.to_state()))
+        seq += 1
+    if seq == 0:  # empty partition: still one frame, so merges are uniform
+        sibling = structure.spawn_sibling()
+        send(delta_message(worker_id, round_id, seq, sibling.to_state()))
+        seq = 1
+    send(round_end_message(worker_id, round_id, seq))
+    return seq
+
+
+def run_worker_rounds(
+    structure,
+    items: np.ndarray,
+    deltas: np.ndarray,
+    worker_id: int,
+    session,
+    chunk_size: int = DEFAULT_CHUNK,
+    delta_every: int = 0,
+    passes: int = 1,
+    timeout: float = 120.0,
+) -> None:
+    """Drive one worker through the round protocol over a persistent
+    ``session`` (``send`` / ``recv_broadcast``).
+
+    Round 1 ships the first-pass contribution.  With ``passes == 2`` the
+    worker then blocks on the coordinator's ``round_begin`` broadcast,
+    refuses it unless the embedded compat digest matches this worker's own
+    sketch (a mismatched spec or seed cannot silently poison pass two),
+    imports the merged candidate set, and ships the second pass as round
+    2.  Any failure publishes a round-tagged ``error`` envelope before
+    re-raising, so the coordinator aborts the round immediately.
+    """
+    if passes not in (1, 2):
+        raise ValueError("passes must be 1 or 2")
+    round_id = ROUND_FIRST_PASS
+    try:
+        ship_round(
+            structure, items, deltas, worker_id, ROUND_FIRST_PASS,
+            session.send, chunk_size, delta_every, second_pass=False,
+        )
+        if passes == 2:
+            begin = session.recv_broadcast(ROUND_SECOND_PASS, timeout)
+            round_id = ROUND_SECOND_PASS
+            if begin["compat"] != structure.compat_digest():
+                raise ValueError(
+                    "candidate broadcast compat digest "
+                    f"{begin['compat']} does not match this worker's "
+                    f"{structure.compat_digest()} — the worker was built "
+                    "from a different spec or seed than the coordinator"
+                )
+            structure.import_candidates(begin["candidates"])
+            ship_round(
+                structure, items, deltas, worker_id, ROUND_SECOND_PASS,
+                session.send, chunk_size, delta_every, second_pass=True,
+            )
+    except Exception as exc:
+        try:
+            session.send(
+                error_message(
+                    worker_id, f"{type(exc).__name__}: {exc}", round_id
+                )
+            )
+        except Exception:  # pragma: no cover - e.g. the session died too
+            pass
+        raise

@@ -1,11 +1,15 @@
 """Distributed coordinator/worker ingestion (``repro.distributed``).
 
-The acceptance gate: ``distributed_ingest()`` over both transports (file,
-socket) with k in {2, 4} workers produces coordinator state bit-identical
-to single-machine ingestion — for a raw sketch and for the full
-``GSumEstimator`` — and process-mode ``GSumEstimator`` sharding passes the
-same equality bar.  Plus the protocol pieces: framing, envelope
-validation, failure propagation, compat rejection, and the CLI commands.
+The acceptance gates: ``distributed_ingest()`` over both transports
+(file, socket) with k in {2, 4} workers produces coordinator state
+bit-identical to single-machine ingestion — for a raw sketch and for the
+full ``GSumEstimator`` — and the coordinated two-pass **round protocol**
+(``distributed_two_pass()``, one state frame per round or streaming delta
+merges) reproduces single-machine 2-pass ``GSumEstimator.run()`` bit for
+bit over the same matrix.  Plus the protocol pieces: framing, envelope
+validation, failure propagation (worker crash mid-round, duplicate/stale
+frames, compat rejection of candidate broadcasts), poll back-off, the
+many-files-per-worker mode, and the CLI commands.
 """
 
 import json
@@ -20,15 +24,26 @@ from repro.core.gsum import GSumEstimator
 from repro.distributed import (
     CollectTimeout,
     FileTransport,
+    RoundCoordinator,
+    RoundTracker,
+    SocketHub,
     SocketListener,
+    SocketSession,
     SocketTransport,
+    TransportTimeout,
     WorkerFailure,
+    delta_message,
     distributed_ingest,
+    distributed_two_pass,
     error_message,
     merge_states,
     partition_bounds,
     recv_frame,
+    round_begin_message,
+    round_end_message,
+    run_worker_rounds,
     send_frame,
+    ship_round,
     state_message,
     worker_slice,
 )
@@ -135,6 +150,439 @@ class TestEqualityGate:
         assert not merged._table.any()
 
 
+def sequential_two_pass():
+    reference = fresh_estimator(passes=2)
+    reference.run(STREAM, exact=False)
+    return reference
+
+
+class TestRoundProtocol:
+    """The tentpole acceptance gate: the coordinated two-pass round
+    protocol — round 1 merges first-pass states, the merged candidate
+    export is broadcast back, round 2 merges exact tabulations — is
+    bit-identical to single-machine 2-pass ``GSumEstimator.run()``, over
+    both transports, k in {2, 4} workers, with and without streaming
+    delta merges."""
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_two_pass_bit_identical(self, transport, workers, tmp_path):
+        sequential = sequential_two_pass()
+        rendezvous = str(tmp_path / "rv") if transport == "file" else None
+        dist = fresh_estimator(passes=2)
+        distributed_two_pass(
+            dist, STREAM, workers=workers, transport=transport,
+            rendezvous=rendezvous,
+        )
+        assert dist.estimate() == sequential.estimate()
+        assert dumps_state(dist.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_streaming_delta_merge_equals_batch_merge(self, transport):
+        """Periodic incremental delta frames merged on arrival equal the
+        one-frame-per-round batch merge (and hence the single-machine
+        run) bit for bit — states are linear, so frame granularity is
+        invisible in the result."""
+        sequential = sequential_two_pass()
+        dist = fresh_estimator(passes=2)
+        distributed_two_pass(
+            dist, STREAM, workers=2, transport=transport, delta_every=500
+        )
+        assert dist.estimate() == sequential.estimate()
+        assert dumps_state(dist.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+    def test_two_pass_process_workers(self):
+        """Round-protocol workers in real child processes: siblings cross
+        the boundary via the registry-backed pickle path, sessions are
+        re-dialed inside the children."""
+        sequential = sequential_two_pass()
+        dist = fresh_estimator(passes=2)
+        distributed_two_pass(
+            dist, STREAM, workers=2, transport="file", mode="process"
+        )
+        assert dumps_state(dist.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+    def test_round_summaries_recorded(self, tmp_path):
+        from repro.distributed import FileWorkerSession
+
+        dist = fresh_estimator(passes=2)
+        channel = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        coordinator = RoundCoordinator(dist, channel, workers=1, timeout=30.0)
+        items, deltas = STREAM.as_arrays()
+        session = FileWorkerSession(tmp_path / "rv")
+        runner = threading.Thread(
+            target=run_worker_rounds,
+            args=(dist.spawn_sibling(), items, deltas, 0, session),
+            kwargs={"passes": 2},
+        )
+        runner.start()
+        coordinator.run_two_pass()
+        runner.join()
+        assert [r["round"] for r in coordinator.rounds] == [1, 2]
+        assert coordinator.stale_frames == 0
+        assert all(r["workers"] == [0] for r in coordinator.rounds)
+
+    def test_rejects_one_pass_structures(self):
+        with pytest.raises(ValueError, match="passes=2"):
+            distributed_two_pass(fresh_estimator(passes=1), STREAM)
+        with pytest.raises(TypeError, match="candidate hooks"):
+            distributed_two_pass(fresh_countsketch(), STREAM)
+
+
+class TestCandidateHooks:
+    """export_candidates()/import_candidates() — the seam that lets a
+    merged first-pass cover seed remote second passes."""
+
+    def test_export_import_round_trip(self):
+        coordinator = fresh_estimator(passes=2)
+        coordinator.process(STREAM)
+        coordinator.begin_second_pass()
+        exported = coordinator.export_candidates()
+        # JSON-serializable and non-trivial
+        replayed = json.loads(json.dumps(exported))
+
+        remote = fresh_estimator(passes=2)
+        remote.process(STREAM)
+        remote.import_candidates(replayed)
+        # Identical restriction -> identical pass-2 tabulation state.
+        remote.process_second_pass(STREAM)
+        coordinator.process_second_pass(STREAM)
+        assert dumps_state(remote.to_state()) == dumps_state(
+            coordinator.to_state()
+        )
+
+    def test_export_requires_open_second_pass(self):
+        est = fresh_estimator(passes=2)
+        est.process(STREAM)
+        with pytest.raises(RuntimeError, match="begin_second_pass"):
+            est.export_candidates()
+
+    def test_hooks_require_two_pass_estimator(self):
+        est = fresh_estimator(passes=1)
+        with pytest.raises(RuntimeError, match="passes=2"):
+            est.export_candidates()
+        with pytest.raises(RuntimeError, match="passes=2"):
+            est.import_candidates({"reps": []})
+
+    def test_import_rejects_mismatched_layout(self):
+        est = fresh_estimator(passes=2)
+        with pytest.raises(ValueError, match="repetitions"):
+            est.import_candidates({"reps": [None]})
+
+
+class TestRoundFailures:
+    """The round protocol's failure paths fail fast and loudly."""
+
+    def test_worker_crash_mid_round_two(self):
+        """A worker that dies after the candidate broadcast (its
+        connection drops mid-round-2) fails the round immediately via the
+        persistent socket session — no timeout burn."""
+        est = fresh_estimator(passes=2)
+        items, deltas = STREAM.as_arrays()
+        with SocketHub() as hub:
+            host, port = hub.address
+
+            def good_worker():
+                session = SocketSession(host, port)
+                try:
+                    run_worker_rounds(
+                        est.spawn_sibling(),
+                        *worker_slice(items, deltas, 0, 2), 0, session,
+                        passes=2, timeout=30.0,
+                    )
+                except Exception:
+                    pass  # the coordinator aborts the round under it
+                finally:
+                    session.close()
+
+            def crashing_worker():
+                session = SocketSession(host, port)
+                part = worker_slice(items, deltas, 1, 2)
+                ship_round(
+                    est.spawn_sibling(), part[0], part[1], 1, 1, session.send
+                )
+                session.recv_broadcast(2, timeout=30.0)
+                session.close()  # dies without shipping round 2
+
+            threads = [
+                threading.Thread(target=good_worker),
+                threading.Thread(target=crashing_worker),
+            ]
+            for t in threads:
+                t.start()
+            coordinator = RoundCoordinator(est, hub, workers=2, timeout=30.0)
+            with pytest.raises(WorkerFailure, match="worker 1 disconnected"):
+                coordinator.run_two_pass()
+            for t in threads:
+                t.join()
+
+    def test_worker_error_envelope_aborts_round(self, tmp_path):
+        box = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        box.send_round(error_message(0, "exploded", round_id=1))
+        with pytest.raises(WorkerFailure, match="worker 0.*round 1.*exploded"):
+            box.collect_round(1, expected=2, timeout=30.0)
+
+    def test_duplicate_delta_frame_rejected(self):
+        state = fresh_countsketch().to_state()
+        tracker = RoundTracker(1, 1)
+        assert tracker.offer(delta_message(0, 1, 0, state)) == "delta"
+        with pytest.raises(ValueError, match="duplicate delta frame"):
+            tracker.offer(delta_message(0, 1, 0, state))
+
+    def test_duplicate_round_end_rejected(self):
+        tracker = RoundTracker(1, 2)
+        tracker.offer(round_end_message(0, 1, 0))
+        with pytest.raises(ValueError, match="duplicate round_end"):
+            tracker.offer(round_end_message(0, 1, 0))
+
+    def test_duplicate_frame_rejected_over_socket(self):
+        state = fresh_countsketch().to_state()
+        with SocketHub() as hub:
+            session = SocketSession(*hub.address)
+            session.send(delta_message(0, 1, 0, state))
+            session.send(delta_message(0, 1, 0, state))
+            with pytest.raises(ValueError, match="duplicate delta frame"):
+                hub.collect_round(1, expected=1, timeout=10.0)
+            session.close()
+
+    def test_stale_frame_dropped_and_counted(self, tmp_path):
+        """A round-1 retransmit landing during round 2 is dropped (and
+        counted), not merged — the merged result is unaffected."""
+        sketch = drive(fresh_countsketch(), STREAM)
+        box = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        box.send_round(delta_message(0, 1, 7, sketch.to_state()))  # stale
+        box.send_round(delta_message(0, 2, 0, sketch.to_state()))
+        box.send_round(round_end_message(0, 2, 1))
+        merged = fresh_countsketch()
+        summary = box.collect_round(
+            2, expected=1, timeout=10.0,
+            on_state=lambda m: merged.merge(merged.from_state(m["state"])),
+        )
+        assert summary["stale"] == 1
+        assert np.array_equal(merged._table, sketch._table)
+
+    def test_future_round_frame_rejected(self, tmp_path):
+        box = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        box.send_round(delta_message(0, 3, 0, fresh_countsketch().to_state()))
+        with pytest.raises(ValueError, match="future round 3"):
+            box.collect_round(2, expected=1, timeout=10.0)
+
+    def test_candidate_broadcast_compat_mismatch(self):
+        """A worker built from a different seed refuses the candidate
+        broadcast before importing anything — a mismatched spec cannot
+        silently poison pass two."""
+        coordinator = fresh_estimator(passes=2)
+        coordinator.process(STREAM)
+        coordinator.begin_second_pass()
+        broadcast = round_begin_message(
+            2, coordinator.compat_digest(), coordinator.export_candidates()
+        )
+
+        class FakeSession:
+            def __init__(self):
+                self.sent = []
+
+            def send(self, message):
+                self.sent.append(message)
+
+            def recv_broadcast(self, round_id, timeout=120.0):
+                return broadcast
+
+        session = FakeSession()
+        imposter = GSumEstimator(
+            G2, N, heaviness=0.15, repetitions=2, seed=6, passes=2
+        )
+        items, deltas = STREAM.as_arrays()
+        with pytest.raises(ValueError, match="compat digest"):
+            run_worker_rounds(
+                imposter, items, deltas, 0, session, passes=2
+            )
+        # The failure was also published, round-tagged, for the
+        # coordinator's fail-fast path.
+        assert session.sent[-1]["type"] == "error"
+        assert session.sent[-1]["round"] == 2
+
+    def test_straggler_timeout_names_missing_workers(self, tmp_path):
+        box = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        box.send_round(delta_message(0, 1, 0, fresh_countsketch().to_state()))
+        box.send_round(round_end_message(0, 1, 1))
+        with pytest.raises(TransportTimeout, match=r"stragglers: workers \[1\]"):
+            box.collect_round(1, expected=2, timeout=0.1)
+
+    def test_socket_round_timeout(self):
+        with SocketHub() as hub:
+            with pytest.raises(TransportTimeout, match="round 1 incomplete"):
+                hub.collect_round(1, expected=1, timeout=0.1)
+
+    def test_broadcast_refuses_dead_workers(self):
+        """A worker whose session dropped cannot join the round a
+        broadcast opens, so the broadcast fails fast instead of leaving
+        the fleet waiting on a round that can never complete."""
+        import time as _time
+
+        with SocketHub() as hub:
+            session = SocketSession(*hub.address)
+            session.send(delta_message(0, 1, 0, fresh_countsketch().to_state()))
+            session.send(round_end_message(0, 1, 1))
+            hub.collect_round(1, expected=1, timeout=10.0)
+            session.close()
+            deadline = _time.monotonic() + 5.0
+            while not hub._dead and _time.monotonic() < deadline:
+                _time.sleep(0.01)  # reader thread notices the close
+            with pytest.raises(WorkerFailure, match="disconnected before"):
+                hub.broadcast(round_begin_message(2, "abcd", None))
+
+    def test_cli_coordinate_purges_stale_broadcasts(self, tmp_path):
+        """A leftover broadcast on a reused rendezvous dir (previous run
+        crashed between rounds) is purged when the coordinator starts, so
+        fresh workers cannot be advanced to a stale round 2."""
+        rendezvous = tmp_path / "rv"
+        FileTransport(rendezvous).publish_broadcast(
+            round_begin_message(2, "stale", None)
+        )
+        with pytest.raises(TransportTimeout):
+            main(["coordinate", "--workers", "1", "--timeout", "0.1",
+                  "--sketch", "gsum", "--function", "x^2", "--n", str(N),
+                  "--heaviness", "0.15", "--repetitions", "2", "--seed", "5",
+                  "--passes", "2", "--rendezvous", str(rendezvous)])
+        assert not list(rendezvous.glob("bcast-*.json"))
+
+
+class TestStreamFileMode:
+    """Many-files-per-worker mode: each worker owns a whole shard file —
+    no shared stream, no partition bounds — and the merged state equals
+    single-machine ingestion of the concatenated files."""
+
+    def _split_files(self, tmp_path):
+        updates = list(STREAM)
+        half = len(updates) // 2
+        shards = [
+            TurnstileStream(N, updates[:half]),
+            TurnstileStream(N, updates[half:]),
+        ]
+        paths = []
+        for i, shard in enumerate(shards):
+            path = tmp_path / f"shard-{i}.jsonl"
+            save_stream(shard, path)
+            paths.append(path)
+        full = tmp_path / "full.jsonl"
+        save_stream(STREAM, full)  # == the concatenation of the shards
+        return paths, full
+
+    def _flags(self, rendezvous, extra=()):
+        return [*extra, "--sketch", "countsketch", "--rows", "3",
+                "--buckets", "128", "--track", "8", "--seed", "7",
+                "--rendezvous", str(rendezvous)]
+
+    def test_cli_equivalence_vs_concatenated_ingestion(self, tmp_path, capsys):
+        paths, full = self._split_files(tmp_path)
+        rendezvous = tmp_path / "rv"
+        for worker_id, path in enumerate(paths):
+            code = main(
+                ["worker", "--stream-file", str(path), "--worker-id",
+                 str(worker_id), "--workers", "2",
+                 *self._flags(rendezvous)]
+            )
+            assert code == 0
+        code = main(
+            ["coordinate", "--workers", "2", "--verify-stream", str(full),
+             *self._flags(rendezvous)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "identical to single-machine ingestion: True" in out
+
+    def test_cli_rejects_both_stream_sources(self, tmp_path):
+        paths, full = self._split_files(tmp_path)
+        with pytest.raises(SystemExit, match="not both"):
+            main(["worker", str(full), "--stream-file", str(paths[0]),
+                  "--worker-id", "0", "--workers", "1",
+                  *self._flags(tmp_path / "rv")])
+
+    def test_cli_two_pass_round_protocol_over_shard_files(self, tmp_path, capsys):
+        """Composition: many-files-per-worker + the 2-pass round protocol
+        + streaming deltas, driven end to end through the CLI."""
+        paths, full = self._split_files(tmp_path)
+        rendezvous = tmp_path / "rv"
+        gsum_flags = ["--sketch", "gsum", "--function", "x^2",
+                      "--n", str(N), "--heaviness", "0.15",
+                      "--repetitions", "2", "--seed", "5", "--passes", "2",
+                      "--delta-every", "300", "--rendezvous", str(rendezvous)]
+        threads = [
+            threading.Thread(target=main, args=(
+                ["worker", "--stream-file", str(path), "--worker-id",
+                 str(i), "--workers", "2", *gsum_flags],
+            ))
+            for i, path in enumerate(paths)
+        ]
+        for t in threads:
+            t.start()
+        code = main(["coordinate", "--workers", "2", "--verify-stream",
+                     str(full), *gsum_flags])
+        for t in threads:
+            t.join()
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "identical to single-machine ingestion: True" in out
+
+
+class TestBackoff:
+    """The file transport polls with exponential back-off instead of a
+    fixed-rate busy-wait, and every transport wait raises the one
+    ``TransportTimeout``."""
+
+    def test_collect_timeout_is_transport_timeout(self):
+        assert CollectTimeout is TransportTimeout
+        assert issubclass(TransportTimeout, TimeoutError)
+
+    def test_poll_interval_backs_off_and_caps(self, tmp_path, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.distributed.transport.time.sleep", sleeps.append
+        )
+        box = FileTransport(
+            tmp_path / "rv", poll_interval=0.01, max_poll_interval=0.04
+        )
+        with pytest.raises(TransportTimeout):
+            box.collect(1, timeout=0.2)
+        assert sleeps[:3] == pytest.approx([0.01, 0.02, 0.04])
+        assert max(sleeps) <= 0.04 + 1e-9
+
+    def test_backoff_resets_on_progress(self, tmp_path, monkeypatch):
+        box = FileTransport(
+            tmp_path / "rv", poll_interval=0.01, max_poll_interval=0.08
+        )
+        sleeps = []
+
+        def drop_late(interval):
+            sleeps.append(interval)
+            if len(sleeps) == 4:  # worker 0 arrives after the 4th idle poll
+                box.send(state_message(0, {"x": 1}))
+
+        monkeypatch.setattr(
+            "repro.distributed.transport.time.sleep", drop_late
+        )
+        with pytest.raises(TransportTimeout, match="1/2"):
+            box.collect(2, timeout=0.3)
+        # Ramped to the cap while idle, then the arrival reset the
+        # interval back to the initial value.
+        assert sleeps[:4] == pytest.approx([0.01, 0.02, 0.04, 0.08])
+        assert sleeps[4] == pytest.approx(0.01)
+
+    def test_socket_session_recv_timeout(self):
+        with SocketHub() as hub:
+            session = SocketSession(*hub.address)
+            with pytest.raises(TransportTimeout, match="no frame"):
+                session.recv(timeout=0.1)
+            session.close()
+
+
 class TestPartitioning:
     def test_bounds_cover_exactly(self):
         for total in (0, 1, 7, 1000):
@@ -182,6 +630,36 @@ class TestWire:
             validate_message(
                 {"format": "repro-dist", "version": 1, "type": "state",
                  "worker": 0}
+            )
+
+    def test_round_envelopes_validate(self):
+        from repro.distributed.wire import validate_message
+
+        state = {"format": "repro-sketch-state"}
+        assert validate_message(delta_message(1, 2, 0, state))["seq"] == 0
+        assert validate_message(round_end_message(1, 2, 3))["frames"] == 3
+        begin = validate_message(round_begin_message(2, "abcd", {"reps": []}))
+        assert begin["worker"] == -1 and begin["round"] == 2
+
+        with pytest.raises(ValueError, match="seq"):
+            validate_message(
+                {"format": "repro-dist", "version": 1, "type": "delta",
+                 "worker": 0, "round": 1, "state": state}
+            )
+        with pytest.raises(ValueError, match="round id"):
+            validate_message(
+                {"format": "repro-dist", "version": 1, "type": "round_end",
+                 "worker": 0, "frames": 1}
+            )
+        with pytest.raises(ValueError, match="compat"):
+            validate_message(
+                {"format": "repro-dist", "version": 1, "type": "round_begin",
+                 "worker": -1, "round": 2, "candidates": None}
+            )
+        with pytest.raises(ValueError, match="candidates"):
+            validate_message(
+                {"format": "repro-dist", "version": 1, "type": "round_begin",
+                 "worker": -1, "round": 2, "compat": "abcd"}
             )
 
 
@@ -291,9 +769,16 @@ class TestSpecs:
         with pytest.raises(ValueError, match="unknown sketch spec keys"):
             build_sketch({"kind": "countmin", "rows": 3, "bukets": 64})
 
-    def test_two_pass_gsum_rejected(self):
-        with pytest.raises(ValueError, match="single pass"):
-            build_sketch({"kind": "gsum", "passes": 2})
+    def test_two_pass_gsum_spec_builds(self):
+        spec = {"kind": "gsum", "function": "x^2", "n": 256, "passes": 2,
+                "heaviness": 0.3, "repetitions": 1, "seed": 2}
+        a, b = build_sketch(spec), build_sketch(dict(spec))
+        assert a.passes == 2
+        assert a.compat_digest() == b.compat_digest()
+
+    def test_bad_pass_count_rejected(self):
+        with pytest.raises(ValueError, match="passes"):
+            build_sketch({"kind": "gsum", "passes": 3})
 
 
 class TestCli:
