@@ -1,11 +1,13 @@
-"""CI bench trend check: fail on large throughput regressions.
+"""CI bench trend check: fail on large throughput or size regressions.
 
 Compares the machine-readable ``BENCH_*.json`` artifacts produced by a
 bench run (via the ``REPRO_BENCH_JSON`` env var, see ``_tables.py``)
 against the committed baseline in ``benchmarks/bench_baseline.json``, and
-exits nonzero when any tracked throughput metric regressed by more than
-the configured tolerance (default: 2x, i.e. the measured value dropped
-below ``baseline / 2``).
+exits nonzero when any tracked metric regressed by more than the
+configured tolerance (default 2x).  A metric's ``direction`` decides what
+a regression means: ``"higher"`` (the default — throughputs) fails when
+the measured value drops below ``baseline / tolerance``; ``"lower"``
+(payload sizes) fails when it climbs above ``baseline * tolerance``.
 
 The baseline stores *smoke-mode* numbers from a deliberately modest
 1-core reference machine, so a healthy CI runner passes with slack; the
@@ -15,7 +17,8 @@ the baseline intentionally whenever the engine gets faster::
 
     REPRO_BENCH_SMOKE=1 REPRO_BENCH_JSON=bench-artifacts \
         python -m pytest benchmarks/bench_s2_throughput.py \
-        benchmarks/bench_s3_sharding.py -q --benchmark-disable
+        benchmarks/bench_s3_sharding.py \
+        benchmarks/bench_s4_distributed.py -q --benchmark-disable
     python benchmarks/check_bench_trend.py bench-artifacts --write-baseline
 
 Usage::
@@ -67,6 +70,20 @@ def check(artifact_dir: pathlib.Path, baseline_path: pathlib.Path) -> int:
         value = row.get(metric["column"])
         if not isinstance(value, (int, float)):
             failures.append(f"{label}: column missing or non-numeric ({value!r})")
+            continue
+        if metric.get("direction", "higher") == "lower":
+            ceiling = metric["baseline"] * tolerance
+            status = "ok" if value <= ceiling else "REGRESSED"
+            print(
+                f"{status:>9}  {label}: measured {value:,.0f} "
+                f"vs baseline {metric['baseline']:,.0f} "
+                f"(ceiling {ceiling:,.0f}, lower is better)"
+            )
+            if value > ceiling:
+                failures.append(
+                    f"{label}: {value:,.0f} > ceiling {ceiling:,.0f} "
+                    f"(baseline {metric['baseline']:,.0f} * {tolerance}x)"
+                )
             continue
         floor = metric["baseline"] / tolerance
         status = "ok" if value >= floor else "REGRESSED"

@@ -16,7 +16,15 @@ worker     ingest one stream partition (or a whole shard file via
 coordinate collect worker states, merge them, and report — bit-identical
            to single-machine ingestion (``--verify-stream`` proves it);
            with ``--passes 2`` drives the round protocol: merge round-1
-           states, broadcast the merged candidates, merge round 2
+           states, broadcast the merged candidates, merge round 2;
+           ``--merge-workers N`` folds frames through a parallel merge
+           tree instead of the collector thread
+
+Both distributed commands take ``--codec {dense-json,sparse,binary}`` —
+the state codec frames ship under (sparse shrinks short-period streaming
+deltas dramatically; binary ships raw array buffers).  The coordinator
+decodes every codec, so a mixed fleet still merges, and the merged result
+is bit-identical under any choice.
 
 The function argument accepts either a catalog name (see ``catalog``) or a
 Python expression in ``x`` (evaluated in a restricted math namespace),
@@ -38,7 +46,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.gsum import estimate_gsum
 from repro.core.tractability import classify, zero_one_table
 from repro.functions.base import GFunction
 from repro.functions.library import catalog
@@ -79,13 +86,17 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
+    from repro.core.gsum import GSumEstimator
+    from repro.sketch.base import dumps_state
+
     g = _resolve_function(args.function)
     stream = load_stream(args.stream)
-    result = estimate_gsum(
-        stream, g, epsilon=args.epsilon, passes=args.passes,
-        heaviness=args.heaviness, repetitions=args.repetitions, seed=args.seed,
-        chunk_size=args.chunk, shards=args.shards, shard_mode=args.shard_mode,
+    estimator = GSumEstimator(
+        g, stream.domain_size, epsilon=args.epsilon, passes=args.passes,
+        heaviness=args.heaviness, repetitions=args.repetitions,
+        seed=args.seed, shards=args.shards, shard_mode=args.shard_mode,
     )
+    result = estimator.run(stream, chunk_size=args.chunk)
     print(f"g-SUM estimate for {g.name} over {args.stream}")
     print(f"  estimate: {result.estimate:,.4f}")
     if result.exact is not None:
@@ -93,6 +104,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         print(f"  relative error: {result.relative_error:.2%}")
     print(f"  passes: {result.passes}  repetitions: {result.repetitions}")
     print(f"  space: {result.space_counters:,} counters")
+    size = len(dumps_state(estimator.to_state(codec=args.codec)))
+    print(f"  state bytes ({args.codec}): {size:,}")
     return 0
 
 
@@ -158,6 +171,14 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         print(f"  sharded state identical to sequential: {identical}")
         if not identical:
             return 1
+
+    from repro.sketch.base import dumps_state
+
+    start = time.perf_counter()
+    wire = dumps_state(batched.to_state(codec=args.codec))
+    encode_s = time.perf_counter() - start
+    print(f"  state bytes ({args.codec}): {len(wire):,} "
+          f"(encoded in {encode_s * 1e3:.1f}ms)")
     return 0
 
 
@@ -215,6 +236,13 @@ def _add_distributed_args(p: argparse.ArgumentParser) -> None:
                    help="ship an incremental state delta every N updates "
                         "(streaming merges over a persistent session; "
                         "0 = one state frame per round)")
+    p.add_argument("--codec", choices=("dense-json", "sparse", "binary"),
+                   default="dense-json",
+                   help="state codec for shipped frames: dense-json "
+                        "(compat baseline), sparse (nonzero cells only — "
+                        "small deltas), binary (raw array buffers); the "
+                        "coordinator decodes any codec, so mixed fleets "
+                        "merge fine")
     p.add_argument("--rows", type=_positive_int, default=5,
                    help="countsketch/countmin rows; ams medians")
     p.add_argument("--buckets", type=_positive_int, default=1024,
@@ -234,7 +262,7 @@ def _socket_address(rendezvous: str) -> tuple[str, int]:
     return host or "127.0.0.1", int(port)
 
 
-def _state_summary(sketch) -> str:
+def _state_summary(sketch, codec: str = "dense-json") -> str:
     """One line a human can compare across machines: the compat digest
     (what must match) and an estimate when the sketch has one."""
     from repro.sketch.base import dumps_state
@@ -246,7 +274,8 @@ def _state_summary(sketch) -> str:
             line += f"\n  estimate: {estimate():,.4f}"
         except Exception:
             pass
-    line += f"\n  state bytes: {len(dumps_state(sketch.to_state())):,}"
+    size = len(dumps_state(sketch.to_state(codec=codec)))
+    line += f"\n  state bytes ({codec}): {size:,}"
     return line
 
 
@@ -296,7 +325,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             run_worker_rounds(
                 sketch, part_items, part_deltas, args.worker_id, session,
                 chunk_size=args.chunk, delta_every=args.delta_every,
-                passes=args.passes, timeout=args.timeout,
+                passes=args.passes, timeout=args.timeout, codec=args.codec,
             )
         finally:
             session.close()
@@ -312,13 +341,13 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             transport = SocketTransport(host, port, connect_timeout=args.timeout)
         run_worker(
             sketch, part_items, part_deltas, args.worker_id, transport,
-            chunk_size=args.chunk,
+            chunk_size=args.chunk, codec=args.codec,
         )
         print(f"worker {args.worker_id}/{args.workers}: ingested "
               f"{part_items.shape[0]:,} of {items.shape[0]:,} updates from "
               f"{source}, state shipped via {args.transport} to "
               f"{args.rendezvous}")
-    print(_state_summary(sketch))
+    print(_state_summary(sketch, args.codec))
     return 0
 
 
@@ -337,7 +366,8 @@ def _cmd_coordinate(args: argparse.Namespace) -> int:
     if round_mode:
         def run_rounds(channel) -> RoundCoordinator:
             coordinator = RoundCoordinator(
-                sketch, channel, args.workers, timeout=args.timeout
+                sketch, channel, args.workers, timeout=args.timeout,
+                merge_workers=args.merge_workers,
             )
             if args.passes == 2:
                 coordinator.run_two_pass()
@@ -361,26 +391,30 @@ def _cmd_coordinate(args: argparse.Namespace) -> int:
                 coordinator = run_rounds(channel)
         for summary in coordinator.rounds:
             frames = sum(summary["frames"].values())
-            print(f"round {summary['round']}: merged {frames} delta "
-                  f"frame(s) from workers {summary['workers']} "
-                  f"({summary['stale']} stale)")
+            print(f"round {summary['round']}: merged "
+                  f"{frames - summary['skipped']} delta frame(s) from "
+                  f"workers {summary['workers']} ({summary['stale']} stale, "
+                  f"{summary['skipped']} skipped)")
         print(f"coordinator: completed {args.passes}-pass round protocol "
               f"with {args.workers} workers via {args.transport} from "
               f"{args.rendezvous}")
     else:
         if args.transport == "file":
             collector = FileTransport(args.rendezvous)
-            coordinate(sketch, collector, args.workers, timeout=args.timeout)
+            coordinate(sketch, collector, args.workers, timeout=args.timeout,
+                       merge_workers=args.merge_workers)
             # Consume the merged messages: a reused rendezvous dir must not
             # feed this run's states to the next run's coordinator.
             collector.purge()
         else:
             host, port = _socket_address(args.rendezvous)
             with SocketListener(host, port) as collector:
-                coordinate(sketch, collector, args.workers, timeout=args.timeout)
+                coordinate(sketch, collector, args.workers,
+                           timeout=args.timeout,
+                           merge_workers=args.merge_workers)
         print(f"coordinator: merged {args.workers} worker states "
               f"via {args.transport} from {args.rendezvous}")
-    print(_state_summary(sketch))
+    print(_state_summary(sketch, args.codec))
     if args.verify_stream is not None:
         reference = build_sketch(_sketch_spec(args))
         chunks = load_stream(args.verify_stream).iter_array_chunks(args.chunk)
@@ -445,6 +479,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "bit-identical to --shards 1)")
     p.add_argument("--shard-mode", choices=("thread", "process", "serial"),
                    default="thread")
+    p.add_argument("--codec", choices=("dense-json", "sparse", "binary"),
+                   default="dense-json",
+                   help="state codec for the reported serialized size")
     p.set_defaults(fn=_cmd_estimate)
 
     p = sub.add_parser("generate", help="synthesize a workload stream file")
@@ -470,6 +507,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "many shards (state verified identical)")
     p.add_argument("--shard-mode", choices=("thread", "process", "serial"),
                    default="thread")
+    p.add_argument("--codec", choices=("dense-json", "sparse", "binary"),
+                   default="dense-json",
+                   help="state codec for the reported serialized size")
     p.set_defaults(fn=_cmd_ingest)
 
     p = sub.add_parser(
@@ -506,6 +546,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify-stream", default=None,
                    help="stream file to ingest single-machine and compare "
                         "states bit-for-bit (exit 1 on mismatch)")
+    p.add_argument("--merge-workers", type=int, default=0,
+                   help="fold worker frames through a parallel merge tree "
+                        "of this width (0/1 = serial merging; results are "
+                        "bit-identical either way)")
     _add_distributed_args(p)
     p.set_defaults(fn=_cmd_coordinate)
 

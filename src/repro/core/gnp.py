@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.core.heavy_hitters import HeavyHitterPair
 from repro.functions.library import g_np
-from repro.sketch.base import MergeableSketch
+from repro.sketch.base import MergeableSketch, decode_int_list, encode_int_list
 from repro.sketch.hashing import BernoulliHash, KWiseHash, _batch_arg, _mod_p31
 from repro.streams.batching import as_batch, drive
 from repro.streams.model import StreamUpdate, TurnstileStream
@@ -146,20 +146,19 @@ class _Substream:
 
     def state_payload(self) -> dict:
         return {
-            "trial_counters": list(self.trial_counters),
-            "bit_counters": list(self.bit_counters),
+            "trial_counters": encode_int_list(self.trial_counters),
+            "bit_counters": encode_int_list(self.bit_counters),
             "total": self.total,
             "weight": self.weight,
         }
 
     def load_state_payload(self, payload: dict) -> None:
-        if (
-            len(payload["trial_counters"]) != self.trials
-            or len(payload["bit_counters"]) != self.n_bits
-        ):
+        trial_counters = decode_int_list(payload["trial_counters"])
+        bit_counters = decode_int_list(payload["bit_counters"])
+        if len(trial_counters) != self.trials or len(bit_counters) != self.n_bits:
             raise ValueError("substream state shape mismatch")
-        self.trial_counters = [int(c) for c in payload["trial_counters"]]
-        self.bit_counters = [int(c) for c in payload["bit_counters"]]
+        self.trial_counters = trial_counters
+        self.bit_counters = bit_counters
         self.total = int(payload["total"])
         self.weight = int(payload["weight"])
 

@@ -32,6 +32,7 @@ documentation: ``docs/ARCHITECTURE.md``.
 
 from repro.distributed.coordinator import RoundCoordinator, coordinate, merge_states
 from repro.distributed.driver import distributed_ingest, distributed_two_pass
+from repro.distributed.merger import MergePool, merge_tree
 from repro.distributed.specs import build_sketch
 from repro.distributed.transport import (
     CollectTimeout,
@@ -47,6 +48,7 @@ from repro.distributed.transport import (
 )
 from repro.distributed.wire import (
     delta_message,
+    delta_skipped_message,
     error_message,
     recv_frame,
     round_begin_message,
@@ -66,6 +68,7 @@ __all__ = [
     "CollectTimeout",
     "FileTransport",
     "FileWorkerSession",
+    "MergePool",
     "RoundCoordinator",
     "RoundTracker",
     "SocketHub",
@@ -77,10 +80,12 @@ __all__ = [
     "build_sketch",
     "coordinate",
     "delta_message",
+    "delta_skipped_message",
     "distributed_ingest",
     "distributed_two_pass",
     "error_message",
     "merge_states",
+    "merge_tree",
     "partition_bounds",
     "recv_frame",
     "round_begin_message",

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.distributed.merger import MergePool, merge_tree
 from repro.distributed.wire import (
     ROUND_FIRST_PASS,
     ROUND_SECOND_PASS,
@@ -39,23 +40,36 @@ from repro.distributed.wire import (
 __all__ = ["merge_states", "coordinate", "RoundCoordinator"]
 
 
-def merge_states(structure, messages: List[dict]):
+def merge_states(structure, messages: List[dict], merge_workers: int = 0):
     """Fold a list of ``state`` envelopes into ``structure`` (in worker-id
     order — irrelevant to the result, since merges commute, but canonical
-    for debugging).  Returns ``structure``."""
+    for debugging).  ``merge_workers > 1`` folds them through the parallel
+    merge tree (:mod:`repro.distributed.merger`) instead — bit-identical,
+    but decode + pre-merge run concurrently.  Returns ``structure``."""
+    if merge_workers > 1:
+        return merge_tree(
+            structure, (m["state"] for m in messages), merge_workers
+        )
     for message in messages:
         sibling = structure.from_state(message["state"])
         structure.merge(sibling)
     return structure
 
 
-def coordinate(structure, collector, workers: int, timeout: float = 120.0):
+def coordinate(
+    structure,
+    collector,
+    workers: int,
+    timeout: float = 120.0,
+    merge_workers: int = 0,
+):
     """Run one coordination round: wait for ``workers`` states on
     ``collector`` (a :class:`~repro.distributed.transport.FileTransport`
     or :class:`~repro.distributed.transport.SocketListener`), merge them
-    into ``structure``, and return it."""
+    into ``structure`` (serially, or through the merge tree when
+    ``merge_workers > 1``), and return it."""
     messages = collector.collect(workers, timeout=timeout)
-    return merge_states(structure, messages)
+    return merge_states(structure, messages, merge_workers)
 
 
 class RoundCoordinator:
@@ -77,15 +91,30 @@ class RoundCoordinator:
         Per-round deadline in seconds; a round that misses it raises
         :class:`~repro.distributed.transport.TransportTimeout` naming the
         straggler worker ids.
+    merge_workers:
+        ``0`` or ``1`` folds every frame serially on the collector thread
+        (the original path); ``> 1`` routes frames through a parallel
+        merge tree (:class:`~repro.distributed.merger.MergePool`) — each
+        frame decodes and pre-merges on the pool the moment it arrives,
+        and the partial accumulators fold into the root at round end.
+        Bit-identical to the serial path either way (states are linear).
     """
 
-    def __init__(self, structure, channel, workers: int, timeout: float = 120.0):
+    def __init__(
+        self,
+        structure,
+        channel,
+        workers: int,
+        timeout: float = 120.0,
+        merge_workers: int = 0,
+    ):
         if workers < 1:
             raise ValueError("workers must be positive")
         self.structure = structure
         self.channel = channel
         self.workers = int(workers)
         self.timeout = float(timeout)
+        self.merge_workers = int(merge_workers)
         self.stale_frames = 0
         self.rounds: List[dict] = []
 
@@ -97,11 +126,23 @@ class RoundCoordinator:
         self.structure.merge(sibling)
 
     def run_round(self, round_id: int) -> dict:
-        """Collect (and stream-merge) one round; returns its summary."""
-        summary = self.channel.collect_round(
-            round_id, self.workers, timeout=self.timeout,
-            on_state=self._merge_frame,
-        )
+        """Collect (and stream-merge) one round; returns its summary.
+        With ``merge_workers > 1`` arriving frames fan out across the
+        merge pool and the round's partials drain into the root before
+        the summary returns — callers observe a fully-merged structure
+        either way."""
+        if self.merge_workers > 1:
+            with MergePool(self.structure, self.merge_workers) as pool:
+                summary = self.channel.collect_round(
+                    round_id, self.workers, timeout=self.timeout,
+                    on_state=lambda message: pool.submit(message["state"]),
+                )
+                pool.drain()
+        else:
+            summary = self.channel.collect_round(
+                round_id, self.workers, timeout=self.timeout,
+                on_state=self._merge_frame,
+            )
         self.stale_frames += summary["stale"]
         self.rounds.append(summary)
         return summary

@@ -47,8 +47,12 @@ def _spawned_worker(args):
     """Module-level so process mode can pickle it: run one worker end to
     end in a child process (the sibling arrives pickled, the state leaves
     through the transport like any remote worker's would)."""
-    sibling, items, deltas, worker_id, transport, chunk_size, second_pass = args
-    run_worker(sibling, items, deltas, worker_id, transport, chunk_size, second_pass)
+    (sibling, items, deltas, worker_id, transport, chunk_size, second_pass,
+     codec) = args
+    run_worker(
+        sibling, items, deltas, worker_id, transport, chunk_size, second_pass,
+        codec=codec,
+    )
     return worker_id
 
 
@@ -76,6 +80,8 @@ def distributed_ingest(
     second_pass: bool = False,
     rendezvous: str | None = None,
     timeout: float = 120.0,
+    codec: str | None = None,
+    merge_workers: int = 0,
 ):
     """Ingest ``stream`` into ``structure`` through ``workers`` distributed
     workers over a real transport; the merged state is bit-identical to
@@ -99,6 +105,13 @@ def distributed_ingest(
     second_pass:
         Drive ``update_batch_second_pass`` on phase-cloned siblings (the
         distributed analogue of sharded two-pass ingestion).
+    codec:
+        State codec every worker ships under (``dense-json`` default,
+        ``sparse``, ``binary`` — see :mod:`repro.sketch.codec`); the
+        merged result is bit-identical under any of them.
+    merge_workers:
+        ``> 1`` folds the collected states through the parallel merge
+        tree (:mod:`repro.distributed.merger`) instead of serially.
     """
     _validate_common(structure, workers, transport, mode)
     if second_pass and not hasattr(structure, "update_batch_second_pass"):
@@ -132,7 +145,8 @@ def distributed_ingest(
             jobs = [
                 pool.submit(
                     _spawned_worker,
-                    (sib, part[0], part[1], i, sender, chunk_size, second_pass),
+                    (sib, part[0], part[1], i, sender, chunk_size,
+                     second_pass, codec),
                 )
                 for i, (sib, part) in enumerate(zip(siblings, partitions))
             ]
@@ -141,7 +155,7 @@ def distributed_ingest(
             messages = collector.collect(workers, timeout=timeout)
             for job in jobs:
                 job.result()  # surface worker exceptions with tracebacks
-        return merge_states(structure, messages)
+        return merge_states(structure, messages, merge_workers)
     finally:
         if listener is not None:
             listener.close()
@@ -154,7 +168,7 @@ def _spawned_round_worker(args):
     worker end to end.  Socket sessions cannot cross a process boundary,
     so each worker dials the endpoint itself."""
     (sibling, items, deltas, worker_id, transport, endpoint, chunk_size,
-     delta_every, passes, timeout) = args
+     delta_every, passes, timeout, codec) = args
     if transport == "file":
         session = FileWorkerSession(endpoint)
     else:
@@ -163,7 +177,7 @@ def _spawned_round_worker(args):
     try:
         run_worker_rounds(
             sibling, items, deltas, worker_id, session, chunk_size,
-            delta_every, passes, timeout,
+            delta_every, passes, timeout, codec=codec,
         )
     finally:
         session.close()
@@ -180,6 +194,8 @@ def distributed_two_pass(
     delta_every: int = 0,
     rendezvous: str | None = None,
     timeout: float = 120.0,
+    codec: str | None = None,
+    merge_workers: int = 0,
 ):
     """Run the full coordinated two-pass round protocol locally: round 1
     merges worker first-pass states, the coordinator broadcasts the merged
@@ -193,7 +209,13 @@ def distributed_two_pass(
     delta_every:
         ``0`` ships one state frame per worker per round; ``> 0`` enables
         streaming merges — every ``delta_every`` updates each worker ships
-        an incremental delta frame the coordinator merges on arrival.
+        an incremental delta frame the coordinator merges on arrival
+        (periods that leave the sketch untouched ship a ``delta_skipped``
+        heartbeat instead of an empty payload).
+
+    ``codec`` picks the frame codec and ``merge_workers > 1`` fans frame
+    merging out across the coordinator's merge pool, exactly as in
+    :func:`distributed_ingest`.
     """
     _validate_common(structure, workers, transport, mode)
     if getattr(structure, "passes", 2) != 2:
@@ -233,11 +255,14 @@ def distributed_two_pass(
                 pool.submit(
                     _spawned_round_worker,
                     (sib, part[0], part[1], i, transport, endpoint,
-                     chunk_size, delta_every, 2, timeout),
+                     chunk_size, delta_every, 2, timeout, codec),
                 )
                 for i, (sib, part) in enumerate(zip(siblings, partitions))
             ]
-            coordinator = RoundCoordinator(structure, channel, workers, timeout)
+            coordinator = RoundCoordinator(
+                structure, channel, workers, timeout,
+                merge_workers=merge_workers,
+            )
             coordinator.run_two_pass()
             for job in jobs:
                 job.result()  # surface worker exceptions with tracebacks

@@ -1,0 +1,119 @@
+"""Parallel merge pipeline: fold worker frames on a pool, not a thread.
+
+The coordinator's original merge path was strictly serial — every frame
+paid ``from_state`` (JSON/buffer decode) plus ``merge`` on the collector
+thread, so at many workers the coordinator itself became the bottleneck
+(the PR-4 follow-up this module closes).  :class:`MergePool` turns that
+path into a **merge tree**:
+
+* each submitted frame is decoded *and pre-merged* on a worker pool —
+  an arriving sibling either becomes a new partial accumulator or folds
+  into a free one, so up to ``workers`` partial merges run concurrently
+  while frames are still landing (the streaming shape);
+* :meth:`MergePool.drain` then reduces the partial accumulators pairwise
+  (again on the pool) and folds the single survivor into the root sketch.
+
+Exactness: sketch states are linear, so merges commute and associate —
+for the integer-valued states this library ships, bit for bit (the same
+invariance contract behind sharded ingestion, enforced for this module by
+``tests/test_distributed.py``).  Any grouping of frames therefore yields
+the root state serial merging would, which is what lets the tree pick its
+grouping by arrival order and thread availability.
+
+The root structure is never mutated until :meth:`~MergePool.drain`; pool
+tasks only *read* it (``from_state`` -> ``spawn_sibling`` + compat
+check), so streaming submissions are safe while a round is open.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from threading import Lock
+from typing import List
+
+__all__ = ["MergePool", "merge_tree"]
+
+
+class MergePool:
+    """A pool of mergers feeding one root sketch.
+
+    Parameters
+    ----------
+    structure:
+        The root sketch; submitted states must be sibling states.  Left
+        untouched until :meth:`drain`.
+    workers:
+        Pool width (concurrent decode/merge tasks).  Must be >= 1; a
+        width of 1 is the serial pipeline on one background thread.
+    """
+
+    def __init__(self, structure, workers: int = 2):
+        if workers < 1:
+            raise ValueError("merge workers must be positive")
+        self.structure = structure
+        self.workers = int(workers)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-merge"
+        )
+        self._lock = Lock()
+        self._partials: List = []
+        self._futures: List[Future] = []
+        self.merged_frames = 0
+
+    # ------------------------------------------------------------- pipeline
+
+    def submit(self, state: dict) -> None:
+        """Queue one sibling state for decode + pre-merge on the pool."""
+        self._futures.append(self._pool.submit(self._fold, state))
+
+    def _fold(self, state: dict) -> None:
+        sibling = self.structure.from_state(state)
+        with self._lock:
+            acc = self._partials.pop() if self._partials else None
+            self.merged_frames += 1
+        if acc is not None:
+            sibling = acc.merge(sibling)
+        with self._lock:
+            self._partials.append(sibling)
+
+    def drain(self):
+        """Wait for every queued frame, reduce the partial accumulators
+        pairwise on the pool, fold the survivor into the root, and return
+        the root.  Errors from any pool task (a non-sibling state, a
+        corrupt payload) re-raise here with their original tracebacks."""
+        futures, self._futures = self._futures, []
+        for future in futures:
+            future.result()
+        with self._lock:
+            partials, self._partials = self._partials, []
+        while len(partials) > 1:
+            carry = [partials[-1]] if len(partials) % 2 else []
+            merges = [
+                self._pool.submit(partials[i].merge, partials[i + 1])
+                for i in range(0, len(partials) - 1, 2)
+            ]
+            partials = [m.result() for m in merges] + carry
+        if partials:
+            self.structure.merge(partials[0])
+        return self.structure
+
+    # ---------------------------------------------------------------- admin
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "MergePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def merge_tree(structure, states, workers: int = 2):
+    """One-shot merge tree: decode and fold ``states`` (raw ``to_state``
+    dicts) into ``structure`` through a :class:`MergePool`; returns
+    ``structure``, bit-identical to folding the states serially."""
+    with MergePool(structure, workers) as pool:
+        for state in states:
+            pool.submit(state)
+        return pool.drain()

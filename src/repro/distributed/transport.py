@@ -39,7 +39,6 @@ Every collect path raises the single :class:`TransportTimeout` on expiry
 
 from __future__ import annotations
 
-import json
 import pathlib
 import queue
 import socket
@@ -49,7 +48,8 @@ from typing import Callable, Dict, List, Set
 
 from repro.distributed.wire import (
     COORDINATOR_ID,
-    dumps_message,
+    dumps_frame,
+    loads_frame,
     recv_frame,
     send_frame,
     validate_message,
@@ -98,7 +98,9 @@ class RoundTracker:
     and the protocol checks — duplicate frames and frames from a *future*
     round raise ``ValueError``; frames from a past round are counted as
     stale and dropped (a straggler retransmit must not corrupt the current
-    round); ``error`` envelopes raise :class:`WorkerFailure` immediately."""
+    round); ``delta_skipped`` heartbeats occupy their ``seq`` slot (so
+    frame accounting stays exact) without offering anything to merge;
+    ``error`` envelopes raise :class:`WorkerFailure` immediately."""
 
     def __init__(self, round_id: int, expected: int):
         self.round_id = int(round_id)
@@ -106,17 +108,18 @@ class RoundTracker:
         self.frames: Dict[int, Set[int]] = {}
         self.ends: Dict[int, int] = {}
         self.stale = 0
+        self.skipped = 0
 
     def offer(self, message: dict) -> str:
         """Feed one envelope; returns ``"delta"`` when the caller should
-        merge the frame, ``"end"`` / ``"stale"`` otherwise."""
+        merge the frame, ``"end"`` / ``"skip"`` / ``"stale"`` otherwise."""
         kind = message["type"]
         if kind == "error":
             raise WorkerFailure(
                 f"worker {message['worker']} failed in round "
                 f"{message.get('round', '?')}: {message.get('detail', '?')}"
             )
-        if kind not in ("delta", "round_end"):
+        if kind not in ("delta", "delta_skipped", "round_end"):
             raise ValueError(
                 f"unexpected {kind!r} message during round {self.round_id}"
             )
@@ -130,7 +133,7 @@ class RoundTracker:
                 f"{self.round_id} (worker {message['worker']})"
             )
         worker = message["worker"]
-        if kind == "delta":
+        if kind in ("delta", "delta_skipped"):
             seen = self.frames.setdefault(worker, set())
             seq = message["seq"]
             if seq in seen:
@@ -139,6 +142,9 @@ class RoundTracker:
                     f"{worker}, seq {seq})"
                 )
             seen.add(seq)
+            if kind == "delta_skipped":
+                self.skipped += 1
+                return "skip"
             return "delta"
         if worker in self.ends:
             raise ValueError(
@@ -167,6 +173,7 @@ class RoundTracker:
             "workers": sorted(self.ends),
             "frames": {w: len(s) for w, s in sorted(self.frames.items())},
             "stale": self.stale,
+            "skipped": self.skipped,
         }
 
 
@@ -232,7 +239,9 @@ class FileTransport:
         kind = message["type"]
         worker = int(message["worker"])
         round_id = int(message.get("round", 0))
-        if kind == "delta":
+        if kind in ("delta", "delta_skipped"):
+            # A skipped frame occupies the same (round, worker, seq) name a
+            # real delta would, so retransmits still overwrite themselves.
             name = f"rmsg-{round_id:03d}-w{worker:04d}-d{message['seq']:06d}.json"
         elif kind == "round_end":
             name = f"rmsg-{round_id:03d}-w{worker:04d}-end.json"
@@ -250,7 +259,7 @@ class FileTransport:
         validate_message(message)
         self.directory.mkdir(parents=True, exist_ok=True)
         temp = path.with_suffix(".json.tmp")
-        temp.write_bytes(dumps_message(message))
+        temp.write_bytes(dumps_frame(message))
         temp.replace(path)
 
     # ---------------------------------------------------------- worker side
@@ -274,7 +283,7 @@ class FileTransport:
         path = self._broadcast_path(round_id)
         while True:
             if path.is_file():
-                return validate_message(json.loads(path.read_text()))
+                return loads_frame(path.read_bytes())
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise TransportTimeout(
@@ -291,7 +300,7 @@ class FileTransport:
             return []
         messages = []
         for path in sorted(self.directory.glob("msg-*.json")):
-            messages.append(validate_message(json.loads(path.read_text())))
+            messages.append(loads_frame(path.read_bytes()))
         return messages
 
     def collect(self, expected: int, timeout: float = 60.0) -> List[dict]:
@@ -311,9 +320,7 @@ class FileTransport:
             if self.directory.is_dir():
                 for path in sorted(self.directory.glob("msg-*.json")):
                     if path.name not in parsed:
-                        parsed[path.name] = validate_message(
-                            json.loads(path.read_text())
-                        )
+                        parsed[path.name] = loads_frame(path.read_bytes())
                         progressed = True
             messages = list(parsed.values())
             if any(m["type"] == "error" for m in messages):
@@ -354,12 +361,13 @@ class FileTransport:
                 for path in sorted(self.directory.glob("rmsg-*.json")):
                     if path.name in self._round_parsed:
                         continue
-                    message = validate_message(json.loads(path.read_text()))
+                    message = loads_frame(path.read_bytes())
                     self._round_parsed.add(path.name)
                     progressed = True
                     if tracker.offer(message) == "delta":
                         on_state(message)
             if tracker.complete():
+                self._gc_round(round_id)
                 return tracker.summary()
             remaining = deadline - time.monotonic()
             if remaining <= 0:
@@ -375,6 +383,35 @@ class FileTransport:
         """Coordinator side: publish a ``round_begin`` broadcast for every
         worker to pick up via :meth:`wait_broadcast`."""
         self._publish(self._broadcast_path(message["round"]), message)
+
+    @staticmethod
+    def _frame_round(name: str) -> int:
+        """The round id encoded in an ``rmsg-RRR-*`` / ``bcast-RRR`` file
+        name (0 when the name does not parse — never collected)."""
+        try:
+            return int(name.split("-")[1].split(".")[0])
+        except (IndexError, ValueError):  # pragma: no cover - foreign files
+            return 0
+
+    def _gc_round(self, round_id: int) -> None:
+        """Garbage-collect a completed round: every ``rmsg-*`` frame and
+        ``bcast-*`` broadcast tagged with this round or earlier has been
+        consumed by everyone who will ever read it (a broadcast for round
+        R is read by each worker *before* it ships its round-R frames, so
+        round-R completion proves full consumption).  Without this, long
+        streaming sessions accumulate one file per delta frame per round
+        forever.  A straggler retransmit recreating a collected name later
+        is re-read and dropped as stale by :class:`RoundTracker`."""
+        if not self.directory.is_dir():
+            return
+        for pattern in ("rmsg-*.json", "bcast-*.json"):
+            for path in self.directory.glob(pattern):
+                if 1 <= self._frame_round(path.name) <= round_id:
+                    try:
+                        path.unlink()
+                    except OSError:  # pragma: no cover - concurrent unlink
+                        continue
+                    self._round_parsed.discard(path.name)
 
     def purge(self) -> None:
         """Delete all drop-box messages — one-shot, round frames, and
@@ -408,7 +445,10 @@ class FileWorkerSession:
         self._transport = FileTransport(directory, **transport_kwargs)
 
     def send(self, message: dict) -> None:
-        if message["type"] in ("delta", "round_end") or "round" in message:
+        if (
+            message["type"] in ("delta", "delta_skipped", "round_end")
+            or "round" in message
+        ):
             self._transport.send_round(message)
         else:
             self._transport.send(message)

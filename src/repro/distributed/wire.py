@@ -38,12 +38,42 @@ Message types:
     broadcast from a non-sibling) and the merged first-pass ``candidates``
     export that seeds every worker's second pass.
 
+``delta_skipped``
+    A lightweight heartbeat taking the place of a delta frame whose
+    payload would have been an *empty* sketch (a streaming period that
+    left the state untouched, or an empty partition).  It occupies the
+    frame's ``seq`` slot so :class:`~repro.distributed.transport.RoundTracker`
+    accounting stays exact, but ships no state and merges nothing —
+    merging an empty sibling is the identity anyway.
+
 Transports move these envelopes without looking inside: the file transport
-writes one JSON file per message, the socket transport sends
-**length-prefixed frames** — a 4-byte big-endian payload length followed by
-the UTF-8 JSON bytes.  The prefix makes message recovery trivial on a
-stream socket (read 4 bytes, read exactly that many more) and caps frames
-at 2^32-1 bytes, far above any realistic sketch state.
+writes one frame per file, the socket transport sends **length-prefixed
+frames** — a 4-byte big-endian payload length followed by the frame bytes.
+The prefix makes message recovery trivial on a stream socket (read 4
+bytes, read exactly that many more) and caps frames at 2^32-1 bytes, far
+above any realistic sketch state.
+
+A frame's bytes come in two shapes, distinguished by the leading byte:
+
+* **JSON frames** — the UTF-8 JSON document itself (always starts with
+  ``{``).  States under the ``dense-json`` and ``sparse`` codecs, and
+  ``binary``-codec states travelling through JSON-only channels, ride
+  this way (binary buffers base64-embedded).
+* **Binary frames** — :data:`BINARY_MAGIC` (an invalid UTF-8 start byte,
+  so the two shapes can never be confused), a 4-byte big-endian header
+  length, a JSON header, then the raw little-endian array buffers
+  concatenated.  :func:`dumps_frame` lifts every ``binary``-codec array
+  out of the envelope into the buffer section (replacing its ``"b64"``
+  field with a ``"buffer"`` index), so the bytes ship unencoded — no
+  base64 expansion, no JSON float parsing on the hot merge path.
+
+Version-skew note: the wire version stays 1 — every envelope readable by
+a pre-codec peer is unchanged — but the ``delta_skipped`` type and the
+binary frame shape did not exist before the codec layer, so a coordinator
+predating it rejects them (unknown message type / undecodable frame)
+rather than merging wrongly.  In mixed-version fleets, upgrade the
+coordinator first; workers on any codec (old or new) then interoperate,
+because decoding is self-describing per value.
 """
 
 from __future__ import annotations
@@ -52,13 +82,21 @@ import json
 import socket
 import struct
 
+from repro.sketch.codec import binary_payload_bytes
+
 WIRE_FORMAT = "repro-dist"
 WIRE_VERSION = 1
 
 #: struct layout of the socket frame length prefix: 4-byte big-endian.
 LENGTH_PREFIX = struct.Struct(">I")
 
-MESSAGE_TYPES = ("state", "error", "delta", "round_end", "round_begin")
+#: First bytes of a binary wire frame.  0xAB is a UTF-8 continuation
+#: byte, so no JSON document can begin with it.
+BINARY_MAGIC = b"\xabRB1"
+
+MESSAGE_TYPES = (
+    "state", "error", "delta", "delta_skipped", "round_end", "round_begin",
+)
 
 #: The ``worker`` id coordinator-originated broadcasts carry.
 COORDINATOR_ID = -1
@@ -109,6 +147,19 @@ def delta_message(worker: int, round_id: int, seq: int, state: dict) -> dict:
     }
 
 
+def delta_skipped_message(worker: int, round_id: int, seq: int) -> dict:
+    """Envelope for a skipped (empty) delta frame: holds the ``seq`` slot
+    for round accounting, ships no state."""
+    return {
+        "format": WIRE_FORMAT,
+        "version": WIRE_VERSION,
+        "type": "delta_skipped",
+        "worker": int(worker),
+        "round": int(round_id),
+        "seq": int(seq),
+    }
+
+
 def round_end_message(worker: int, round_id: int, frames: int) -> dict:
     """Envelope closing a worker's round (``frames`` delta frames sent)."""
     return {
@@ -152,13 +203,13 @@ def validate_message(message: dict) -> dict:
         raise ValueError("wire message lacks an integer worker id")
     if kind in ("state", "delta") and not isinstance(message.get("state"), dict):
         raise ValueError(f"{kind} message lacks a state dict")
-    if kind in ("delta", "round_end", "round_begin"):
+    if kind in ("delta", "delta_skipped", "round_end", "round_begin"):
         if not isinstance(message.get("round"), int) or message["round"] < 1:
             raise ValueError(f"{kind} message lacks a positive round id")
-    if kind == "delta" and (
+    if kind in ("delta", "delta_skipped") and (
         not isinstance(message.get("seq"), int) or message["seq"] < 0
     ):
-        raise ValueError("delta message lacks a non-negative seq number")
+        raise ValueError(f"{kind} message lacks a non-negative seq number")
     if kind == "round_end" and (
         not isinstance(message.get("frames"), int) or message["frames"] < 0
     ):
@@ -172,7 +223,9 @@ def validate_message(message: dict) -> dict:
 
 
 def dumps_message(message: dict) -> bytes:
-    """Envelope -> canonical UTF-8 JSON bytes (no whitespace)."""
+    """Envelope -> canonical UTF-8 JSON bytes (no whitespace).  Binary-
+    codec states stay base64-embedded; use :func:`dumps_frame` for the
+    raw-buffer wire form."""
     return json.dumps(message, separators=(",", ":")).encode("utf-8")
 
 
@@ -180,11 +233,111 @@ def loads_message(data: bytes) -> dict:
     return validate_message(json.loads(data.decode("utf-8")))
 
 
+# ----------------------------------------------------------- binary frames
+
+def _is_binary_spec(value) -> bool:
+    return (
+        isinstance(value, dict)
+        and value.get("codec") == "binary"
+        and ("b64" in value or "raw" in value)
+    )
+
+
+def _lift_buffers(value, buffers: list):
+    """Deep-copy ``value`` with every binary array spec's payload moved
+    into ``buffers``; the spec keeps a ``"buffer"`` index and byte count
+    in its place.  Non-buffer values are shared, not copied."""
+    if _is_binary_spec(value):
+        raw = binary_payload_bytes(value)
+        spec = {k: v for k, v in value.items() if k not in ("b64", "raw")}
+        spec["buffer"] = len(buffers)
+        spec["nbytes"] = len(raw)
+        buffers.append(raw)
+        return spec
+    if isinstance(value, dict):
+        return {k: _lift_buffers(v, buffers) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_lift_buffers(v, buffers) for v in value]
+    return value
+
+
+def _attach_buffers(value, buffers: list):
+    """Inverse of :func:`_lift_buffers`: reattach each referenced buffer
+    as a ``"raw"`` bytes field (the form ``decode_array`` consumes
+    directly, skipping base64 entirely)."""
+    if isinstance(value, dict):
+        if value.get("codec") == "binary" and "buffer" in value:
+            spec = {
+                k: v for k, v in value.items() if k not in ("buffer", "nbytes")
+            }
+            spec["raw"] = buffers[value["buffer"]]
+            return spec
+        return {k: _attach_buffers(v, buffers) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_attach_buffers(v, buffers) for v in value]
+    return value
+
+
+def dumps_frame(message: dict) -> bytes:
+    """Envelope -> wire frame bytes.  Messages without binary-codec
+    arrays serialize as plain JSON; messages carrying them become a
+    binary frame — magic, header length, JSON header, raw buffers — so
+    array bytes ship without base64 expansion."""
+    buffers: list = []
+    header = _lift_buffers(message, buffers)
+    if not buffers:
+        return dumps_message(message)
+    head = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return b"".join(
+        [BINARY_MAGIC, LENGTH_PREFIX.pack(len(head)), head, *buffers]
+    )
+
+
+def loads_frame(data: bytes) -> dict:
+    """Wire frame bytes -> validated envelope (either shape)."""
+    if not data.startswith(BINARY_MAGIC):
+        return loads_message(data)
+    offset = len(BINARY_MAGIC)
+    (head_len,) = LENGTH_PREFIX.unpack_from(data, offset)
+    offset += LENGTH_PREFIX.size
+    header = json.loads(data[offset : offset + head_len].decode("utf-8"))
+    offset += head_len
+    buffers = []
+    cursor = offset
+    for nbytes in _buffer_sizes(header):
+        buffers.append(data[cursor : cursor + nbytes])
+        cursor += nbytes
+    if cursor != len(data):
+        raise ValueError(
+            f"binary frame length mismatch: {len(data) - cursor} trailing bytes"
+        )
+    return validate_message(_attach_buffers(header, buffers))
+
+
+def _buffer_sizes(value, sizes: dict | None = None) -> list:
+    """Byte counts of the buffer section, in buffer-index order."""
+    if sizes is None:
+        sizes = {}
+        _buffer_sizes(value, sizes)
+        return [sizes[i] for i in range(len(sizes))]
+    if isinstance(value, dict):
+        if value.get("codec") == "binary" and "buffer" in value:
+            sizes[int(value["buffer"])] = int(value["nbytes"])
+        else:
+            for v in value.values():
+                _buffer_sizes(v, sizes)
+    elif isinstance(value, list):
+        for v in value:
+            _buffer_sizes(v, sizes)
+    return []
+
+
 # ----------------------------------------------------------- socket frames
 
 def send_frame(sock: socket.socket, message: dict) -> None:
-    """Write one length-prefixed JSON frame to a connected stream socket."""
-    payload = dumps_message(message)
+    """Write one length-prefixed frame (JSON or binary) to a connected
+    stream socket."""
+    payload = dumps_frame(message)
     sock.sendall(LENGTH_PREFIX.pack(len(payload)) + payload)
 
 
@@ -203,7 +356,8 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
 
 
 def recv_frame(sock: socket.socket) -> dict:
-    """Read one length-prefixed JSON frame from a connected stream socket."""
+    """Read one length-prefixed frame (either shape) from a connected
+    stream socket."""
     header = _recv_exact(sock, LENGTH_PREFIX.size)
     (length,) = LENGTH_PREFIX.unpack(header)
-    return loads_message(_recv_exact(sock, length))
+    return loads_frame(_recv_exact(sock, length))

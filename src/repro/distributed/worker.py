@@ -32,6 +32,7 @@ from repro.distributed.wire import (
     ROUND_FIRST_PASS,
     ROUND_SECOND_PASS,
     delta_message,
+    delta_skipped_message,
     error_message,
     round_end_message,
     state_message,
@@ -78,14 +79,16 @@ def run_worker(
     transport,
     chunk_size: int = DEFAULT_CHUNK,
     second_pass: bool = False,
+    codec: str | None = None,
 ) -> dict:
     """One-shot protocol: ingest one partition into ``structure`` and
-    publish its serialized state.  Returns the sent envelope.  On any
-    ingestion error an ``error`` envelope is published before re-raising,
-    so the coordinator aborts immediately."""
+    publish its serialized state (under ``codec`` — dense-json, sparse,
+    or binary; the coordinator decodes any of them).  Returns the sent
+    envelope.  On any ingestion error an ``error`` envelope is published
+    before re-raising, so the coordinator aborts immediately."""
     try:
         feed_chunks(structure, items, deltas, chunk_size, second_pass)
-        message = state_message(worker_id, structure.to_state())
+        message = state_message(worker_id, structure.to_state(codec=codec))
     except Exception as exc:
         transport.send(error_message(worker_id, f"{type(exc).__name__}: {exc}"))
         raise
@@ -103,9 +106,10 @@ def ship_round(
     chunk_size: int = DEFAULT_CHUNK,
     delta_every: int = 0,
     second_pass: bool = False,
+    codec: str | None = None,
 ) -> int:
     """Ship one round's contribution through ``send`` as delta frames plus
-    a ``round_end``; returns the frame count.
+    a ``round_end``; returns the frame count (shipped + skipped).
 
     ``delta_every == 0`` ships a single frame holding the whole partition
     state.  ``delta_every > 0`` is the streaming-merge mode: every
@@ -116,9 +120,22 @@ def ship_round(
     updates, the sum of the deltas equals the batch state bit for bit;
     siblings spawned mid-second-pass clone the candidate restriction, so
     the same machinery serves both passes.
+
+    A period that leaves its sibling's state *empty* (an empty partition,
+    or updates outside this sketch's restriction — common in candidate-
+    restricted second passes) ships a lightweight ``delta_skipped``
+    heartbeat instead of a payload-free state frame: the seq slot stays
+    accounted for, the wire stops paying for empty sketches, and merging
+    is untouched because merging an empty sibling is the identity.
+
+    ``codec`` selects the state codec for every shipped frame.
     """
     period = items.shape[0] if delta_every <= 0 else int(delta_every)
     period = max(period, 1)
+    # The unchanged-sketch detector: a period's frame is skippable exactly
+    # when its state equals a fresh sibling's.  (Delta-sign tricks are not
+    # enough — a zero-sum period can still admit candidate-pool entries.)
+    blank = structure.spawn_sibling().to_state(codec=codec)
     seq = 0
     for start in range(0, items.shape[0], period):
         sibling = structure.spawn_sibling()
@@ -129,11 +146,14 @@ def ship_round(
             chunk_size,
             second_pass,
         )
-        send(delta_message(worker_id, round_id, seq, sibling.to_state()))
+        state = sibling.to_state(codec=codec)
+        if state == blank:
+            send(delta_skipped_message(worker_id, round_id, seq))
+        else:
+            send(delta_message(worker_id, round_id, seq, state))
         seq += 1
-    if seq == 0:  # empty partition: still one frame, so merges are uniform
-        sibling = structure.spawn_sibling()
-        send(delta_message(worker_id, round_id, seq, sibling.to_state()))
+    if seq == 0:  # empty partition: one heartbeat, so accounting is uniform
+        send(delta_skipped_message(worker_id, round_id, seq))
         seq = 1
     send(round_end_message(worker_id, round_id, seq))
     return seq
@@ -149,9 +169,11 @@ def run_worker_rounds(
     delta_every: int = 0,
     passes: int = 1,
     timeout: float = 120.0,
+    codec: str | None = None,
 ) -> None:
     """Drive one worker through the round protocol over a persistent
-    ``session`` (``send`` / ``recv_broadcast``).
+    ``session`` (``send`` / ``recv_broadcast``), shipping every state
+    frame under ``codec``.
 
     Round 1 ships the first-pass contribution.  With ``passes == 2`` the
     worker then blocks on the coordinator's ``round_begin`` broadcast,
@@ -168,6 +190,7 @@ def run_worker_rounds(
         ship_round(
             structure, items, deltas, worker_id, ROUND_FIRST_PASS,
             session.send, chunk_size, delta_every, second_pass=False,
+            codec=codec,
         )
         if passes == 2:
             begin = session.recv_broadcast(ROUND_SECOND_PASS, timeout)
@@ -183,6 +206,7 @@ def run_worker_rounds(
             ship_round(
                 structure, items, deltas, worker_id, ROUND_SECOND_PASS,
                 session.send, chunk_size, delta_every, second_pass=True,
+                codec=codec,
             )
     except Exception as exc:
         try:

@@ -43,42 +43,26 @@ from __future__ import annotations
 import hashlib
 import json
 from abc import ABC, abstractmethod
-from typing import Any, Dict, Iterable, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
+from repro.sketch.codec import (  # noqa: F401  (re-exported protocol helpers)
+    CODECS,
+    DEFAULT_CODEC,
+    decode_array,
+    decode_int_list,
+    decode_int_map,
+    encode_array,
+    encode_int_list,
+    encode_int_map,
+    resolve_codec,
+    use_codec,
+)
 from repro.util.rng import RandomSource
 
 STATE_FORMAT = "repro-sketch-state"
 STATE_VERSION = 1
-
-
-# --------------------------------------------------------------- state codecs
-
-def encode_array(arr: np.ndarray) -> dict:
-    """JSON-friendly encoding of a numpy array (exact: float64 values
-    round-trip through JSON's shortest-repr float serialization)."""
-    return {
-        "__ndarray__": arr.tolist(),
-        "dtype": str(arr.dtype),
-        "shape": list(arr.shape),
-    }
-
-
-def decode_array(spec: dict) -> np.ndarray:
-    arr = np.asarray(spec["__ndarray__"], dtype=np.dtype(spec["dtype"]))
-    return arr.reshape(tuple(spec["shape"]))
-
-
-def encode_int_map(mapping: Dict[int, Any]) -> list:
-    """A dict with integer keys as a sorted list of ``[key, value]`` pairs
-    (JSON objects force string keys; sorting makes the encoding canonical,
-    so equal states compare equal)."""
-    return [[int(k), mapping[k]] for k in sorted(mapping)]
-
-
-def decode_int_map(pairs: Iterable) -> Dict[int, Any]:
-    return {int(k): v for k, v in pairs}
 
 
 def dumps_state(state: dict) -> str:
@@ -96,9 +80,20 @@ def _config_token(value: Any) -> Any:
     the compat digest.  Callables (g functions, witnesses, level factories)
     are reduced to their names: two sketches configured with *different
     functions of the same name* will digest equal, which is the documented
-    limit of the compatibility check."""
+    limit of the compatibility check.  Anything the tokenizer does not
+    recognize raises — silent stringification (the old ``default=str``)
+    could collapse *different* configurations onto one digest and let a
+    non-sibling merge slip through the compatibility gate."""
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, (np.integer, np.floating)):
+        # np.int64 is not an int subclass; preserve the *value*, not the
+        # type name, or two different widths would digest equal.
+        return value.item()
+    if isinstance(value, (bytes, bytearray)):
+        return f"bytes:{bytes(value).hex()}"
     if isinstance(value, (list, tuple)):
         return [_config_token(v) for v in value]
     name = getattr(value, "name", None)
@@ -106,7 +101,20 @@ def _config_token(value: Any) -> Any:
         return f"{type(value).__name__}:{name}"
     if callable(value):
         return f"callable:{getattr(value, '__qualname__', repr(value))}"
-    return f"{type(value).__name__}"
+    raise TypeError(
+        f"cannot digest config value of type {type(value).__name__!r}; "
+        "compat material must reduce to JSON scalars, named objects, or "
+        "callables"
+    )
+
+
+def _digest_reject(value: Any) -> Any:
+    """``json.dumps`` default hook for the compat digest: refuse anything
+    the tokenizer let through rather than stringify it silently."""
+    raise TypeError(
+        f"compat digest material is not JSON-serializable: "
+        f"{type(value).__name__!r} ({value!r})"
+    )
 
 
 class MergeableSketch(ABC):
@@ -171,7 +179,7 @@ class MergeableSketch(ABC):
             "lineage": list(self._merge_lineage) if self._merge_lineage else None,
             "extra": _config_token(list(self._extra_compat())),
         }
-        blob = json.dumps(material, sort_keys=True, default=str).encode()
+        blob = json.dumps(material, sort_keys=True, default=_digest_reject).encode()
         return hashlib.sha256(blob).hexdigest()[:16]
 
     def require_sibling(self, other: "MergeableSketch") -> None:
@@ -188,24 +196,40 @@ class MergeableSketch(ABC):
 
     # -------------------------------------------------------- serialization
 
-    def to_state(self) -> dict:
+    def to_state(self, codec: str | None = None) -> dict:
         """Serializable snapshot of the mutable state, tagged with the
-        compatibility digest so a mismatched load fails loudly."""
+        compatibility digest so a mismatched load fails loudly.
+
+        ``codec`` selects the state codec (:data:`repro.sketch.codec.CODECS`:
+        ``dense-json`` — the default and compat baseline — ``sparse``, or
+        ``binary``); ``None`` inherits the active codec, so composite
+        sketches serialize their sub-sketches under the outer selection.
+        The choice is recorded in the state's ``"codec"`` field, but every
+        encoded value is also self-describing, so :meth:`from_state` never
+        needs to be told which codec produced a state."""
+        codec = resolve_codec(codec)
+        with use_codec(codec):
+            payload = self._state_payload()
         return {
             "format": STATE_FORMAT,
             "version": STATE_VERSION,
             "sketch": type(self).__name__,
             "compat": self.compat_digest(),
-            "payload": self._state_payload(),
+            "codec": codec,
+            "payload": payload,
         }
 
     def from_state(self, state: dict) -> "MergeableSketch":
         """A new sibling loaded with ``state`` (produced by a sibling's
-        :meth:`to_state`); ``self`` is left untouched."""
+        :meth:`to_state`, under any codec); ``self`` is left untouched.
+        States written before the codec layer carry no ``"codec"`` tag and
+        decode as ``dense-json``."""
         if state.get("format") != STATE_FORMAT:
             raise ValueError("not a repro sketch state")
         if state.get("version") != STATE_VERSION:
             raise ValueError(f"unsupported state version {state.get('version')!r}")
+        if state.get("codec", DEFAULT_CODEC) not in CODECS:
+            raise ValueError(f"unknown state codec {state.get('codec')!r}")
         if state.get("sketch") != type(self).__name__:
             raise ValueError(
                 f"state is for {state.get('sketch')!r}, not {type(self).__name__}"

@@ -29,6 +29,12 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.sketch.codec import (
+    decode_array,
+    decode_int_list,
+    encode_array,
+    encode_int_list,
+)
 from repro.util.rng import RandomSource, as_source
 
 MERSENNE_P = (1 << 61) - 1
@@ -92,7 +98,7 @@ class VectorKWiseHash:
             "family": "VectorKWiseHash",
             "count": self.count,
             "independence": self.independence,
-            "coeffs": self._coeffs.tolist(),
+            "coeffs": encode_array(self._coeffs),
         }
 
     @classmethod
@@ -102,7 +108,13 @@ class VectorKWiseHash:
         family = cls.__new__(cls)
         family.count = int(state["count"])
         family.independence = int(state["independence"])
-        family._coeffs = np.asarray(state["coeffs"], dtype=np.uint64)
+        coeffs = state["coeffs"]
+        # Pre-codec states carried the plain nested ``tolist()`` form.
+        family._coeffs = (
+            decode_array(coeffs).astype(np.uint64, copy=False)
+            if isinstance(coeffs, dict)
+            else np.asarray(coeffs, dtype=np.uint64)
+        )
         return family
 
     def values(self, x: int) -> np.ndarray:
@@ -171,7 +183,7 @@ class KWiseHash:
             "family": "KWiseHash",
             "range_size": self.range_size,
             "independence": self.independence,
-            "coeffs": list(self._coeffs),
+            "coeffs": encode_int_list(self._coeffs),
         }
 
     @classmethod
@@ -181,7 +193,7 @@ class KWiseHash:
         hash_fn = cls.__new__(cls)
         hash_fn.range_size = int(state["range_size"])
         hash_fn.independence = int(state["independence"])
-        hash_fn._coeffs = [int(c) for c in state["coeffs"]]
+        hash_fn._coeffs = decode_int_list(state["coeffs"])
         return hash_fn
 
     def __call__(self, x: int) -> int:

@@ -24,6 +24,7 @@ from repro.core.gsum import GSumEstimator
 from repro.distributed import (
     CollectTimeout,
     FileTransport,
+    MergePool,
     RoundCoordinator,
     RoundTracker,
     SocketHub,
@@ -33,10 +34,12 @@ from repro.distributed import (
     TransportTimeout,
     WorkerFailure,
     delta_message,
+    delta_skipped_message,
     distributed_ingest,
     distributed_two_pass,
     error_message,
     merge_states,
+    merge_tree,
     partition_bounds,
     recv_frame,
     round_begin_message,
@@ -208,6 +211,56 @@ class TestRoundProtocol:
             sequential.to_state()
         )
 
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @pytest.mark.parametrize("codec", ("sparse", "binary"))
+    def test_two_pass_codec_bit_identical(self, transport, codec, tmp_path):
+        """The codec equality gate: the coordinated two-pass protocol
+        under the sparse and binary state codecs — with streaming deltas,
+        so short-period frames actually exercise the sparse win — equals
+        single-machine ``GSumEstimator.run()`` bit for bit at k=2."""
+        sequential = sequential_two_pass()
+        rendezvous = str(tmp_path / "rv") if transport == "file" else None
+        dist = fresh_estimator(passes=2)
+        distributed_two_pass(
+            dist, STREAM, workers=2, transport=transport, codec=codec,
+            delta_every=500, rendezvous=rendezvous,
+        )
+        assert dist.estimate() == sequential.estimate()
+        assert dumps_state(dist.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+    @pytest.mark.parametrize("codec", ("sparse", "binary"))
+    def test_one_shot_codec_bit_identical(self, codec):
+        sequential = drive(fresh_countsketch(), STREAM)
+        merged = distributed_ingest(
+            fresh_countsketch(), STREAM, workers=2, transport="socket",
+            codec=codec,
+        )
+        assert dumps_state(merged.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+    def test_mixed_codec_fleet_merges(self, tmp_path):
+        """Workers on different codecs feed one coordinator: codec is a
+        per-frame property, not a session property, so a mixed fleet
+        still merges bit-for-bit."""
+        sequential = drive(fresh_countsketch(), STREAM)
+        items, deltas = STREAM.as_arrays()
+        box = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        from repro.distributed import run_worker
+
+        for worker_id, codec in enumerate(("dense-json", "sparse", "binary")):
+            part = worker_slice(items, deltas, worker_id, 3)
+            run_worker(
+                fresh_countsketch(), part[0], part[1], worker_id, box,
+                codec=codec,
+            )
+        merged = merge_states(fresh_countsketch(), box.collect(3, timeout=10.0))
+        assert dumps_state(merged.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
     def test_round_summaries_recorded(self, tmp_path):
         from repro.distributed import FileWorkerSession
 
@@ -233,6 +286,271 @@ class TestRoundProtocol:
             distributed_two_pass(fresh_estimator(passes=1), STREAM)
         with pytest.raises(TypeError, match="candidate hooks"):
             distributed_two_pass(fresh_countsketch(), STREAM)
+
+
+class TestMergeTree:
+    """The parallel merge pipeline is bit-identical to serial merging —
+    any grouping of linear states folds to the same root."""
+
+    def _worker_states(self, workers=4):
+        items, deltas = STREAM.as_arrays()
+        states = []
+        for i in range(workers):
+            part_items, part_deltas = worker_slice(items, deltas, i, workers)
+            sibling = fresh_countsketch()
+            sibling.update_batch(part_items, part_deltas)
+            states.append(sibling.to_state())
+        return states
+
+    def test_merge_tree_equals_serial(self):
+        sequential = drive(fresh_countsketch(), STREAM)
+        serial = merge_states(
+            fresh_countsketch(),
+            [state_message(i, s) for i, s in enumerate(self._worker_states())],
+        )
+        treed = merge_tree(fresh_countsketch(), self._worker_states(), workers=3)
+        assert dumps_state(treed.to_state()) == dumps_state(serial.to_state())
+        assert dumps_state(treed.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+    def test_merge_states_parallel_path(self):
+        sequential = drive(fresh_countsketch(), STREAM)
+        merged = merge_states(
+            fresh_countsketch(),
+            [state_message(i, s) for i, s in enumerate(self._worker_states())],
+            merge_workers=4,
+        )
+        assert dumps_state(merged.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+    def test_pool_streaming_submissions(self):
+        """Frames submitted one by one (the streaming shape) drain to the
+        same bits as a batch fold."""
+        sequential = drive(fresh_countsketch(), STREAM)
+        root = fresh_countsketch()
+        with MergePool(root, workers=3) as pool:
+            for state in self._worker_states(7):
+                pool.submit(state)
+            pool.drain()
+        assert dumps_state(root.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+        assert pool.merged_frames == 7
+
+    def test_pool_surfaces_bad_states(self):
+        root = fresh_countsketch()
+        imposter = CountSketch(5, 256, track=16, seed=10)  # wrong lineage
+        with MergePool(root, workers=2) as pool:
+            pool.submit(imposter.to_state())
+            with pytest.raises(ValueError, match="different configuration"):
+                pool.drain()
+
+    def test_pool_rejects_bad_width(self):
+        with pytest.raises(ValueError, match="positive"):
+            MergePool(fresh_countsketch(), workers=0)
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_two_pass_merge_workers_bit_identical(self, transport, tmp_path):
+        """The acceptance gate: a merge-tree coordinator drives the full
+        round protocol to the same bits as the serial coordinator."""
+        sequential = sequential_two_pass()
+        rendezvous = str(tmp_path / "rv") if transport == "file" else None
+        dist = fresh_estimator(passes=2)
+        distributed_two_pass(
+            dist, STREAM, workers=4, transport=transport, delta_every=400,
+            merge_workers=4, rendezvous=rendezvous,
+        )
+        assert dumps_state(dist.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+
+class TestDeltaSkipping:
+    """Empty-delta periods ship a ``delta_skipped`` heartbeat, not an
+    empty sketch payload — and round accounting stays exact."""
+
+    def test_zero_net_period_is_skipped(self, tmp_path):
+        """A period whose updates cancel exactly (and admit nothing to
+        any candidate pool) leaves the sibling blank: skipped."""
+        from repro.sketch.countmin import CountMinSketch
+
+        box = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        sketch = CountMinSketch(3, 64, seed=2)
+        items = np.array([5, 5, 7, 9], dtype=np.int64)
+        deltas = np.array([4, -4, 2, 1], dtype=np.int64)  # 1st period cancels
+        frames = ship_round(
+            sketch, items, deltas, 0, 1, box.send_round, delta_every=2,
+        )
+        assert frames == 2
+        merged = CountMinSketch(3, 64, seed=2)
+        summary = box.collect_round(
+            1, expected=1, timeout=10.0,
+            on_state=lambda m: merged.merge(merged.from_state(m["state"])),
+        )
+        assert summary["skipped"] == 1
+        assert summary["frames"] == {0: 2}
+        reference = CountMinSketch(3, 64, seed=2)
+        reference.update_batch(items, deltas)
+        assert dumps_state(merged.to_state()) == dumps_state(
+            reference.to_state()
+        )
+
+    def test_zero_delta_still_ships_when_state_changes(self, tmp_path):
+        """A zero-sum period can still change state (candidate-pool
+        admission), so skipping keys off the *state*, not the deltas."""
+        box = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        sketch = fresh_countsketch()  # track > 0: pool admits on any update
+        items = np.array([5, 5], dtype=np.int64)
+        deltas = np.array([4, -4], dtype=np.int64)
+        ship_round(sketch, items, deltas, 0, 1, box.send_round, delta_every=2)
+        merged = fresh_countsketch()
+        summary = box.collect_round(
+            1, expected=1, timeout=10.0,
+            on_state=lambda m: merged.merge(merged.from_state(m["state"])),
+        )
+        assert summary["skipped"] == 0
+        assert 5 in merged._candidates
+
+    def test_empty_partition_ships_heartbeat_only(self, tmp_path):
+        box = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        empty = np.empty(0, dtype=np.int64)
+        frames = ship_round(
+            fresh_countsketch(), empty, empty, 0, 1, box.send_round
+        )
+        assert frames == 1
+        merges = []
+        summary = box.collect_round(
+            1, expected=1, timeout=10.0, on_state=lambda m: merges.append(m)
+        )
+        assert summary["skipped"] == 1
+        assert merges == []  # nothing decoded, nothing merged
+
+    def test_tracker_counts_skipped_toward_completion(self):
+        tracker = RoundTracker(1, 1)
+        assert tracker.offer(delta_skipped_message(0, 1, 0)) == "skip"
+        assert tracker.offer(
+            delta_message(0, 1, 1, fresh_countsketch().to_state())
+        ) == "delta"
+        tracker.offer(round_end_message(0, 1, 2))
+        assert tracker.complete()
+        assert tracker.summary()["skipped"] == 1
+
+    def test_duplicate_skip_frame_rejected(self):
+        tracker = RoundTracker(1, 1)
+        tracker.offer(delta_skipped_message(0, 1, 0))
+        with pytest.raises(ValueError, match="duplicate delta frame"):
+            tracker.offer(delta_skipped_message(0, 1, 0))
+
+    def test_streaming_run_with_skips_is_bit_identical(self):
+        """End to end: a sparse stream over many short periods produces
+        skipped periods on real worker partitions without disturbing the
+        equality gate."""
+        sequential = sequential_two_pass()
+        dist = fresh_estimator(passes=2)
+        distributed_two_pass(dist, STREAM, workers=2, delta_every=137)
+        assert dumps_state(dist.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+
+class TestRendezvousGc:
+    """Consumed round frames and broadcasts are garbage-collected at
+    round boundaries, so long sessions keep the rendezvous dir bounded."""
+
+    def test_two_pass_leaves_dir_bounded(self, tmp_path):
+        rendezvous = tmp_path / "rv"
+        dist = fresh_estimator(passes=2)
+        distributed_two_pass(
+            dist, STREAM, workers=2, delta_every=300,
+            rendezvous=str(rendezvous),
+        )
+        # Dozens of delta frames crossed the dir; none may remain.
+        assert list(rendezvous.glob("rmsg-*")) == []
+        assert list(rendezvous.glob("bcast-*")) == []
+        assert list(rendezvous.glob("*.tmp")) == []
+
+    def test_gc_runs_per_round(self, tmp_path):
+        box = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        sketch = drive(fresh_countsketch(), STREAM)
+        box.send_round(delta_message(0, 1, 0, sketch.to_state()))
+        box.send_round(round_end_message(0, 1, 1))
+        box.collect_round(1, expected=1, timeout=10.0)
+        assert list((tmp_path / "rv").glob("rmsg-001-*")) == []
+
+    def test_stale_retransmit_after_gc_is_dropped(self, tmp_path):
+        """A round-1 frame re-published after round 1 was collected (and
+        GCed) is re-read in round 2 and dropped as stale, never merged."""
+        box = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        sketch = drive(fresh_countsketch(), STREAM)
+        box.send_round(delta_message(0, 1, 0, sketch.to_state()))
+        box.send_round(round_end_message(0, 1, 1))
+        box.collect_round(1, expected=1, timeout=10.0)
+        box.send_round(delta_message(0, 1, 0, sketch.to_state()))  # retransmit
+        box.send_round(delta_message(0, 2, 0, sketch.to_state()))
+        box.send_round(round_end_message(0, 2, 1))
+        merged = fresh_countsketch()
+        summary = box.collect_round(
+            2, expected=1, timeout=10.0,
+            on_state=lambda m: merged.merge(merged.from_state(m["state"])),
+        )
+        assert summary["stale"] == 1
+        assert np.array_equal(merged._table, sketch._table)
+
+
+class TestBinaryWire:
+    """Binary-codec states ship as raw-buffer binary frames — no base64
+    on the socket, decode straight from the buffer — and both frame
+    shapes coexist on every channel."""
+
+    def test_binary_frame_socket_round_trip(self):
+        original = drive(fresh_countsketch(), STREAM)
+        message = delta_message(0, 1, 0, original.to_state(codec="binary"))
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, message)
+            received = recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+        clone = original.from_state(received["state"])
+        assert clone.to_state() == original.to_state()
+
+    def test_binary_frame_smaller_than_base64_json(self):
+        from repro.distributed.wire import dumps_frame, dumps_message
+
+        state = drive(fresh_countsketch(), STREAM).to_state(codec="binary")
+        message = state_message(0, state)
+        assert len(dumps_frame(message)) < len(dumps_message(message))
+
+    def test_binary_frame_file_transport(self, tmp_path):
+        original = drive(fresh_countsketch(), STREAM)
+        box = FileTransport(tmp_path / "rv", poll_interval=0.01)
+        box.send(state_message(0, original.to_state(codec="binary")))
+        merged = merge_states(
+            fresh_countsketch(), box.collect(1, timeout=10.0)
+        )
+        assert dumps_state(merged.to_state()) == dumps_state(
+            original.to_state()
+        )
+
+    def test_json_frames_unchanged_for_other_codecs(self):
+        from repro.distributed.wire import dumps_frame, dumps_message
+
+        for codec in ("dense-json", "sparse"):
+            message = state_message(
+                0, drive(fresh_countsketch(), STREAM).to_state(codec=codec)
+            )
+            assert dumps_frame(message) == dumps_message(message)
+
+    def test_truncated_binary_frame_rejected(self):
+        from repro.distributed.wire import dumps_frame, loads_frame
+
+        state = drive(fresh_countsketch(), STREAM).to_state(codec="binary")
+        frame = dumps_frame(state_message(0, state))
+        with pytest.raises(ValueError, match="trailing bytes"):
+            loads_frame(frame + b"\x00")
 
 
 class TestCandidateHooks:
@@ -825,6 +1143,57 @@ class TestCli:
                 ["coordinate", "--workers", "1", "--timeout", "0.1",
                  "--rendezvous", str(rendezvous)]
             ))
+
+    @pytest.mark.parametrize("codec", ("sparse", "binary"))
+    def test_codec_flag_round_trip(self, tmp_path, capsys, codec):
+        """``repro worker --codec`` frames merge on a ``repro coordinate
+        --merge-workers`` coordinator to the single-machine bits."""
+        stream_path = tmp_path / "stream.jsonl"
+        save_stream(STREAM, stream_path)
+        rendezvous = str(tmp_path / "rv")
+        for worker_id in (0, 1):
+            code = main(self._args(
+                ["worker", str(stream_path), "--worker-id", str(worker_id),
+                 "--workers", "2", "--codec", codec,
+                 "--rendezvous", rendezvous]
+            ))
+            assert code == 0
+        code = main(self._args(
+            ["coordinate", "--workers", "2", "--rendezvous", rendezvous,
+             "--codec", codec, "--merge-workers", "2",
+             "--verify-stream", str(stream_path)]
+        ))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"state bytes ({codec})" in out
+        assert "identical to single-machine ingestion: True" in out
+
+    def test_two_pass_codec_and_merge_tree_cli(self, tmp_path, capsys):
+        """The round protocol under ``--codec sparse --delta-every`` with
+        a merge-tree coordinator, end to end through the CLI."""
+        stream_path = tmp_path / "stream.jsonl"
+        save_stream(STREAM, stream_path)
+        rendezvous = str(tmp_path / "rv")
+        flags = ["--sketch", "gsum", "--function", "x^2", "--n", str(N),
+                 "--heaviness", "0.15", "--repetitions", "2", "--seed", "5",
+                 "--passes", "2", "--delta-every", "400", "--codec", "sparse",
+                 "--rendezvous", rendezvous]
+        threads = [
+            threading.Thread(target=main, args=(
+                ["worker", str(stream_path), "--worker-id", str(i),
+                 "--workers", "2", *flags],
+            ))
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        code = main(["coordinate", "--workers", "2", "--merge-workers", "3",
+                     "--verify-stream", str(stream_path), *flags])
+        for t in threads:
+            t.join()
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "identical to single-machine ingestion: True" in out
 
     def test_mismatched_seed_fails_loudly(self, tmp_path):
         stream_path = tmp_path / "stream.jsonl"

@@ -1,6 +1,6 @@
 """The mergeable-sketch protocol contract, for every implementer.
 
-Three properties, enforced bit-for-bit:
+Four properties, enforced bit-for-bit:
 
 * **Shard invariance** — splitting any stream across k sibling sketches
   (k in {1, 2, 7}) and merging yields state and estimates identical to
@@ -8,6 +8,10 @@ Three properties, enforced bit-for-bit:
   ``repro.streams.sharding``.
 * **State round-trip** — ``from_state(to_state())`` reconstructs an equal
   sketch, including through an actual JSON wire encoding.
+* **Codec invariance** — every implementer round-trips through every
+  state codec (dense-json, sparse, binary), and states encoded under
+  *different* codecs cross-decode and merge to the same bits (the
+  contract behind mixed-codec distributed fleets).
 * **Sibling discipline** — ``spawn_sibling`` yields an empty,
   merge-compatible clone; merging or loading state across different
   configurations or randomness lineages raises ``ValueError``.
@@ -154,6 +158,44 @@ class TestShardInvariance:
         sharded = sharded_copy(build, STREAM, shards)
         assert sharded.to_state() == sequential.to_state()
         assert observe(sharded) == observe(sequential)
+
+
+CODECS = ("dense-json", "sparse", "binary")
+
+
+@pytest.mark.parametrize("codec", CODECS)
+@pytest.mark.parametrize("build,observe", CASES, ids=IDS)
+class TestCodecMatrix:
+    """Every implementer × every codec: round-trip and cross-codec merge
+    must be bit-identical to the dense-json baseline."""
+
+    def test_codec_round_trip(self, build, observe, codec):
+        original = drive(build(), STREAM)
+        wire = dumps_state(original.to_state(codec=codec))
+        clone = original.from_state(loads_state(wire))
+        # The loaded sketch re-serializes to the same dense baseline bits.
+        assert clone.to_state() == original.to_state()
+        assert observe(clone) == observe(original)
+
+    def test_cross_codec_merge(self, build, observe, codec):
+        """Encode one shard's state under ``codec``, the other under
+        dense-json, load both, merge — identical to single-sketch
+        ingestion of the whole stream (a mixed-codec worker fleet)."""
+        updates = list(STREAM)
+        half = len(updates) // 2
+        first, second = build(), build()
+        drive(first, iter(updates[:half]))
+        drive(second, iter(updates[half:]))
+        merged = build()
+        merged.merge(merged.from_state(loads_state(
+            dumps_state(first.to_state(codec=codec))
+        )))
+        merged.merge(merged.from_state(loads_state(
+            dumps_state(second.to_state())
+        )))
+        sequential = drive(build(), STREAM)
+        assert merged.to_state() == sequential.to_state()
+        assert observe(merged) == observe(sequential)
 
 
 @pytest.mark.parametrize("build,observe", CASES, ids=IDS)
@@ -304,6 +346,52 @@ class TestShardSlabs:
             shard_slabs(empty, empty, 0)
 
 
+class TestDigestStrictness:
+    """The compat digest refuses material it cannot represent faithfully:
+    silent stringification (the old ``default=str``) could collapse two
+    different configurations onto one digest and let a non-sibling merge
+    slip through the compatibility gate."""
+
+    def test_unknown_config_type_raises(self):
+        sketch = CountSketch(3, 64, seed=1)
+        sketch._merge_config["mystery"] = object()
+        with pytest.raises(TypeError, match="cannot digest config value"):
+            sketch.compat_digest()
+
+    def test_numpy_scalar_config_preserves_value(self):
+        """np.int64 is not an int subclass; the old tokenizer reduced any
+        numpy integer to the bare string 'int64', so two different widths
+        digested equal.  Now the value survives — and matches the digest
+        of the equivalent Python int."""
+        a = CountSketch(3, 64, seed=1)
+        b = CountSketch(3, 64, seed=1)
+        c = CountSketch(3, 64, seed=1)
+        a._merge_config["width"] = np.int64(1024)
+        b._merge_config["width"] = np.int64(2048)
+        c._merge_config["width"] = 1024
+        assert a.compat_digest() != b.compat_digest()
+        assert a.compat_digest() == c.compat_digest()
+
+    def test_non_serializable_token_rejected_by_encoder(self):
+        """Belt and braces: even material that slips past the tokenizer
+        (a subclass hook returning raw bytes objects nested where the
+        tokenizer passes them through) is rejected by the digest encoder
+        instead of being stringified."""
+        import repro.sketch.base as base
+
+        with pytest.raises(TypeError, match="not JSON-serializable"):
+            import json as _json
+
+            _json.dumps({"x": {1, 2}}, default=base._digest_reject)
+
+    def test_bytes_config_digests_by_value(self):
+        a = CountSketch(3, 64, seed=1)
+        b = CountSketch(3, 64, seed=1)
+        a._merge_config["salt"] = b"\x00\x01"
+        b._merge_config["salt"] = b"\x00\x02"
+        assert a.compat_digest() != b.compat_digest()
+
+
 class TestHashFamilyState:
     def test_kwise_round_trip(self):
         from repro.sketch.hashing import KWiseHash
@@ -332,6 +420,32 @@ class TestHashFamilyState:
         v2 = VectorKWiseHash.from_state(v.to_state())
         xs = np.arange(0, 200, 3, dtype=np.int64)
         assert np.array_equal(v2.values_batch(xs), v.values_batch(xs))
+
+    def test_pre_codec_states_still_load(self):
+        """Hash-family states written before the codec layer carried the
+        plain ``tolist()`` forms; they must keep loading."""
+        from repro.sketch.hashing import KWiseHash, VectorKWiseHash
+
+        h = KWiseHash(128, 4, seed=3)
+        legacy = dict(h.to_state(), coeffs=list(h._coeffs))
+        assert KWiseHash.from_state(legacy).fingerprint() == h.fingerprint()
+        v = VectorKWiseHash(24, 4, seed=3)
+        legacy_v = dict(v.to_state(), coeffs=v._coeffs.tolist())
+        xs = np.arange(0, 200, 3, dtype=np.int64)
+        assert np.array_equal(
+            VectorKWiseHash.from_state(legacy_v).values_batch(xs),
+            v.values_batch(xs),
+        )
+
+    def test_pre_codec_sketch_states_still_load(self):
+        """A ``to_state()`` dict written before the codec layer — no
+        ``"codec"`` tag, plain ``__ndarray__`` arrays and pair-list maps —
+        still loads bit-for-bit (old coordinators, archived states)."""
+        original = drive(CountSketch(3, 64, track=4, seed=9), STREAM)
+        legacy = json.loads(json.dumps(original.to_state()))
+        del legacy["codec"]
+        clone = original.from_state(legacy)
+        assert clone.to_state() == original.to_state()
 
     def test_different_seeds_different_fingerprints(self):
         from repro.sketch.hashing import KWiseHash
