@@ -21,19 +21,52 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: later PRs can diff against.
 BENCH_JSON_ENV = "REPRO_BENCH_JSON"
 
+#: Wall-clock speedup expectations only arm on hosts with at least this
+#: many cores; smaller hosts record the miss as a warning instead (see
+#: :func:`hardware_gate`).
+MIN_GATE_CPUS = 4
+
+
+def hardware_gate(
+    condition: bool,
+    message: str,
+    warnings: list,
+    min_cpus: int = MIN_GATE_CPUS,
+) -> None:
+    """Enforce a hardware-dependent expectation honestly.
+
+    On a host with ``>= min_cpus`` cores a failed ``condition`` is a real
+    regression and raises.  On a smaller host (threads have no cores to
+    spill onto, so wall-clock speedups are physically unavailable) the
+    miss is *recorded* — appended to ``warnings``, which the caller passes
+    to :func:`emit_table` so the ``BENCH_*.json`` artifact carries it —
+    instead of failing the run.  Equivalence assertions must never go
+    through this gate; only wall-clock expectations are hardware-scoped.
+    """
+    if condition:
+        return
+    cpus = os.cpu_count() or 1
+    if cpus >= min_cpus:
+        raise AssertionError(message)
+    warnings.append(f"[soft-gate: {cpus} cpus < {min_cpus}] {message}")
+
 
 def emit_table(
     experiment: str,
     title: str,
     rows: Iterable[Mapping[str, object]],
     claim: str = "",
+    warnings: Iterable[str] = (),
 ) -> list[dict]:
     """Print rows as an aligned table and save them as JSON."""
     rows = [dict(r) for r in rows]
+    warnings = list(warnings)
     RESULTS_DIR.mkdir(exist_ok=True)
     lines = [f"== {experiment}: {title} =="]
     if claim:
         lines.append(f"claim: {claim}")
+    for warning in warnings:
+        lines.append(f"warning: {warning}")
     if rows:
         keys = list(rows[0].keys())
         widths = {
@@ -56,6 +89,8 @@ def emit_table(
             "experiment": experiment,
             "title": title,
             "claim": claim,
+            "cpus": os.cpu_count() or 1,
+            "warnings": warnings,
             "rows": rows,
         }
         (out / f"BENCH_{experiment}.json").write_text(json.dumps(payload, indent=2))

@@ -31,7 +31,7 @@ from repro.streams.generators import zipf_stream
 from repro.streams.model import stream_from_frequencies
 from repro.streams.sharding import ingest_sharded
 
-from _tables import emit_table
+from _tables import emit_table, hardware_gate
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 CPUS = os.cpu_count() or 1
@@ -99,6 +99,15 @@ def test_s3_sharding_grid(benchmark):
                         "state_identical": identical,
                     }
                 )
+    warnings = []
+    if not SMOKE:
+        for name, speedup in best_speedup.items():
+            hardware_gate(
+                speedup >= 2.0,
+                f"{name}: best sharded speedup {speedup:.2f}x < 2x on "
+                f"{CPUS}-core machine",
+                warnings,
+            )
     emit_table(
         "S3",
         "sharded parallel ingestion: shards x chunk grid (thread pool)",
@@ -106,14 +115,9 @@ def test_s3_sharding_grid(benchmark):
         claim="sharded ingestion is bit-identical to sequential at every "
         "grid point; wall-clock speedup tracks available cores "
         f"(this machine: {CPUS})",
+        warnings=warnings,
     )
     assert all(r["state_identical"] for r in rows), "sharded state diverged"
-    if not SMOKE and CPUS >= 4:
-        for name, speedup in best_speedup.items():
-            assert speedup >= 2.0, (
-                f"{name}: best sharded speedup {speedup:.2f}x < 2x on "
-                f"{CPUS}-core machine"
-            )
 
 
 def test_s3_gsum_estimator_sharded(benchmark):

@@ -4,15 +4,21 @@ Measures what the distributed deployment costs relative to in-process
 sharded ingestion: the same stream is driven (a) through the sharding
 engine's thread pool, (b) through ``distributed_ingest`` over the file
 drop-box transport, and (c) over the TCP socket transport, with thread-
-and process-hosted workers.  The states are asserted bit-identical to
+and process-hosted workers.  Supplementary tables price the round
+protocol, the four state codecs (including the hybrid ``sparse-binary``),
+the coordinator's merge backends (serial vs thread tree vs GIL-free
+process tree), and the zero-copy shared-memory transport against its
+inlined-frame peers.  The states are asserted bit-identical to
 sequential ingestion at every point — the invariance contract survives
-crossing the wire — and the table reports the transport overhead
+crossing the wire — and the tables report the transport overhead
 (serialization + transport + merge) each deployment pays.
 
 Set ``REPRO_BENCH_SMOKE=1`` for the reduced-size CI version.
 """
 
 import os
+import pathlib
+import tempfile
 import time
 
 import numpy as np
@@ -264,7 +270,7 @@ def test_s4_codec_payload_sizes():
     count = len(STREAM)
 
     rows = []
-    for codec in ("dense-json", "sparse", "binary"):
+    for codec in ("dense-json", "sparse", "binary", "sparse-binary"):
         start = time.perf_counter()
         delta_frame = dumps_frame(
             delta_message(0, 1, 0, period_sibling.to_state(codec=codec))
@@ -321,6 +327,143 @@ def test_s4_codec_payload_sizes():
         f"periods; got {dense_delta / sparse_delta:.1f}x "
         f"({sparse_delta} vs {dense_delta} bytes)"
     )
+
+
+def _shm_leftovers():
+    """Shared-memory segments this repo's transports could have leaked
+    (``rps*`` is the ShmTransport naming prefix).  Empty on healthy runs —
+    the drivers purge their channel in a ``finally`` — and asserted empty
+    so the bench doubles as a segment-GC regression test."""
+    shm_dir = pathlib.Path("/dev/shm")
+    if not shm_dir.is_dir():  # non-Linux: nothing globbable to check
+        return []
+    return sorted(str(p) for p in shm_dir.glob("rps*"))
+
+
+def test_s4_merge_modes():
+    """Thread vs process merge pool: end-to-end two-pass throughput with
+    streaming deltas fanned through ``merge_workers=2`` under each
+    backend, against the serial collector-thread fold.  Process mode is
+    the GIL-free path — decode + pre-merge happen in child interpreters —
+    so its win needs real cores; every cell is asserted bit-identical
+    either way."""
+    count = len(STREAM)
+    sequential = _two_pass_estimator()
+    sequential.run(STREAM, exact=False)
+    reference = dumps_state(sequential.to_state())
+    delta_every = 2_000 if SMOKE else 25_000
+
+    rows = []
+    for label, merge_workers, merge_mode in (
+        ("serial", 0, "thread"),
+        ("tree/thread", 2, "thread"),
+        ("tree/process", 2, "process"),
+    ):
+        dist = _two_pass_estimator()
+        start = time.perf_counter()
+        distributed_two_pass(
+            dist, STREAM, workers=WORKERS, transport="file",
+            delta_every=delta_every, codec="binary",
+            merge_workers=merge_workers, merge_mode=merge_mode,
+        )
+        elapsed = time.perf_counter() - start
+        identical = dumps_state(dist.to_state()) == reference
+        assert identical, f"2-pass via merge={label}: state diverged"
+        rows.append(
+            {
+                "merge": label,
+                "merge_workers": merge_workers,
+                "workers": WORKERS,
+                "delta_every": delta_every,
+                "upd_per_sec": count / elapsed,
+                "state_identical": identical,
+            }
+        )
+    emit_table(
+        "S4_MERGE",
+        "coordinator merge backends: serial vs thread tree vs process tree",
+        rows,
+        claim="every merge backend reproduces the single-machine 2-pass "
+        "state bit for bit; the process tree moves decode+merge off the "
+        f"coordinator's GIL, so its win needs cores (this machine: {CPUS})",
+    )
+
+
+def test_s4_zerocopy_transport():
+    """Zero-copy shared-memory transport vs the socket and file
+    transports: what one binary-codec state frame costs *in the drop-box*
+    (shm ships the raw buffers out of band, so only a header crosses the
+    file system) and what each transport sustains end to end on the
+    two-pass round protocol.  Leftover segments are asserted gone
+    afterwards — the bench doubles as the segment-GC regression check."""
+    from repro.distributed.transport import FileTransport, ShmTransport
+    from repro.distributed.wire import state_message
+
+    count = len(STREAM)
+    sequential = _two_pass_estimator()
+    sequential.run(STREAM, exact=False)
+    reference = dumps_state(sequential.to_state())
+
+    # Drop-box bytes for one full worker-partition state under the binary
+    # codec: the file transport inlines the buffers, the shm transport
+    # writes a header and puts the buffers in a segment.
+    items, deltas = STREAM.as_arrays()
+    half = items.shape[0] // WORKERS
+    sibling = _two_pass_estimator().spawn_sibling()
+    sibling.update_batch(items[:half], deltas[:half])
+    state = sibling.to_state(codec="binary")
+    dropbox_bytes = {"socket": len(dumps_frame(state_message(0, state)))}
+    for transport in ("file", "shm"):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-shm-") as rv:
+            box = FileTransport(rv) if transport == "file" else ShmTransport(rv)
+            if transport == "shm":
+                box.announce()
+            box.send(state_message(0, state))
+            dropbox_bytes[transport] = sum(
+                p.stat().st_size
+                for p in pathlib.Path(rv).glob("msg-*.json")
+            )
+            box.purge()
+    # The zero-copy claim is structural, not hardware-dependent: the shm
+    # header must be dramatically smaller than the inlined frame.
+    assert dropbox_bytes["shm"] * 10 <= dropbox_bytes["file"], (
+        "shm drop-box header should be >=10x smaller than the inlined "
+        f"frame; got {dropbox_bytes['shm']} vs {dropbox_bytes['file']} bytes"
+    )
+
+    delta_every = 2_000 if SMOKE else 25_000
+    rows = []
+    for transport in ("file", "socket", "shm"):
+        dist = _two_pass_estimator()
+        start = time.perf_counter()
+        distributed_two_pass(
+            dist, STREAM, workers=WORKERS, transport=transport,
+            codec="binary", delta_every=delta_every,
+        )
+        elapsed = time.perf_counter() - start
+        identical = dumps_state(dist.to_state()) == reference
+        assert identical, f"2-pass via {transport}/binary: state diverged"
+        rows.append(
+            {
+                "transport": transport,
+                "codec": "binary",
+                "delta_every": delta_every,
+                "dropbox_frame_bytes": dropbox_bytes[transport],
+                "upd_per_sec": count / elapsed,
+                "state_identical": identical,
+            }
+        )
+    emit_table(
+        "S4_ZEROCOPY",
+        "zero-copy shm transport vs socket and file (binary codec)",
+        rows,
+        claim="the shm transport ships raw buffers through named segments "
+        "so only a header crosses the drop-box; every transport "
+        "reproduces the single-machine 2-pass state bit for bit "
+        f"(this machine: {CPUS} CPUs)",
+    )
+    leftovers = _shm_leftovers()
+    assert not leftovers, f"orphaned shared-memory segments: {leftovers}"
 
 
 def test_s4_state_sizes():

@@ -8,6 +8,11 @@ configured tolerance (default 2x).  A metric's ``direction`` decides what
 a regression means: ``"higher"`` (the default — throughputs) fails when
 the measured value drops below ``baseline / tolerance``; ``"lower"``
 (payload sizes) fails when it climbs above ``baseline * tolerance``.
+A metric may carry ``"min_cpus": N``: it is checked (and refreshed by
+``--write-baseline``) only when the artifact's recorded host core count
+(``cpus`` in ``BENCH_*.json``) is at least ``N`` — wall-clock speedup
+expectations are physically unavailable on smaller hosts, so the check
+reports them as skipped instead of failing.
 
 The baseline stores *smoke-mode* numbers from a deliberately modest
 1-core reference machine, so a healthy CI runner passes with slack; the
@@ -63,6 +68,14 @@ def check(artifact_dir: pathlib.Path, baseline_path: pathlib.Path) -> int:
         if artifact is None:
             failures.append(f"{label}: artifact BENCH_{experiment}.json missing")
             continue
+        min_cpus = int(metric.get("min_cpus", 0))
+        host_cpus = int(artifact.get("cpus", 0) or 0)
+        if min_cpus and host_cpus < min_cpus:
+            print(
+                f"{'skipped':>9}  {label}: host has {host_cpus or '?'} cpus "
+                f"< required {min_cpus} (hardware-gated metric)"
+            )
+            continue
         row = _find_row(artifact, metric["match"])
         if row is None:
             failures.append(f"{label}: no row matches")
@@ -112,6 +125,18 @@ def write_baseline(artifact_dir: pathlib.Path, baseline_path: pathlib.Path) -> i
     artifacts = _load_artifacts(artifact_dir)
     for metric in baseline["metrics"]:
         artifact = artifacts.get(metric["experiment"])
+        min_cpus = int(metric.get("min_cpus", 0))
+        if (
+            artifact is not None
+            and min_cpus
+            and int(artifact.get("cpus", 0) or 0) < min_cpus
+        ):
+            print(
+                f"skipping hardware-gated metric (host < {min_cpus} cpus): "
+                f"{metric['experiment']} {metric['match']} {metric['column']}",
+                file=sys.stderr,
+            )
+            continue
         row = None if artifact is None else _find_row(artifact, metric["match"])
         value = None if row is None else row.get(metric["column"])
         if not isinstance(value, (int, float)):

@@ -9,13 +9,16 @@ real drop-box directory and a real TCP socket) merges into exactly the
 state single-machine ingestion would have produced.  Not approximately:
 bit for bit.
 
-Three escalating demonstrations:
+Four escalating demonstrations:
 
 1. ``distributed_ingest()`` over the **file drop-box transport** — worker
    states travel as JSON files, atomic-renamed into a rendezvous dir.
 2. The same over the **TCP socket transport** — length-prefixed JSON
    frames to an ephemeral local port, workers in separate processes.
-3. The **CLI** (``repro worker`` / ``repro coordinate``) run as actual
+3. The **zero-copy shared-memory transport** — binary-codec buffers ship
+   through ``/dev/shm`` segments, only a small header crosses the
+   drop-box; the coordinator pre-merges in a GIL-free process pool.
+4. The **CLI** (``repro worker`` / ``repro coordinate``) run as actual
    subprocesses, the way a real multi-machine deployment would.
 
 Run:  python examples/distributed_ingest.py
@@ -70,7 +73,18 @@ def main() -> None:
     print(f"  merged state bit-identical to single-machine: {identical}")
     assert identical
 
-    # --- 3. the CLI, as real subprocesses over the drop-box ------------
+    # --- 3. zero-copy shared memory + process merge tree ----------------
+    print("=== shm transport: 4 thread workers, process merge tree ===")
+    merged = distributed_ingest(
+        CountSketch(5, 1024, track=32, seed=SEED), stream,
+        workers=4, transport="shm", codec="sparse-binary",
+        merge_workers=2, merge_mode="process",
+    )
+    identical = np.array_equal(merged._table, ref_sketch._table)
+    print(f"  merged state bit-identical to single-machine: {identical}")
+    assert identical
+
+    # --- 4. the CLI, as real subprocesses over the drop-box ------------
     print("=== CLI subprocesses: repro worker x2 + repro coordinate ===")
     with tempfile.TemporaryDirectory(prefix="repro-dist-demo-") as tmp:
         stream_path = pathlib.Path(tmp) / "stream.jsonl"
@@ -93,7 +107,7 @@ def main() -> None:
              "--verify-stream", str(stream_path), *sketch_flags],
             check=True,
         )
-    print("\nall three deployments produced the single-machine state exactly")
+    print("\nall four deployments produced the single-machine state exactly")
 
 
 if __name__ == "__main__":

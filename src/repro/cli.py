@@ -18,13 +18,21 @@ coordinate collect worker states, merge them, and report — bit-identical
            with ``--passes 2`` drives the round protocol: merge round-1
            states, broadcast the merged candidates, merge round 2;
            ``--merge-workers N`` folds frames through a parallel merge
-           tree instead of the collector thread
+           tree instead of the collector thread (``--merge-mode process``
+           makes the tree GIL-free)
 
-Both distributed commands take ``--codec {dense-json,sparse,binary}`` —
-the state codec frames ship under (sparse shrinks short-period streaming
-deltas dramatically; binary ships raw array buffers).  The coordinator
-decodes every codec, so a mixed fleet still merges, and the merged result
-is bit-identical under any choice.
+Both distributed commands take
+``--codec {dense-json,sparse,binary,sparse-binary}`` — the state codec
+frames ship under (sparse shrinks short-period streaming deltas
+dramatically; binary ships raw array buffers; sparse-binary ships only
+the nonzero cells as raw buffers).  The coordinator decodes every codec,
+so a mixed fleet still merges, and the merged result is bit-identical
+under any choice.  A worker that omits ``--codec`` *negotiates*: it
+adopts whatever the coordinator advertises in its round-2 broadcast.
+``--transport shm`` adds zero-copy shared-memory buffer shipping on top
+of the file drop-box for same-host fleets (workers prove same-hostness
+against the coordinator's beacon and fall back to inline files
+otherwise).
 
 The function argument accepts either a catalog name (see ``catalog``) or a
 Python expression in ``x`` (evaluated in a restricted math namespace),
@@ -213,11 +221,17 @@ def _round_mode(args: argparse.Namespace) -> bool:
     return args.passes == 2 or args.delta_every > 0
 
 
-def _add_distributed_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--transport", choices=("file", "socket"), default="file")
+def _add_distributed_args(p: argparse.ArgumentParser, worker: bool) -> None:
+    p.add_argument("--transport", choices=("file", "socket", "shm"),
+                   default="file",
+                   help="file: drop-box directory; socket: TCP; shm: the "
+                        "drop-box plus zero-copy shared-memory buffer "
+                        "shipping for binary-codec frames (same-host "
+                        "fleets; workers fall back to inline files until "
+                        "the coordinator's beacon proves same-hostness)")
     p.add_argument("--rendezvous", required=True,
-                   help="drop-box directory (file transport) or host:port "
-                        "(socket transport)")
+                   help="drop-box directory (file/shm transports) or "
+                        "host:port (socket transport)")
     p.add_argument("--sketch",
                    choices=("gsum", "countsketch", "countmin", "ams"),
                    default="gsum")
@@ -236,13 +250,26 @@ def _add_distributed_args(p: argparse.ArgumentParser) -> None:
                    help="ship an incremental state delta every N updates "
                         "(streaming merges over a persistent session; "
                         "0 = one state frame per round)")
-    p.add_argument("--codec", choices=("dense-json", "sparse", "binary"),
-                   default="dense-json",
-                   help="state codec for shipped frames: dense-json "
-                        "(compat baseline), sparse (nonzero cells only — "
-                        "small deltas), binary (raw array buffers); the "
-                        "coordinator decodes any codec, so mixed fleets "
-                        "merge fine")
+    codecs = ("dense-json", "sparse", "binary", "sparse-binary")
+    if worker:
+        p.add_argument("--codec", choices=codecs, default=None,
+                       help="state codec for shipped frames: dense-json "
+                            "(compat baseline), sparse (nonzero cells "
+                            "only — small deltas), binary (raw array "
+                            "buffers), sparse-binary (nonzero cells as "
+                            "raw buffers — mid-density deltas); the "
+                            "coordinator decodes any codec, so mixed "
+                            "fleets merge fine.  Default: negotiate — "
+                            "adopt the codec the coordinator advertises "
+                            "in its round-2 broadcast (dense-json when "
+                            "it advertises none)")
+    else:
+        p.add_argument("--codec", choices=codecs, default="dense-json",
+                       help="this coordinator's preferred state codec: "
+                            "used for reporting, and advertised to "
+                            "workers in the round-2 broadcast so workers "
+                            "without an explicit --codec adopt it "
+                            "(session-level codec negotiation)")
     p.add_argument("--rows", type=_positive_int, default=5,
                    help="countsketch/countmin rows; ams medians")
     p.add_argument("--buckets", type=_positive_int, default=1024,
@@ -284,6 +311,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.distributed.transport import (
         FileTransport,
         FileWorkerSession,
+        ShmTransport,
+        ShmWorkerSession,
         SocketSession,
         SocketTransport,
     )
@@ -318,6 +347,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     if round_mode:
         if args.transport == "file":
             session = FileWorkerSession(args.rendezvous)
+        elif args.transport == "shm":
+            session = ShmWorkerSession(args.rendezvous)
         else:
             host, port = _socket_address(args.rendezvous)
             session = SocketSession(host, port, connect_timeout=args.timeout)
@@ -336,6 +367,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     else:
         if args.transport == "file":
             transport = FileTransport(args.rendezvous)
+        elif args.transport == "shm":
+            transport = ShmTransport(args.rendezvous)
         else:
             host, port = _socket_address(args.rendezvous)
             transport = SocketTransport(host, port, connect_timeout=args.timeout)
@@ -347,7 +380,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
               f"{part_items.shape[0]:,} of {items.shape[0]:,} updates from "
               f"{source}, state shipped via {args.transport} to "
               f"{args.rendezvous}")
-    print(_state_summary(sketch, args.codec))
+    print(_state_summary(sketch, args.codec or "dense-json"))
     return 0
 
 
@@ -356,6 +389,7 @@ def _cmd_coordinate(args: argparse.Namespace) -> int:
     from repro.distributed.specs import build_sketch
     from repro.distributed.transport import (
         FileTransport,
+        ShmTransport,
         SocketHub,
         SocketListener,
     )
@@ -368,6 +402,7 @@ def _cmd_coordinate(args: argparse.Namespace) -> int:
             coordinator = RoundCoordinator(
                 sketch, channel, args.workers, timeout=args.timeout,
                 merge_workers=args.merge_workers,
+                merge_mode=args.merge_mode, codec=args.codec,
             )
             if args.passes == 2:
                 coordinator.run_two_pass()
@@ -375,15 +410,20 @@ def _cmd_coordinate(args: argparse.Namespace) -> int:
                 coordinator.run_single_pass()
             return coordinator
 
-        if args.transport == "file":
-            channel = FileTransport(args.rendezvous)
+        if args.transport in ("file", "shm"):
+            if args.transport == "shm":
+                channel = ShmTransport(args.rendezvous)
+                channel.announce()  # beacon: prove same-hostness to workers
+            else:
+                channel = FileTransport(args.rendezvous)
             # A leftover broadcast from a previous run on a reused
             # rendezvous dir would advance fresh workers to a stale
             # round 2; worker frames stay (workers may start first).
             channel.purge_broadcasts()
             coordinator = run_rounds(channel)
             # Consume the merged frames: a reused rendezvous dir must not
-            # feed this run's frames to the next run's coordinator.
+            # feed this run's frames (or shm segments) to the next run's
+            # coordinator.
             channel.purge()
         else:
             host, port = _socket_address(args.rendezvous)
@@ -399,19 +439,26 @@ def _cmd_coordinate(args: argparse.Namespace) -> int:
               f"with {args.workers} workers via {args.transport} from "
               f"{args.rendezvous}")
     else:
-        if args.transport == "file":
-            collector = FileTransport(args.rendezvous)
+        if args.transport in ("file", "shm"):
+            if args.transport == "shm":
+                collector = ShmTransport(args.rendezvous)
+                collector.announce()  # beacon: prove same-hostness
+            else:
+                collector = FileTransport(args.rendezvous)
             coordinate(sketch, collector, args.workers, timeout=args.timeout,
-                       merge_workers=args.merge_workers)
+                       merge_workers=args.merge_workers,
+                       merge_mode=args.merge_mode)
             # Consume the merged messages: a reused rendezvous dir must not
-            # feed this run's states to the next run's coordinator.
+            # feed this run's states (or shm segments) to the next run's
+            # coordinator.
             collector.purge()
         else:
             host, port = _socket_address(args.rendezvous)
             with SocketListener(host, port) as collector:
                 coordinate(sketch, collector, args.workers,
                            timeout=args.timeout,
-                           merge_workers=args.merge_workers)
+                           merge_workers=args.merge_workers,
+                           merge_mode=args.merge_mode)
         print(f"coordinator: merged {args.workers} worker states "
               f"via {args.transport} from {args.rendezvous}")
     print(_state_summary(sketch, args.codec))
@@ -479,7 +526,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "bit-identical to --shards 1)")
     p.add_argument("--shard-mode", choices=("thread", "process", "serial"),
                    default="thread")
-    p.add_argument("--codec", choices=("dense-json", "sparse", "binary"),
+    p.add_argument("--codec",
+                   choices=("dense-json", "sparse", "binary", "sparse-binary"),
                    default="dense-json",
                    help="state codec for the reported serialized size")
     p.set_defaults(fn=_cmd_estimate)
@@ -507,7 +555,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "many shards (state verified identical)")
     p.add_argument("--shard-mode", choices=("thread", "process", "serial"),
                    default="thread")
-    p.add_argument("--codec", choices=("dense-json", "sparse", "binary"),
+    p.add_argument("--codec",
+                   choices=("dense-json", "sparse", "binary", "sparse-binary"),
                    default="dense-json",
                    help="state codec for the reported serialized size")
     p.set_defaults(fn=_cmd_ingest)
@@ -531,7 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="total worker count (defines the partitioning)")
     p.add_argument("--timeout", type=float, default=120.0,
                    help="socket connect / broadcast wait timeout in seconds")
-    _add_distributed_args(p)
+    _add_distributed_args(p, worker=True)
     p.set_defaults(fn=_cmd_worker)
 
     p = sub.add_parser(
@@ -550,7 +599,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fold worker frames through a parallel merge tree "
                         "of this width (0/1 = serial merging; results are "
                         "bit-identical either way)")
-    _add_distributed_args(p)
+    p.add_argument("--merge-mode", choices=("thread", "process"),
+                   default="thread",
+                   help="merge-tree backend with --merge-workers > 1: "
+                        "thread (decode/merge under the GIL) or process "
+                        "(GIL-free pre-merging in child processes); "
+                        "results are bit-identical either way")
+    _add_distributed_args(p, worker=False)
     p.set_defaults(fn=_cmd_coordinate)
 
     p = sub.add_parser("catalog", help="print the catalog zero-one table")

@@ -39,12 +39,15 @@ from repro.distributed.transport import (
     FileTransport,
     FileWorkerSession,
     RoundTracker,
+    ShmTransport,
+    ShmWorkerSession,
     SocketHub,
     SocketListener,
     SocketSession,
     SocketTransport,
     TransportTimeout,
     WorkerFailure,
+    host_token,
 )
 from repro.distributed.wire import (
     delta_message,
@@ -71,6 +74,8 @@ __all__ = [
     "MergePool",
     "RoundCoordinator",
     "RoundTracker",
+    "ShmTransport",
+    "ShmWorkerSession",
     "SocketHub",
     "SocketListener",
     "SocketSession",
@@ -84,6 +89,7 @@ __all__ = [
     "distributed_ingest",
     "distributed_two_pass",
     "error_message",
+    "host_token",
     "merge_states",
     "merge_tree",
     "partition_bounds",

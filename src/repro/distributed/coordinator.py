@@ -40,15 +40,22 @@ from repro.distributed.wire import (
 __all__ = ["merge_states", "coordinate", "RoundCoordinator"]
 
 
-def merge_states(structure, messages: List[dict], merge_workers: int = 0):
+def merge_states(
+    structure,
+    messages: List[dict],
+    merge_workers: int = 0,
+    merge_mode: str = "thread",
+):
     """Fold a list of ``state`` envelopes into ``structure`` (in worker-id
     order — irrelevant to the result, since merges commute, but canonical
     for debugging).  ``merge_workers > 1`` folds them through the parallel
     merge tree (:mod:`repro.distributed.merger`) instead — bit-identical,
-    but decode + pre-merge run concurrently.  Returns ``structure``."""
+    but decode + pre-merge run concurrently (``merge_mode="process"``
+    makes that concurrency GIL-free).  Returns ``structure``."""
     if merge_workers > 1:
         return merge_tree(
-            structure, (m["state"] for m in messages), merge_workers
+            structure, (m["state"] for m in messages), merge_workers,
+            mode=merge_mode,
         )
     for message in messages:
         sibling = structure.from_state(message["state"])
@@ -62,14 +69,16 @@ def coordinate(
     workers: int,
     timeout: float = 120.0,
     merge_workers: int = 0,
+    merge_mode: str = "thread",
 ):
     """Run one coordination round: wait for ``workers`` states on
     ``collector`` (a :class:`~repro.distributed.transport.FileTransport`
     or :class:`~repro.distributed.transport.SocketListener`), merge them
     into ``structure`` (serially, or through the merge tree when
-    ``merge_workers > 1``), and return it."""
+    ``merge_workers > 1`` — in ``merge_mode`` ``"thread"`` or
+    ``"process"``), and return it."""
     messages = collector.collect(workers, timeout=timeout)
-    return merge_states(structure, messages, merge_workers)
+    return merge_states(structure, messages, merge_workers, merge_mode)
 
 
 class RoundCoordinator:
@@ -98,6 +107,14 @@ class RoundCoordinator:
         frame decodes and pre-merges on the pool the moment it arrives,
         and the partial accumulators fold into the root at round end.
         Bit-identical to the serial path either way (states are linear).
+    merge_mode:
+        Merge-pool backend: ``"thread"`` (default) or ``"process"``
+        (GIL-free child-process pre-merging; the sketch must pickle).
+    codec:
+        This coordinator's preferred state codec, advertised to workers
+        in the ``round_begin`` broadcast (codec negotiation): a worker
+        launched without an explicit codec adopts it for its second-pass
+        frames.  ``None`` advertises nothing.
     """
 
     def __init__(
@@ -107,6 +124,8 @@ class RoundCoordinator:
         workers: int,
         timeout: float = 120.0,
         merge_workers: int = 0,
+        merge_mode: str = "thread",
+        codec: str | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -115,6 +134,8 @@ class RoundCoordinator:
         self.workers = int(workers)
         self.timeout = float(timeout)
         self.merge_workers = int(merge_workers)
+        self.merge_mode = str(merge_mode)
+        self.codec = codec
         self.stale_frames = 0
         self.rounds: List[dict] = []
 
@@ -132,7 +153,9 @@ class RoundCoordinator:
         the summary returns — callers observe a fully-merged structure
         either way."""
         if self.merge_workers > 1:
-            with MergePool(self.structure, self.merge_workers) as pool:
+            with MergePool(
+                self.structure, self.merge_workers, mode=self.merge_mode
+            ) as pool:
                 summary = self.channel.collect_round(
                     round_id, self.workers, timeout=self.timeout,
                     on_state=lambda message: pool.submit(message["state"]),
@@ -159,7 +182,8 @@ class RoundCoordinator:
         1. collect round 1 (worker first-pass states, merged on arrival);
         2. close pass one on the merged state and broadcast the candidate
            export (with this coordinator's compat digest, so non-sibling
-           workers refuse it) back to every worker;
+           workers refuse it, and its preferred ``codec``, which workers
+           without an explicit codec adopt) back to every worker;
         3. collect round 2 (candidate-restricted second-pass states).
 
         Returns the merged structure — bit-identical to a single machine
@@ -172,6 +196,7 @@ class RoundCoordinator:
                 ROUND_SECOND_PASS,
                 self.structure.compat_digest(),
                 self.structure.export_candidates(),
+                codec=self.codec,
             )
         )
         self.run_round(ROUND_SECOND_PASS)

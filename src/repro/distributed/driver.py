@@ -10,9 +10,10 @@ full **round protocol** the same way: round 1 merges first-pass states
 merged candidate export, and round 2 merges the candidate-restricted
 second passes — bit-identical to single-machine
 :meth:`~repro.core.gsum.GSumEstimator.run`.  The states cross an actual
-file system or TCP socket either way, so this exercises exactly the
-machinery a real multi-machine deployment uses; only the scheduling is
-local.  These are the integration surfaces the equality tests drive.
+file system, TCP socket, or shared-memory segment either way, so this
+exercises exactly the machinery a real multi-machine deployment uses;
+only the scheduling is local.  These are the integration surfaces the
+equality tests drive.
 
 For genuinely separate machines, run ``repro worker`` on each shard host
 and ``repro coordinate`` on the collector (see :mod:`repro.cli`) — those
@@ -29,6 +30,8 @@ from repro.distributed.coordinator import RoundCoordinator, merge_states
 from repro.distributed.transport import (
     FileTransport,
     FileWorkerSession,
+    ShmTransport,
+    ShmWorkerSession,
     SocketHub,
     SocketListener,
     SocketSession,
@@ -39,7 +42,7 @@ from repro.streams.batching import DEFAULT_CHUNK
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.streams.sharding import as_columnar, supports_sharding
 
-TRANSPORTS = ("file", "socket")
+TRANSPORTS = ("file", "socket", "shm")
 WORKER_MODES = ("thread", "process")
 
 
@@ -82,6 +85,7 @@ def distributed_ingest(
     timeout: float = 120.0,
     codec: str | None = None,
     merge_workers: int = 0,
+    merge_mode: str = "thread",
 ):
     """Ingest ``stream`` into ``structure`` through ``workers`` distributed
     workers over a real transport; the merged state is bit-identical to
@@ -97,7 +101,10 @@ def distributed_ingest(
         Worker count; each gets one contiguous stream partition.
     transport:
         ``"file"`` (drop-box directory; ``rendezvous`` names it, default a
-        fresh temp dir) or ``"socket"`` (TCP on 127.0.0.1, ephemeral port).
+        fresh temp dir), ``"socket"`` (TCP on 127.0.0.1, ephemeral port),
+        or ``"shm"`` (the drop-box plus zero-copy shared-memory buffer
+        shipping for binary-codec frames — same-host fleets only, with
+        transparent inline fallback).
     mode:
         ``"thread"`` hosts workers on a thread pool; ``"process"`` on a
         process pool (siblings must pickle — see
@@ -107,11 +114,15 @@ def distributed_ingest(
         distributed analogue of sharded two-pass ingestion).
     codec:
         State codec every worker ships under (``dense-json`` default,
-        ``sparse``, ``binary`` — see :mod:`repro.sketch.codec`); the
-        merged result is bit-identical under any of them.
+        ``sparse``, ``binary``, ``sparse-binary`` — see
+        :mod:`repro.sketch.codec`); the merged result is bit-identical
+        under any of them.
     merge_workers:
         ``> 1`` folds the collected states through the parallel merge
         tree (:mod:`repro.distributed.merger`) instead of serially.
+    merge_mode:
+        Merge-tree backend when ``merge_workers > 1``: ``"thread"``
+        (default) or ``"process"`` (GIL-free pre-merging).
     """
     _validate_common(structure, workers, transport, mode)
     if second_pass and not hasattr(structure, "update_batch_second_pass"):
@@ -125,13 +136,17 @@ def distributed_ingest(
 
     tempdir = None
     listener = None
+    drop_box = None
     try:
-        if transport == "file":
+        if transport in ("file", "shm"):
             if rendezvous is None:
                 tempdir = tempfile.TemporaryDirectory(prefix="repro-dist-")
                 rendezvous = tempdir.name
-            drop_box = FileTransport(rendezvous)
+            transport_cls = ShmTransport if transport == "shm" else FileTransport
+            drop_box = transport_cls(rendezvous)
             drop_box.purge()
+            if transport == "shm":
+                drop_box.announce()  # local run: every worker is same-host
             sender = drop_box
             collector = drop_box
         else:
@@ -155,10 +170,12 @@ def distributed_ingest(
             messages = collector.collect(workers, timeout=timeout)
             for job in jobs:
                 job.result()  # surface worker exceptions with tracebacks
-        return merge_states(structure, messages, merge_workers)
+        return merge_states(structure, messages, merge_workers, merge_mode)
     finally:
         if listener is not None:
             listener.close()
+        if transport == "shm" and drop_box is not None:
+            drop_box.purge()  # unlink every segment this run created
         if tempdir is not None:
             tempdir.cleanup()
 
@@ -171,6 +188,8 @@ def _spawned_round_worker(args):
      delta_every, passes, timeout, codec) = args
     if transport == "file":
         session = FileWorkerSession(endpoint)
+    elif transport == "shm":
+        session = ShmWorkerSession(endpoint)
     else:
         host, port = endpoint
         session = SocketSession(host, port, connect_timeout=timeout)
@@ -196,6 +215,8 @@ def distributed_two_pass(
     timeout: float = 120.0,
     codec: str | None = None,
     merge_workers: int = 0,
+    merge_mode: str = "thread",
+    advertise_codec: str | None = None,
 ):
     """Run the full coordinated two-pass round protocol locally: round 1
     merges worker first-pass states, the coordinator broadcasts the merged
@@ -212,9 +233,14 @@ def distributed_two_pass(
         an incremental delta frame the coordinator merges on arrival
         (periods that leave the sketch untouched ship a ``delta_skipped``
         heartbeat instead of an empty payload).
+    advertise_codec:
+        The coordinator's preferred codec, advertised in the round-2
+        ``round_begin`` broadcast (codec negotiation): workers launched
+        with ``codec=None`` adopt it for their second-pass frames.
 
-    ``codec`` picks the frame codec and ``merge_workers > 1`` fans frame
-    merging out across the coordinator's merge pool, exactly as in
+    ``codec`` picks the frame codec, ``merge_workers > 1`` fans frame
+    merging out across the coordinator's merge pool (``merge_mode``
+    selects its thread or process backend), exactly as in
     :func:`distributed_ingest`.
     """
     _validate_common(structure, workers, transport, mode)
@@ -236,13 +262,17 @@ def distributed_two_pass(
 
     tempdir = None
     hub = None
+    channel = None
     try:
-        if transport == "file":
+        if transport in ("file", "shm"):
             if rendezvous is None:
                 tempdir = tempfile.TemporaryDirectory(prefix="repro-dist-")
                 rendezvous = tempdir.name
-            channel = FileTransport(rendezvous)
+            transport_cls = ShmTransport if transport == "shm" else FileTransport
+            channel = transport_cls(rendezvous)
             channel.purge()
+            if transport == "shm":
+                channel.announce()  # local run: every worker is same-host
             endpoint = rendezvous
         else:
             hub = SocketHub()
@@ -261,7 +291,8 @@ def distributed_two_pass(
             ]
             coordinator = RoundCoordinator(
                 structure, channel, workers, timeout,
-                merge_workers=merge_workers,
+                merge_workers=merge_workers, merge_mode=merge_mode,
+                codec=advertise_codec,
             )
             coordinator.run_two_pass()
             for job in jobs:
@@ -270,5 +301,7 @@ def distributed_two_pass(
     finally:
         if hub is not None:
             hub.close()
+        if transport == "shm" and channel is not None:
+            channel.purge()  # unlink every segment this run created
         if tempdir is not None:
             tempdir.cleanup()

@@ -36,7 +36,9 @@ Message types:
     :data:`COORDINATOR_ID`).  For pass 2 of the two-pass protocol it
     carries the coordinator's ``compat`` digest (workers refuse a
     broadcast from a non-sibling) and the merged first-pass ``candidates``
-    export that seeds every worker's second pass.
+    export that seeds every worker's second pass.  An optional ``codec``
+    field advertises the coordinator's preferred state codec (session
+    negotiation: workers without an explicit codec adopt it).
 
 ``delta_skipped``
     A lightweight heartbeat taking the place of a delta frame whose
@@ -172,11 +174,16 @@ def round_end_message(worker: int, round_id: int, frames: int) -> dict:
     }
 
 
-def round_begin_message(round_id: int, compat: str, candidates=None) -> dict:
+def round_begin_message(
+    round_id: int, compat: str, candidates=None, codec: str | None = None
+) -> dict:
     """Coordinator broadcast opening a round; for the second pass it
     carries the merged candidate export and the coordinator's compat
-    digest (the worker-side sibling check)."""
-    return {
+    digest (the worker-side sibling check).  ``codec`` optionally
+    advertises the coordinator's preferred state codec — the session-
+    level negotiation hook: workers launched without an explicit codec
+    adopt it for the frames this broadcast solicits."""
+    message = {
         "format": WIRE_FORMAT,
         "version": WIRE_VERSION,
         "type": "round_begin",
@@ -185,6 +192,9 @@ def round_begin_message(round_id: int, compat: str, candidates=None) -> dict:
         "compat": str(compat),
         "candidates": candidates,
     }
+    if codec is not None:
+        message["codec"] = str(codec)
+    return message
 
 
 def validate_message(message: dict) -> dict:
@@ -219,6 +229,8 @@ def validate_message(message: dict) -> dict:
             raise ValueError("round_begin message lacks a compat digest")
         if "candidates" not in message:
             raise ValueError("round_begin message lacks a candidates field")
+        if "codec" in message and not isinstance(message["codec"], str):
+            raise ValueError("round_begin codec advertisement must be a string")
     return message
 
 

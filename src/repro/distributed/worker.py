@@ -180,8 +180,12 @@ def run_worker_rounds(
     refuses it unless the embedded compat digest matches this worker's own
     sketch (a mismatched spec or seed cannot silently poison pass two),
     imports the merged candidate set, and ships the second pass as round
-    2.  Any failure publishes a round-tagged ``error`` envelope before
-    re-raising, so the coordinator aborts the round immediately.
+    2.  A worker launched without an explicit ``codec`` adopts the
+    coordinator's advertised preference from the broadcast (codec
+    negotiation) for its second-pass frames; an explicit ``codec`` always
+    wins, so operators can still pin a fleet.  Any failure publishes a
+    round-tagged ``error`` envelope before re-raising, so the coordinator
+    aborts the round immediately.
     """
     if passes not in (1, 2):
         raise ValueError("passes must be 1 or 2")
@@ -206,7 +210,7 @@ def run_worker_rounds(
             ship_round(
                 structure, items, deltas, worker_id, ROUND_SECOND_PASS,
                 session.send, chunk_size, delta_every, second_pass=True,
-                codec=codec,
+                codec=codec if codec is not None else begin.get("codec"),
             )
     except Exception as exc:
         try:

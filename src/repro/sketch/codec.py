@@ -4,7 +4,7 @@ Every sketch state is, at bottom, a handful of numpy arrays and integer
 maps.  ``to_state()`` historically shipped them one way — dense JSON
 lists — which is exact and portable but pays for every zero cell in a
 mostly-empty table.  This module makes the encoding a negotiated choice.
-Three codecs:
+Four codecs:
 
 ``dense-json``
     The original format and the compatibility baseline: arrays as nested
@@ -23,14 +23,25 @@ Three codecs:
     the wire layer (:mod:`repro.distributed.wire`) lifts them out into a
     raw binary frame so the bytes ship unencoded.  Integer maps become a
     pair of int64 key/value buffers.
+``sparse-binary``
+    The hybrid: only the nonzero cells, like ``sparse``, but the flat
+    indices and values ship as raw little-endian buffers, like
+    ``binary`` — two nested binary array specs instead of two JSON
+    lists.  Mid-density deltas (too dense for JSON cell lists to parse
+    cheaply, too sparse for dense buffers to pay off) get both wins:
+    no zero cells on the wire *and* no per-cell JSON decode.  The
+    nested specs are ordinary ``binary`` specs, so the wire layer's
+    buffer lifting and the shared-memory transport's zero-copy handoff
+    apply to them unchanged.
 
 Decoding never needs to be told the codec: every encoded value is
 self-describing (dispatch on its ``"codec"`` tag, with the untagged
 ``"__ndarray__"`` form meaning dense-json), so a coordinator can merge
 frames from workers running different codecs.  All three codecs are
 *exact* — float64 survives JSON via shortest-repr round-tripping, sparse
-reinstates explicit zeros, binary ships the very bytes — which is what
-keeps the distributed equality gates bit-for-bit under any codec mix.
+reinstates explicit zeros, binary and sparse-binary ship the very
+bytes — which is what keeps the distributed equality gates bit-for-bit
+under any codec mix.
 
 Codec selection threads through nested ``_state_payload()`` calls via a
 context variable: ``to_state(codec=...)`` activates the codec, and every
@@ -48,7 +59,7 @@ import numpy as np
 
 #: The negotiated codec names, in compatibility order: ``dense-json`` is
 #: the historical wire format and stays the default.
-CODECS = ("dense-json", "sparse", "binary")
+CODECS = ("dense-json", "sparse", "binary", "sparse-binary")
 DEFAULT_CODEC = "dense-json"
 
 _ACTIVE: ContextVar[str | None] = ContextVar("repro-state-codec", default=None)
@@ -92,10 +103,25 @@ def _le_dtype(dtype: np.dtype) -> np.dtype:
     return dtype.newbyteorder("<")
 
 
+def _binary_spec(arr: np.ndarray) -> dict:
+    """A ``binary``-tagged array spec for ``arr`` regardless of the
+    active codec — the building block the binary codec uses directly and
+    the sparse-binary codec nests (so wire-layer buffer lifting treats
+    hybrid payloads exactly like plain binary ones)."""
+    packed = np.ascontiguousarray(arr).astype(_le_dtype(arr.dtype), copy=False)
+    return {
+        "codec": "binary",
+        "dtype": packed.dtype.str,
+        "shape": list(arr.shape),
+        "b64": base64.b64encode(packed.tobytes()).decode("ascii"),
+    }
+
+
 def encode_array(arr: np.ndarray) -> dict:
-    """Encode a numpy array under the active codec.  All three forms are
+    """Encode a numpy array under the active codec.  All four forms are
     exact: dense/sparse float64 values round-trip through JSON's
-    shortest-repr serialization, binary ships the raw buffer."""
+    shortest-repr serialization, binary and sparse-binary ship the raw
+    buffers."""
     codec = active_codec()
     if codec == "sparse":
         flat = np.ascontiguousarray(arr).reshape(-1)
@@ -108,14 +134,16 @@ def encode_array(arr: np.ndarray) -> dict:
             "values": flat[indices].tolist(),
         }
     if codec == "binary":
-        packed = np.ascontiguousarray(arr).astype(
-            _le_dtype(arr.dtype), copy=False
-        )
+        return _binary_spec(arr)
+    if codec == "sparse-binary":
+        flat = np.ascontiguousarray(arr).reshape(-1)
+        indices = np.flatnonzero(flat)
         return {
-            "codec": "binary",
-            "dtype": packed.dtype.str,
+            "codec": "sparse-binary",
+            "dtype": str(arr.dtype),
             "shape": list(arr.shape),
-            "b64": base64.b64encode(packed.tobytes()).decode("ascii"),
+            "indices": _binary_spec(indices.astype(np.int64, copy=False)),
+            "values": _binary_spec(flat[indices]),
         }
     return {
         "__ndarray__": arr.tolist(),
@@ -151,6 +179,14 @@ def decode_array(spec: dict) -> np.ndarray:
         # frombuffer views are read-only; states must stay mutable (they
         # are merged into) and native-endian.
         return arr.astype(dtype.newbyteorder("="), copy=True)
+    if codec == "sparse-binary":
+        flat = np.zeros(int(np.prod(shape)) if shape else 1, dtype=dtype)
+        indices = decode_array(spec["indices"])
+        if indices.size:
+            flat[indices] = decode_array(spec["values"]).astype(
+                dtype, copy=False
+            )
+        return flat.reshape(shape)
     if codec is not None:
         raise ValueError(f"unknown array codec {codec!r}")
     arr = np.asarray(spec["__ndarray__"], dtype=dtype)
@@ -172,10 +208,12 @@ def _int64_pack(values: Iterable[int]) -> np.ndarray | None:
 def encode_int_map(mapping: Dict[int, Any]) -> "list | dict":
     """A dict with integer keys, under the active codec.  The dense and
     sparse codecs use the canonical sorted ``[key, value]`` pair list
-    (maps are already sparse by construction); the binary codec packs
-    keys and values into int64 buffers when they fit."""
+    (maps are already sparse by construction); the binary and
+    sparse-binary codecs pack keys and values into int64 buffers when
+    they fit (a map is sparse already, so the hybrid gains nothing over
+    plain buffers here)."""
     keys = sorted(mapping)
-    if active_codec() == "binary":
+    if active_codec() in ("binary", "sparse-binary"):
         packed_keys = _int64_pack(keys)
         packed_values = _int64_pack(
             int(mapping[k]) for k in keys
@@ -183,8 +221,8 @@ def encode_int_map(mapping: Dict[int, Any]) -> "list | dict":
         if packed_keys is not None and packed_values is not None:
             return {
                 "codec": "binary-map",
-                "keys": encode_array(packed_keys),
-                "values": encode_array(packed_values),
+                "keys": _binary_spec(packed_keys),
+                "values": _binary_spec(packed_values),
             }
     return [[int(k), mapping[k]] for k in keys]
 
@@ -204,9 +242,10 @@ def decode_int_map(encoded: "Iterable | dict") -> Dict[int, Any]:
 def encode_int_list(values: "List[int] | Iterable[int]") -> "list | dict":
     """A fixed-length list of integer counters, under the active codec:
     dense ships the plain list, sparse ships only the nonzero positions,
-    binary packs an int64 buffer.  Values outside int64 (arbitrary-
-    precision Python ints) fall back to the plain list under every
-    codec, so exactness never depends on the counter magnitude."""
+    binary packs an int64 buffer, sparse-binary packs only the nonzero
+    positions into index/value int64 buffers.  Values outside int64
+    (arbitrary-precision Python ints) fall back to the plain list under
+    every codec, so exactness never depends on the counter magnitude."""
     out = [int(v) for v in values]
     codec = active_codec()
     if codec == "sparse":
@@ -222,6 +261,17 @@ def encode_int_list(values: "List[int] | Iterable[int]") -> "list | dict":
         packed = _int64_pack(out)
         if packed is not None:
             return {"codec": "binary-list", "array": encode_array(packed)}
+    if codec == "sparse-binary":
+        if _int64_pack(out) is not None:
+            indices = [i for i, v in enumerate(out) if v != 0]
+            return {
+                "codec": "sparse-binary-list",
+                "length": len(out),
+                "indices": _binary_spec(np.asarray(indices, dtype=np.int64)),
+                "values": _binary_spec(
+                    np.asarray([out[i] for i in indices], dtype=np.int64)
+                ),
+            }
     return out
 
 
@@ -235,5 +285,12 @@ def decode_int_list(encoded: "list | dict") -> List[int]:
             return out
         if codec == "binary-list":
             return [int(v) for v in decode_array(encoded["array"]).tolist()]
+        if codec == "sparse-binary-list":
+            out = [0] * int(encoded["length"])
+            indices = decode_array(encoded["indices"]).tolist()
+            values = decode_array(encoded["values"]).tolist()
+            for i, v in zip(indices, values):
+                out[int(i)] = int(v)
+            return out
         raise ValueError(f"unknown int-list codec {codec!r}")
     return [int(v) for v in encoded]

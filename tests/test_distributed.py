@@ -6,10 +6,14 @@ bit-identical to single-machine ingestion — for a raw sketch and for the
 full ``GSumEstimator`` — and the coordinated two-pass **round protocol**
 (``distributed_two_pass()``, one state frame per round or streaming delta
 merges) reproduces single-machine 2-pass ``GSumEstimator.run()`` bit for
-bit over the same matrix.  Plus the protocol pieces: framing, envelope
-validation, failure propagation (worker crash mid-round, duplicate/stale
-frames, compat rejection of candidate broadcasts), poll back-off, the
-many-files-per-worker mode, and the CLI commands.
+bit over the same matrix.  The same gates cover the zero-copy
+shared-memory transport, the process-backed (GIL-free) merge tree, the
+sparse-binary codec, and codec-negotiated fleets.  Plus the protocol
+pieces: framing, envelope validation, failure propagation (worker crash
+mid-round, duplicate/stale frames, compat rejection of candidate
+broadcasts, corrupt frames re-raised from the merge pool), segment and
+tmp-file GC for killed workers, poll back-off, the many-files-per-worker
+mode, and the CLI commands.
 """
 
 import json
@@ -27,6 +31,7 @@ from repro.distributed import (
     MergePool,
     RoundCoordinator,
     RoundTracker,
+    ShmTransport,
     SocketHub,
     SocketListener,
     SocketSession,
@@ -212,7 +217,7 @@ class TestRoundProtocol:
         )
 
     @pytest.mark.parametrize("transport", TRANSPORTS)
-    @pytest.mark.parametrize("codec", ("sparse", "binary"))
+    @pytest.mark.parametrize("codec", ("sparse", "binary", "sparse-binary"))
     def test_two_pass_codec_bit_identical(self, transport, codec, tmp_path):
         """The codec equality gate: the coordinated two-pass protocol
         under the sparse and binary state codecs — with streaming deltas,
@@ -230,7 +235,7 @@ class TestRoundProtocol:
             sequential.to_state()
         )
 
-    @pytest.mark.parametrize("codec", ("sparse", "binary"))
+    @pytest.mark.parametrize("codec", ("sparse", "binary", "sparse-binary"))
     def test_one_shot_codec_bit_identical(self, codec):
         sequential = drive(fresh_countsketch(), STREAM)
         merged = distributed_ingest(
@@ -250,16 +255,75 @@ class TestRoundProtocol:
         box = FileTransport(tmp_path / "rv", poll_interval=0.01)
         from repro.distributed import run_worker
 
-        for worker_id, codec in enumerate(("dense-json", "sparse", "binary")):
-            part = worker_slice(items, deltas, worker_id, 3)
+        codecs = ("dense-json", "sparse", "binary", "sparse-binary")
+        for worker_id, codec in enumerate(codecs):
+            part = worker_slice(items, deltas, worker_id, len(codecs))
             run_worker(
                 fresh_countsketch(), part[0], part[1], worker_id, box,
                 codec=codec,
             )
-        merged = merge_states(fresh_countsketch(), box.collect(3, timeout=10.0))
+        merged = merge_states(
+            fresh_countsketch(), box.collect(len(codecs), timeout=10.0)
+        )
         assert dumps_state(merged.to_state()) == dumps_state(
             sequential.to_state()
         )
+
+    def test_codec_negotiation_bit_identical(self, tmp_path):
+        """A fleet launched without an explicit codec adopts whatever the
+        coordinator advertises in its round-2 broadcast; the merged result
+        stays bit-identical to the single-machine run."""
+        sequential = sequential_two_pass()
+        dist = fresh_estimator(passes=2)
+        distributed_two_pass(
+            dist, STREAM, workers=2, transport="file", delta_every=500,
+            advertise_codec="sparse-binary", rendezvous=str(tmp_path / "rv"),
+        )
+        assert dist.estimate() == sequential.estimate()
+        assert dumps_state(dist.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+    def test_negotiation_adopts_advertised_codec(self):
+        """Worker-side negotiation, observed on the wire: without an
+        explicit codec the round-2 frames ship under the advertised codec;
+        an explicit codec pins the worker regardless."""
+        donor = fresh_estimator(passes=2)
+        donor.process(STREAM)
+        donor.begin_second_pass()
+        candidates = donor.export_candidates()
+        items, deltas = STREAM.as_arrays()
+
+        class ScriptedSession:
+            def __init__(self, begin):
+                self.begin = begin
+                self.sent = []
+
+            def send(self, message):
+                self.sent.append(message)
+
+            def recv_broadcast(self, round_id, timeout):
+                return self.begin
+
+        for explicit, expected in ((None, "sparse-binary"),
+                                   ("sparse", "sparse")):
+            sibling = fresh_estimator(passes=2)
+            begin = round_begin_message(
+                2, sibling.compat_digest(), candidates, codec="sparse-binary"
+            )
+            session = ScriptedSession(begin)
+            run_worker_rounds(
+                sibling, items, deltas, 0, session, passes=2, codec=explicit
+            )
+            frames = [
+                m for m in session.sent
+                if m["type"] == "delta" and m["round"] == 2
+            ]
+            assert frames, "round 2 shipped no delta frames"
+            payload = json.dumps([f["state"] for f in frames])
+            assert f'"{expected}"' in payload
+            if expected == "sparse":
+                assert '"sparse-binary"' not in payload
 
     def test_round_summaries_recorded(self, tmp_path):
         from repro.distributed import FileWorkerSession
@@ -339,17 +403,60 @@ class TestMergeTree:
         )
         assert pool.merged_frames == 7
 
-    def test_pool_surfaces_bad_states(self):
+    @pytest.mark.parametrize("mode", ("thread", "process"))
+    def test_pool_surfaces_bad_states(self, mode):
+        """A non-sibling state re-raises from ``drain()`` — in process
+        mode the failure crosses the pool boundary instead of deadlocking
+        a child."""
         root = fresh_countsketch()
         imposter = CountSketch(5, 256, track=16, seed=10)  # wrong lineage
-        with MergePool(root, workers=2) as pool:
+        with MergePool(root, workers=2, mode=mode) as pool:
             pool.submit(imposter.to_state())
             with pytest.raises(ValueError, match="different configuration"):
                 pool.drain()
 
+    @pytest.mark.parametrize("mode", ("thread", "process"))
+    def test_pool_surfaces_corrupt_payload(self, mode):
+        """A structurally broken state dict (e.g. a torn frame) re-raises
+        from ``drain()`` in both backends, never hangs the pool."""
+        root = fresh_countsketch()
+        corrupt = dict(fresh_countsketch().to_state(), payload={"torn": True})
+        with MergePool(root, workers=2, mode=mode) as pool:
+            pool.submit(corrupt)
+            with pytest.raises((KeyError, ValueError)):
+                pool.drain()
+
+    @pytest.mark.parametrize("mode", ("thread", "process"))
+    def test_single_worker_pool_equals_serial(self, mode):
+        """``merge_workers=1`` degenerates to serial folding — bit for
+        bit, in both backends."""
+        sequential = drive(fresh_countsketch(), STREAM)
+        treed = merge_tree(
+            fresh_countsketch(), self._worker_states(5), workers=1, mode=mode
+        )
+        assert dumps_state(treed.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+    def test_pool_process_mode_equals_serial(self):
+        """The GIL-free backend: states decoded and pre-merged in child
+        interpreters fold to the same bits as the serial collector."""
+        sequential = drive(fresh_countsketch(), STREAM)
+        root = fresh_countsketch()
+        with MergePool(root, workers=2, mode="process") as pool:
+            for state in self._worker_states(7):
+                pool.submit(state)
+            pool.drain()
+        assert dumps_state(root.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+        assert pool.merged_frames == 7
+
     def test_pool_rejects_bad_width(self):
         with pytest.raises(ValueError, match="positive"):
             MergePool(fresh_countsketch(), workers=0)
+        with pytest.raises(ValueError, match="mode"):
+            MergePool(fresh_countsketch(), workers=2, mode="fiber")
 
     @pytest.mark.parametrize("transport", TRANSPORTS)
     def test_two_pass_merge_workers_bit_identical(self, transport, tmp_path):
@@ -363,6 +470,32 @@ class TestMergeTree:
             merge_workers=4, rendezvous=rendezvous,
         )
         assert dumps_state(dist.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_two_pass_process_merge_bit_identical(self, workers, tmp_path):
+        """The acceptance gate for the GIL-free path: a process-backed
+        merge tree drives the full round protocol to the same bits as the
+        serial coordinator, at k in {2, 4}."""
+        sequential = sequential_two_pass()
+        dist = fresh_estimator(passes=2)
+        distributed_two_pass(
+            dist, STREAM, workers=workers, transport="file", delta_every=400,
+            merge_workers=2, merge_mode="process",
+            rendezvous=str(tmp_path / "rv"),
+        )
+        assert dumps_state(dist.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+    def test_one_shot_process_merge_bit_identical(self):
+        sequential = drive(fresh_countsketch(), STREAM)
+        merged = distributed_ingest(
+            fresh_countsketch(), STREAM, workers=4, transport="socket",
+            merge_workers=2, merge_mode="process",
+        )
+        assert dumps_state(merged.to_state()) == dumps_state(
             sequential.to_state()
         )
 
@@ -497,6 +630,133 @@ class TestRendezvousGc:
         )
         assert summary["stale"] == 1
         assert np.array_equal(merged._table, sketch._table)
+
+
+class TestShmTransport:
+    """The zero-copy shared-memory drop-box: same bits as every other
+    transport, headers instead of inlined buffers, transparent inline
+    fallback off-host, and no leaked segments — even from killed
+    workers."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_one_shot_bit_identical(self, workers, tmp_path):
+        sequential = drive(fresh_countsketch(), STREAM)
+        merged = distributed_ingest(
+            fresh_countsketch(), STREAM, workers=workers, transport="shm",
+            codec="binary", rendezvous=str(tmp_path / "rv"),
+        )
+        assert dumps_state(merged.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_two_pass_bit_identical(self, workers, tmp_path):
+        """The acceptance gate: the round protocol over shared memory
+        (streaming sparse-binary deltas) equals single-machine
+        ``GSumEstimator.run()`` bit for bit at k in {2, 4}."""
+        sequential = sequential_two_pass()
+        dist = fresh_estimator(passes=2)
+        distributed_two_pass(
+            dist, STREAM, workers=workers, transport="shm",
+            codec="sparse-binary", delta_every=500,
+            rendezvous=str(tmp_path / "rv"),
+        )
+        assert dist.estimate() == sequential.estimate()
+        assert dumps_state(dist.to_state()) == dumps_state(
+            sequential.to_state()
+        )
+
+    def test_segment_ships_buffers_out_of_band(self, tmp_path):
+        """With a matching beacon, a binary-codec frame leaves only a
+        small JSON header in the drop-box; the buffers cross through one
+        named segment that decodes back to the same bits and dies on
+        purge."""
+        coordinator = ShmTransport(tmp_path / "rv", poll_interval=0.01)
+        coordinator.announce()
+        worker = ShmTransport(tmp_path / "rv", poll_interval=0.01)
+        sketch = drive(fresh_countsketch(), STREAM)
+        inline_bytes = len(json.dumps(sketch.to_state(codec="binary")))
+        worker.send(state_message(0, sketch.to_state(codec="binary")))
+        assert len(worker._segment_files()) == 1
+        header_bytes = (tmp_path / "rv" / "msg-0000.json").stat().st_size
+        assert header_bytes * 10 < inline_bytes
+        merged = merge_states(
+            fresh_countsketch(), coordinator.collect(1, timeout=10.0)
+        )
+        assert dumps_state(merged.to_state()) == dumps_state(
+            sketch.to_state()
+        )
+        coordinator.purge()
+        assert coordinator._segment_files() == []
+
+    def test_no_beacon_falls_back_inline(self, tmp_path):
+        """Without a coordinator beacon same-hostness is unproven, so
+        frames inline into the drop-box exactly like FileTransport — a
+        cross-host fleet pointed at a shared directory still works."""
+        box = ShmTransport(tmp_path / "rv", poll_interval=0.01)
+        sketch = drive(fresh_countsketch(), STREAM)
+        box.send(state_message(0, sketch.to_state(codec="binary")))
+        assert box._segment_files() == []
+        merged = merge_states(fresh_countsketch(), box.collect(1, timeout=10.0))
+        assert dumps_state(merged.to_state()) == dumps_state(
+            sketch.to_state()
+        )
+
+    def test_foreign_beacon_falls_back_inline(self, tmp_path):
+        """A beacon from a different host (token mismatch) must not be
+        trusted: buffers stay inline."""
+        box = ShmTransport(tmp_path / "rv", poll_interval=0.01)
+        box.directory.mkdir(parents=True, exist_ok=True)
+        (box.directory / ShmTransport.BEACON).write_text(
+            json.dumps({"token": "elsewhere:0000"})
+        )
+        sketch = drive(fresh_countsketch(), STREAM)
+        box.send(state_message(0, sketch.to_state(codec="binary")))
+        assert box._segment_files() == []
+
+    def test_run_leaves_no_segments(self, tmp_path):
+        """A full two-pass shm run leaves the rendezvous dir and /dev/shm
+        clean: drivers purge their channel, round GC sweeps frames."""
+        rendezvous = tmp_path / "rv"
+        dist = fresh_estimator(passes=2)
+        distributed_two_pass(
+            dist, STREAM, workers=2, transport="shm", codec="binary",
+            delta_every=300, rendezvous=str(rendezvous),
+        )
+        assert ShmTransport(rendezvous)._segment_files() == []
+        assert list(rendezvous.glob("rmsg-*")) == []
+        assert list(rendezvous.glob("*.tmp")) == []
+
+    def test_killed_worker_debris_gced_at_round_boundary(self, tmp_path):
+        """Segments and half-written header tmp files orphaned by a
+        worker killed mid-round are swept by the coordinator's round GC
+        *by name pattern* — the dead worker never gets to clean up after
+        itself."""
+        from multiprocessing import shared_memory
+
+        from repro.distributed.transport import _untrack_segment
+
+        coordinator = ShmTransport(tmp_path / "rv", poll_interval=0.01)
+        coordinator.announce()
+        worker = ShmTransport(tmp_path / "rv", poll_interval=0.01)
+        sketch = drive(fresh_countsketch(), STREAM)
+        worker.send_round(
+            delta_message(0, 1, 0, sketch.to_state(codec="binary"))
+        )
+        assert len(worker._segment_files()) == 1
+        # A second worker killed mid-publish: its frame segment landed but
+        # the header never did, and a torn tmp file is left behind.
+        orphan_name = f"{worker.segment_prefix}-rmsg-001-w0099-d000000"
+        orphan = shared_memory.SharedMemory(
+            name=orphan_name, create=True, size=64
+        )
+        orphan.close()
+        _untrack_segment(orphan_name)
+        (tmp_path / "rv" / "rmsg-001-w0099-d000001.json.tmp").write_text("{")
+        coordinator._gc_round(1)
+        assert coordinator._segment_files() == []
+        assert list((tmp_path / "rv").glob("rmsg-*")) == []
+        assert list((tmp_path / "rv").glob("*.tmp")) == []
 
 
 class TestBinaryWire:
@@ -980,6 +1240,15 @@ class TestWire:
                  "worker": -1, "round": 2, "compat": "abcd"}
             )
 
+    def test_round_begin_codec_advertisement(self):
+        from repro.distributed.wire import validate_message
+
+        begin = round_begin_message(2, "abcd", {"reps": []}, codec="binary")
+        assert validate_message(begin)["codec"] == "binary"
+        assert "codec" not in round_begin_message(2, "abcd", {"reps": []})
+        with pytest.raises(ValueError, match="codec"):
+            validate_message(dict(begin, codec=7))
+
 
 class TestTransports:
     def test_file_atomic_publish_and_collect(self, tmp_path):
@@ -1144,7 +1413,7 @@ class TestCli:
                  "--rendezvous", str(rendezvous)]
             ))
 
-    @pytest.mark.parametrize("codec", ("sparse", "binary"))
+    @pytest.mark.parametrize("codec", ("sparse", "binary", "sparse-binary"))
     def test_codec_flag_round_trip(self, tmp_path, capsys, codec):
         """``repro worker --codec`` frames merge on a ``repro coordinate
         --merge-workers`` coordinator to the single-machine bits."""
@@ -1188,6 +1457,37 @@ class TestCli:
         for t in threads:
             t.start()
         code = main(["coordinate", "--workers", "2", "--merge-workers", "3",
+                     "--verify-stream", str(stream_path), *flags])
+        for t in threads:
+            t.join()
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "identical to single-machine ingestion: True" in out
+
+    def test_two_pass_shm_negotiation_process_merge_cli(self, tmp_path,
+                                                        capsys):
+        """End to end through the CLI: ``--transport shm``, workers with
+        no ``--codec`` (they negotiate), a coordinator advertising
+        sparse-binary and merging through the GIL-free process tree."""
+        stream_path = tmp_path / "stream.jsonl"
+        save_stream(STREAM, stream_path)
+        rendezvous = str(tmp_path / "rv")
+        flags = ["--sketch", "gsum", "--function", "x^2", "--n", str(N),
+                 "--heaviness", "0.15", "--repetitions", "2", "--seed", "5",
+                 "--passes", "2", "--delta-every", "400",
+                 "--transport", "shm", "--rendezvous", rendezvous]
+        threads = [
+            threading.Thread(target=main, args=(
+                ["worker", str(stream_path), "--worker-id", str(i),
+                 "--workers", "2", *flags],
+            ))
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        code = main(["coordinate", "--workers", "2",
+                     "--codec", "sparse-binary", "--merge-workers", "2",
+                     "--merge-mode", "process",
                      "--verify-stream", str(stream_path), *flags])
         for t in threads:
             t.join()
