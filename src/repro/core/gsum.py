@@ -78,6 +78,11 @@ class GSumEstimator(MergeableSketch):
         Candidate-pool bound forwarded to every level CountSketch
         (default 2^20); lower it for memory-sensitive deployments with
         huge distinct-item counts.
+    cs_pool_policy:
+        Pool overflow policy forwarded to every level CountSketch:
+        ``"sample"`` (default, order-insensitive) or
+        ``"evict-by-estimate"`` (graceful degradation under pathological
+        cardinality; see :class:`~repro.sketch.countsketch.CountSketch`).
     shards:
         Parallel ingestion shards for :meth:`process` /
         :meth:`process_second_pass` / :meth:`run`.  ``shards > 1`` splits
@@ -119,6 +124,7 @@ class GSumEstimator(MergeableSketch):
         cs_max_buckets: int = 1 << 14,
         cs_max_rows: int = 7,
         cs_pool: int | None = None,
+        cs_pool_policy: str = "sample",
         shards: int = 1,
         shard_mode: str = "thread",
         shard_axis: str = "slab",
@@ -169,6 +175,7 @@ class GSumEstimator(MergeableSketch):
                     cs_max_buckets=cs_max_buckets,
                     cs_max_rows=cs_max_rows,
                     cs_pool=cs_pool,
+                    cs_pool_policy=cs_pool_policy,
                 )
             return TwoPassGHeavyHitter(
                 g,
@@ -181,6 +188,7 @@ class GSumEstimator(MergeableSketch):
                 cs_max_buckets=cs_max_buckets,
                 cs_max_rows=cs_max_rows,
                 cs_pool=cs_pool,
+                cs_pool_policy=cs_pool_policy,
             )
 
         self._sketches: List[RecursiveGSumSketch] = [
@@ -207,6 +215,7 @@ class GSumEstimator(MergeableSketch):
             cs_max_buckets=int(cs_max_buckets),
             cs_max_rows=int(cs_max_rows),
             cs_pool=cs_pool,
+            cs_pool_policy=str(cs_pool_policy),
         )
 
     # ----------------------------------------------------------- streaming

@@ -29,6 +29,20 @@ transition; ``tests/test_batch_equivalence.py`` and
 ``pool`` distinct items — default 2^20 — identification degrades to a
 uniform sample of identities; the linear table, and hence all frequency
 estimates, are unaffected.)
+
+Past the pool bound the default (``pool_policy="sample"``) retains a
+*uniform* sample of identities, so heavy hitters are evicted with the
+same probability as noise items and recall falls off a cliff once the
+distinct count exceeds ``pool`` (characterized in
+``benchmarks/bench_s5_adversarial.py``).  ``pool_policy =
+"evict-by-estimate"`` is the graceful-degradation fallback: overflow is
+cut back by evicting the candidates whose current |median estimate| is
+smallest, so items carrying real mass survive pathological cardinality.
+The price is order-sensitivity (eviction depends on the prefix seen), so
+this policy trades the bit-identical sharding guarantee for bounded
+memory *and* bounded accuracy loss; evicted items re-enter the pool on
+their next update, which makes the policy self-healing for late-rising
+heavy hitters.
 """
 
 from __future__ import annotations
@@ -56,6 +70,18 @@ from repro.util.rng import RandomSource, as_source
 #: Default candidate-pool bound: large enough that realistic workloads keep
 #: every distinct item (exact identification), small enough to bound memory.
 DEFAULT_POOL = 1 << 20
+
+#: Overflow behavior past the pool bound: ``sample`` keeps a uniform,
+#: order-insensitive identity sample (bit-identical sharding); the
+#: ``evict-by-estimate`` fallback keeps the largest-|estimate| candidates
+#: (graceful accuracy degradation under pathological cardinality).
+POOL_POLICIES = ("sample", "evict-by-estimate")
+
+#: Bound on the per-item (bucket, sign) memo.  The memo is a pure cache —
+#: no semantic effect — but under all-distinct floods an uncapped memo is
+#: the dominant memory consumer, so it is bounded independently of the
+#: candidate pool (regression-tested in ``tests/test_countsketch.py``).
+ITEM_CACHE_LIMIT = 1 << 20
 
 _POOL_SPACE = 1 << 30
 
@@ -90,6 +116,14 @@ class CountSketch(MergeableSketch):
         Candidate-pool bound (default ``2^20``).  Identification is exact —
         and sharded ingestion bit-identical to sequential — whenever the
         stream has at most this many distinct items.
+    pool_policy:
+        Overflow behavior once the distinct count exceeds ``pool``:
+        ``"sample"`` (default) keeps the smallest-pool-hash identities — a
+        uniform, order-insensitive sample, preserving bit-identical
+        sharding but degrading recall to chance past the bound;
+        ``"evict-by-estimate"`` keeps the largest-|estimate| candidates —
+        heavy items survive pathological cardinality at the cost of
+        order-sensitive pool contents (see the module docstring).
     """
 
     def __init__(
@@ -100,14 +134,23 @@ class CountSketch(MergeableSketch):
         seed: int | RandomSource | None = None,
         sign_independence: int = 4,
         pool: int | None = None,
+        pool_policy: str = "sample",
     ):
         if rows < 1 or buckets < 1:
             raise ValueError("rows and buckets must be positive")
+        if pool_policy not in POOL_POLICIES:
+            raise ValueError(
+                f"pool_policy must be one of {POOL_POLICIES}, got {pool_policy!r}"
+            )
         source = as_source(seed, "countsketch")
         self.rows = int(rows)
         self.buckets = int(buckets)
         self.track = int(track)
         self.pool = max(int(pool) if pool is not None else DEFAULT_POOL, self.track)
+        self.pool_policy = str(pool_policy)
+        # Overflow slack before an evict-by-estimate prune: admissions are
+        # O(1) and the vectorized prune is amortized over ``slack`` items.
+        self._pool_slack = max(64, self.pool // 4)
         self._table = np.zeros((self.rows, self.buckets), dtype=np.float64)
         self._bucket_hashes = [
             KWiseHash(self.buckets, 2, source.child(f"bucket{j}"))
@@ -134,6 +177,7 @@ class CountSketch(MergeableSketch):
             track=self.track,
             sign_independence=int(sign_independence),
             pool=self.pool,
+            pool_policy=self.pool_policy,
         )
 
     # ------------------------------------------------------------------ core
@@ -145,7 +189,7 @@ class CountSketch(MergeableSketch):
                 (self._bucket_hashes[j](item), float(self._sign_hashes[j](item)))
                 for j in range(self.rows)
             ]
-            if len(self._item_cache) < 4_000_000:
+            if len(self._item_cache) < ITEM_CACHE_LIMIT:
                 self._item_cache[item] = cached
         return cached
 
@@ -187,8 +231,15 @@ class CountSketch(MergeableSketch):
                 hashes = self._pool_hash.values_batch(
                     np.asarray(fresh, dtype=np.int64)
                 )
-                for item, value in zip(fresh, hashes.tolist()):
-                    self._pool_admit(item, value)
+                if self.pool_policy == "evict-by-estimate":
+                    # Bulk-admit then prune once: one vectorized eviction
+                    # pass per chunk instead of one per overflow item.
+                    self._candidates.update(zip(fresh, hashes.tolist()))
+                    if len(self._candidates) > self.pool + self._pool_slack:
+                        self._prune_pool_by_estimate()
+                else:
+                    for item, value in zip(fresh, hashes.tolist()):
+                        self._pool_admit(item, value)
 
     def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "CountSketch":
         return drive(self, stream)
@@ -224,12 +275,42 @@ class CountSketch(MergeableSketch):
             for i, e in zip(arr.tolist(), estimates.tolist())
         ]
 
+    def collision_scores(self, items: Sequence[int], target: int) -> np.ndarray:
+        """Signed collision pressure of each item against ``target`` under
+        *this instance's* hash functions: over the rows where the item
+        shares ``target``'s bucket, +1 when their sign hashes agree
+        (positive mass on the item inflates target's row estimate) and -1
+        when they disagree, summed across rows.  A score of ``rows`` means
+        every unit of the item's mass lands on ``target`` with positive
+        sign in every row, so no median can reject it.  The
+        collision-seeking adversarial workload
+        (``repro.streams.generators.collision_stream``) maximizes this
+        score; against fresh hashes the scores of its chosen items are
+        unremarkable, which is why re-seeding restores the guarantee."""
+        arr = np.asarray(items, dtype=np.int64)
+        scores = np.zeros(arr.shape[0], dtype=np.int64)
+        for j in range(self.rows):
+            target_bucket = int(self._bucket_hashes[j](int(target)))
+            target_sign = float(self._sign_hashes[j](int(target)))
+            same = self._bucket_hashes[j].values_batch(arr) == target_bucket
+            agree = self._sign_hashes[j].values_batch(arr) * target_sign
+            scores += np.where(same, agree, 0.0).astype(np.int64)
+        return scores
+
     # ------------------------------------------------------- candidate pool
 
     def _pool_admit(self, item: int, value: int) -> None:
-        """Admit ``item`` (not currently pooled) under the bounded-pool rule:
-        keep the ``pool`` smallest (hash, item) pairs ever seen."""
+        """Admit ``item`` (not currently pooled) under the active pool
+        policy: ``sample`` keeps the ``pool`` smallest (hash, item) pairs
+        ever seen; ``evict-by-estimate`` admits unconditionally and prunes
+        back to ``pool`` entries (keeping the largest current estimates)
+        once ``pool + slack`` is exceeded."""
         candidates = self._candidates
+        if self.pool_policy == "evict-by-estimate":
+            candidates[item] = value
+            if len(candidates) > self.pool + self._pool_slack:
+                self._prune_pool_by_estimate()
+            return
         if len(candidates) < self.pool:
             candidates[item] = value
             heapq.heappush(self._pool_heap, (-value, -item))
@@ -245,6 +326,23 @@ class CountSketch(MergeableSketch):
         self._pool_heap = [(-v, -i) for i, v in self._candidates.items()]
         heapq.heapify(self._pool_heap)
 
+    def _prune_pool_by_estimate(self) -> None:
+        """Cut the pool back to ``pool`` entries, keeping the candidates
+        whose current |median estimate| is largest (the evict-by-estimate
+        fallback).  Ties break deterministically by (pool-hash, item), so
+        the surviving set is a pure function of the sketch state at prune
+        time.  One vectorized estimation pass over the whole pool."""
+        if len(self._candidates) <= self.pool:
+            return
+        count = len(self._candidates)
+        items = np.fromiter(self._candidates.keys(), dtype=np.int64, count=count)
+        values = np.fromiter(self._candidates.values(), dtype=np.int64, count=count)
+        magnitudes = np.abs(self._estimate_batch(items))
+        order = np.lexsort((items, values, -magnitudes))[: self.pool]
+        self._candidates = dict(
+            zip(items[order].tolist(), values[order].tolist())
+        )
+
     def top_candidates(self, k: int | None = None) -> list[CountSketchEstimate]:
         """The top candidates, estimated against the final sketch and sorted
         by decreasing |estimate| (item id breaks ties, so the result is a
@@ -258,6 +356,10 @@ class CountSketch(MergeableSketch):
         limit = self.track if k is None else min(int(k), self.track)
         if limit <= 0 or not self._candidates:
             return []
+        if self.pool_policy == "evict-by-estimate":
+            # Canonicalize any overflow slack before reporting, so queries
+            # see the same pool a serialization or merge would.
+            self._prune_pool_by_estimate()
         items = np.fromiter(
             self._candidates.keys(), dtype=np.int64, count=len(self._candidates)
         )
@@ -305,12 +407,21 @@ class CountSketch(MergeableSketch):
         ingested both streams itself."""
         self.require_sibling(other)
         self._table += other._table
+        if self.pool_policy == "evict-by-estimate":
+            # Union, then evict against the *merged* table: estimates at
+            # prune time see both streams' mass.
+            for item, value in other._candidates.items():
+                self._candidates.setdefault(item, value)
+            self._prune_pool_by_estimate()
+            return self
         for item, value in other._candidates.items():
             if item not in self._candidates:
                 self._pool_admit(item, value)
         return self
 
     def _state_payload(self) -> dict:
+        if self.pool_policy == "evict-by-estimate":
+            self._prune_pool_by_estimate()  # bound the shipped payload
         return {
             "table": encode_array(self._table),
             "candidates": encode_int_map(self._candidates),
@@ -322,7 +433,10 @@ class CountSketch(MergeableSketch):
             raise ValueError("state table shape mismatch")
         self._table = table
         self._candidates = decode_int_map(payload["candidates"])
-        self._rebuild_pool_heap()
+        if self.pool_policy == "evict-by-estimate":
+            self._pool_heap = []
+        else:
+            self._rebuild_pool_heap()
 
     @classmethod
     def for_heavy_hitters(
@@ -337,6 +451,7 @@ class CountSketch(MergeableSketch):
         max_rows: int = 7,
         max_track: int = 192,
         pool: int | None = None,
+        pool_policy: str = "sample",
     ) -> "CountSketch":
         """The paper's ``CountSketch(lambda, eps, delta)`` parameterization:
         ``O(1/(lambda eps^2))`` buckets, ``O(log(n/delta))`` rows, and a
@@ -344,8 +459,8 @@ class CountSketch(MergeableSketch):
 
         The ``max_*`` caps bound the constants for interactive Python runs;
         theory-faithful experiments raise them explicitly.  ``pool`` bounds
-        the candidate pool (see the class docstring) for memory-sensitive
-        deployments.
+        the candidate pool and ``pool_policy`` picks the overflow behavior
+        (see the class docstring) for memory-sensitive deployments.
         """
         if not 0 < heaviness <= 1:
             raise ValueError("heaviness must be in (0, 1]")
@@ -358,4 +473,4 @@ class CountSketch(MergeableSketch):
         rows = max(3, int(math.ceil(math.log(max(n, 2) / max(failure, 1e-9), 2))) | 1)
         rows = min(rows, max_rows | 1)
         track = min(max(4, int(math.ceil(4.0 / heaviness))), max_track)
-        return cls(rows, buckets, track, seed, sign_independence, pool)
+        return cls(rows, buckets, track, seed, sign_independence, pool, pool_policy)

@@ -11,6 +11,11 @@ from repro.streams.batching import (
     iter_update_chunks,
 )
 from repro.streams.generators import (
+    DEFAULT_ZIPF_SKEWS,
+    adaptive_adversarial_stream,
+    collision_stream,
+    deletion_storm_stream,
+    distinct_flood_stream,
     mixture_sample_stream,
     planted_heavy_hitter_stream,
     poisson_sample_stream,
@@ -18,6 +23,7 @@ from repro.streams.generators import (
     two_level_stream,
     uniform_stream,
     zipf_stream,
+    zipf_sweep,
 )
 from repro.streams.io import (
     iter_stream_array_chunks,
@@ -41,12 +47,17 @@ from repro.streams.sharding import (
 
 __all__ = [
     "DEFAULT_CHUNK",
+    "DEFAULT_ZIPF_SKEWS",
     "FrequencyVector",
     "StreamUpdate",
     "TurnstileStream",
+    "adaptive_adversarial_stream",
     "aggregate_batch",
     "apply_net_counts",
     "as_batch",
+    "collision_stream",
+    "deletion_storm_stream",
+    "distinct_flood_stream",
     "drive",
     "drive_second_pass",
     "ingest_sharded",
@@ -67,4 +78,5 @@ __all__ = [
     "two_level_stream",
     "uniform_stream",
     "zipf_stream",
+    "zipf_sweep",
 ]

@@ -7,16 +7,39 @@ Section 1.1.1), planted heavy hitters (heavy-hitter recovery experiments),
 two-level frequency profiles (the INDEX/DISJ reduction shapes), and
 adversarial placements near the valleys of oscillating functions (the
 predictability separation of experiment E2).
+
+The second half of the module is the **adversarial workload zoo** — streams
+built to stress the probabilistic guarantees rather than exercise the happy
+path, consumed by ``tests/test_adversarial_workloads.py``,
+:mod:`repro.verify`, and ``benchmarks/bench_s5_adversarial.py``:
+
+* :func:`zipf_sweep` — heavy-tailed sweeps across skew exponents;
+* :func:`deletion_storm_stream` — all-deletion turnstile storms that drive
+  every count back through zero (and past it);
+* :func:`distinct_flood_stream` — all-distinct floods that overflow the
+  CountSketch candidate pool;
+* :func:`collision_stream` — inputs that seek hash collisions against a
+  *specific* CountSketch instance, derived from its row-hash structure;
+* :func:`adaptive_adversarial_stream` — an adaptive adversary that
+  interleaves queries and inserts against a live victim sketch, steering
+  mass onto the items the victim's estimates reveal as colliding.
+
+The guarantees are probabilistic over *hash choice*, so the last two are
+instance-targeted: they break the attacked seed while fresh seeds keep the
+advertised bounds — exactly the distinction :mod:`repro.verify` measures.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from repro.streams.model import StreamUpdate, TurnstileStream
 from repro.util.rng import RandomSource, as_source
+
+if TYPE_CHECKING:  # circular at runtime: sketch modules import streams
+    from repro.sketch.countsketch import CountSketch
 
 
 def _emit_frequencies(
@@ -260,4 +283,244 @@ def sample_stream_from_pmf(
     for item, value in enumerate(values):
         if value > 0:
             stream.append(StreamUpdate(item, value))
+    return stream
+
+
+# --------------------------------------------------------------------------
+# The adversarial workload zoo (ROADMAP item 5): streams that stress the
+# probabilistic guarantees instead of exercising the happy path.
+# --------------------------------------------------------------------------
+
+#: The heavy-tail sweep exponents: sub-critical (0.8, mass spread thin),
+#: the canonical web-traffic skew (1.1), strongly concentrated (1.5), and
+#: a near-degenerate head (2.0).
+DEFAULT_ZIPF_SKEWS = (0.8, 1.1, 1.5, 2.0)
+
+
+def zipf_sweep(
+    n: int,
+    total_mass: int,
+    skews: Sequence[float] = DEFAULT_ZIPF_SKEWS,
+    seed: int | RandomSource | None = None,
+    turnstile_noise: float = 0.0,
+) -> list[tuple[float, TurnstileStream]]:
+    """Heavy-tailed Zipf workloads across a sweep of skew exponents.
+
+    Returns ``[(skew, stream), ...]``; each stream draws from an
+    independent child seed, so the sweep is reproducible as a unit.  The
+    verifier (:mod:`repro.verify`) runs each guarantee across the whole
+    sweep because sketch error distributions shift with the tail weight:
+    small skews spread F2 across the tail (many borderline items), large
+    skews concentrate it in a few giants (collision errors dominated by
+    single items).
+    """
+    source = as_source(seed, "zipf_sweep")
+    return [
+        (
+            float(skew),
+            zipf_stream(
+                n, total_mass, float(skew), source.child(f"skew{skew}"), turnstile_noise
+            ),
+        )
+        for skew in skews
+    ]
+
+
+def deletion_storm_stream(
+    n: int,
+    support: int,
+    magnitude: int,
+    waves: int = 2,
+    overshoot: int = 1,
+    residue: int = 1,
+    seed: int | RandomSource | None = None,
+) -> TurnstileStream:
+    """An all-deletion turnstile storm: every count is driven back through
+    zero — and past it — repeatedly.
+
+    Each wave inserts ``magnitude`` on every chosen item, deletes
+    ``magnitude + overshoot`` (leaving the count *negative*), then restores
+    to exactly zero.  After the waves, each item receives a final
+    ``+-residue`` (alternating), so the net frequency vector is tiny and
+    signed while the gross update volume is ``~3 * waves * support``
+    updates of magnitude ``magnitude``.  Linear sketches must cancel all of
+    it exactly; estimators that only exercise positive-delta paths (or
+    Count-Min's one-sided min rule) break here, which is the point.
+    """
+    if support > n:
+        raise ValueError("support cannot exceed the domain")
+    if magnitude < 1 or overshoot < 0 or waves < 1:
+        raise ValueError("magnitude >= 1, overshoot >= 0, waves >= 1 required")
+    source = as_source(seed, "deletion_storm")
+    ids = np.arange(n)
+    source.shuffle(ids)
+    chosen = [int(i) for i in ids[:support]]
+    stream = TurnstileStream(n)
+
+    def phase(delta: int) -> None:
+        order = list(chosen)
+        source.shuffle(order)
+        for item in order:
+            stream.append(StreamUpdate(item, delta))
+
+    for _ in range(waves):
+        phase(magnitude)
+        phase(-(magnitude + overshoot))  # through zero, below it
+        if overshoot:
+            phase(overshoot)  # back to exactly zero
+    if residue:
+        order = list(chosen)
+        source.shuffle(order)
+        for rank, item in enumerate(order):
+            stream.append(StreamUpdate(item, residue if rank % 2 == 0 else -residue))
+    return stream
+
+
+def distinct_flood_stream(
+    n: int,
+    magnitude: int = 1,
+    seed: int | RandomSource | None = None,
+) -> TurnstileStream:
+    """An all-distinct flood: every item of the domain appears exactly once
+    (at ``magnitude``), in random order.
+
+    This is the pathological-cardinality workload for the CountSketch
+    candidate pool: with more distinct items than ``pool`` entries the
+    ``sample`` policy degrades identification to a uniform sample, and the
+    ``evict-by-estimate`` fallback must keep memory bounded (see
+    :class:`repro.sketch.countsketch.CountSketch`).
+    """
+    source = as_source(seed, "distinct_flood")
+    ids = np.arange(n)
+    source.shuffle(ids)
+    stream = TurnstileStream(n)
+    for item in ids:
+        stream.append(StreamUpdate(int(item), magnitude))
+    return stream
+
+
+def collision_stream(
+    victim: "CountSketch",
+    n: int,
+    target: int = 0,
+    colliders: int = 64,
+    mass: int = 32,
+    target_mass: int = 1,
+    seed: int | RandomSource | None = None,
+    chunk: int = 1 << 16,
+) -> TurnstileStream:
+    """A hash-collision-seeking stream against a *specific* CountSketch.
+
+    Scans the domain for the items whose
+    :meth:`~repro.sketch.countsketch.CountSketch.collision_scores` against
+    ``target`` are largest — items that land in ``target``'s bucket with an
+    agreeing sign in many rows of *this instance's* tabulation — and piles
+    ``mass`` on each of the ``colliders`` best.  The victim's median
+    estimate of ``target`` (true count ``target_mass``) is then inflated by
+    collision mass in most rows, defeating the median; a CountSketch with
+    fresh hashes sees the same stream as ordinary skew and keeps the
+    ``sqrt(F2/b)`` bound.  This is the "guarantees are probabilistic over
+    hash choice" separation made executable.
+    """
+    if not 0 <= target < n:
+        raise ValueError("target must lie in the domain")
+    source = as_source(seed, "collision_stream")
+    scores = np.empty(n, dtype=np.int64)
+    for start in range(0, n, chunk):
+        block = np.arange(start, min(start + chunk, n), dtype=np.int64)
+        scores[start : start + block.shape[0]] = victim.collision_scores(block, target)
+    scores[target] = np.iinfo(np.int64).min  # the target never attacks itself
+    k = min(int(colliders), n - 1)
+    top = np.argpartition(-scores, k - 1)[:k]
+    top = top[np.lexsort((top, -scores[top]))]  # deterministic order
+    stream = TurnstileStream(n)
+    stream.append(StreamUpdate(int(target), target_mass))
+    order = [int(i) for i in top]
+    source.shuffle(order)
+    for item in order:
+        stream.append(StreamUpdate(item, mass))
+    return stream
+
+
+def adaptive_adversarial_stream(
+    n: int,
+    victim: "CountSketch",
+    rounds: int = 8,
+    batch: int = 128,
+    probe_mass: int = 16,
+    boost_mass: int = 256,
+    target: int | None = None,
+    target_mass: int = 1,
+    noise_support: int = 512,
+    noise_magnitude: int = 8,
+    seed: int | RandomSource | None = None,
+) -> TurnstileStream:
+    """A black-box adaptive adversary that interleaves queries, inserts,
+    and deletes against a live victim sketch to corrupt one target item.
+
+    Unlike :func:`collision_stream` (which reads the victim's hash tables
+    directly), this adversary only uses the *query interface*.  After
+    laying down ``noise_support`` items of background traffic (so the
+    target's per-row values are diverse and the median is movable), it
+    plants ``target`` with a tiny true count and probes: insert
+    ``probe_mass`` on a fresh decoy, query ``victim.estimate(target)``,
+    and keep the decoy's mass only if the estimate *rose* — evidence the
+    decoy collides with the target in a median-pivotal row with an
+    agreeing sign.  Non-colliding probes are retracted with a matching
+    deletion, so the stream interleaves queries, inserts, and turnstile
+    deletes.  Each round finishes by piling ``boost_mass`` on every
+    collider found so far, which pushes the colliding rows upward and
+    makes fresh rows pivotal for the next round of probes.
+
+    The result: the attacked instance reports ``target`` (true count
+    ``target_mass``) with a huge estimate — well past the oblivious
+    ``3*sqrt(F2/b)`` bound and typically at the top of the
+    tracked-candidate pool, displacing genuine heavy hitters — while a
+    sketch with fresh hashes replaying the same stream sees the mass
+    placement as random and keeps the advertised guarantee.
+
+    The ``victim`` is mutated in place (it ingests the whole stream), so
+    callers evaluate the attacked instance directly and replay the
+    returned stream through fresh seeds for the contrast.
+    """
+    if rounds < 1 or batch < 1:
+        raise ValueError("rounds and batch must be positive")
+    if probe_mass < 1 or boost_mass < 0 or target_mass < 1:
+        raise ValueError("probe_mass, target_mass >= 1 and boost_mass >= 0 required")
+    source = as_source(seed, "adaptive_adversary")
+    ids = np.arange(n)
+    source.shuffle(ids)
+    if target is None:
+        target = int(ids[-1])
+    decoy_ids = [int(i) for i in ids if int(i) != target]
+    if noise_support + rounds * batch > len(decoy_ids):
+        raise ValueError("domain too small for noise plus rounds * batch decoys")
+    stream = TurnstileStream(n)
+
+    def emit(item: int, delta: int) -> None:
+        stream.append(StreamUpdate(item, delta))
+        victim.update(item, delta)
+
+    cursor = 0
+    for item in decoy_ids[:noise_support]:  # diversify the rows first
+        emit(item, int(source.integers(1, noise_magnitude + 1)))
+    cursor += noise_support
+    emit(int(target), int(target_mass))
+    colliders: list[int] = []
+    baseline = victim.estimate(int(target))
+    for _ in range(rounds):
+        fresh = decoy_ids[cursor : cursor + batch]
+        cursor += batch
+        for item in fresh:
+            emit(item, probe_mass)
+            moved = victim.estimate(int(target))  # the adaptive query
+            if moved > baseline:  # pivotal, sign-agreeing collision
+                colliders.append(item)
+                baseline = moved
+            else:
+                emit(item, -probe_mass)  # retract: turnstile delete
+        if boost_mass:
+            for item in colliders:
+                emit(item, boost_mass)
+            baseline = victim.estimate(int(target))
     return stream

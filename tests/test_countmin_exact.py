@@ -63,3 +63,61 @@ class TestExactCounter:
         ec.update(1, 5)
         ec.update(1, -5)
         assert ec.space_counters == 0
+
+
+class TestCountMinTurnstileDeletions:
+    """Deletions through zero: the table is linear (cancellation is exact)
+    even though the min *estimate* rule is only guaranteed for
+    insertion-only streams."""
+
+    def test_isolated_item_estimate_goes_negative(self):
+        cm = CountMinSketch(rows=3, buckets=64, seed=1)
+        cm.update(7, 5)
+        cm.update(7, -8)
+        # Every row of item 7 holds exactly -3: the estimate is signed.
+        assert cm.estimate(7) == pytest.approx(-3.0)
+        cm.update(7, 3)
+        assert cm.estimate(7) == pytest.approx(0.0)
+
+    def test_deletion_storm_cancels_exactly_in_the_table(self):
+        import numpy as np
+
+        from repro.streams.generators import deletion_storm_stream
+
+        storm = deletion_storm_stream(256, support=64, magnitude=100, seed=5)
+        truth = {}
+        for u in storm:
+            truth[u.item] = truth.get(u.item, 0) + u.delta
+        streamed = CountMinSketch(rows=3, buckets=128, seed=2).process(storm)
+        net = CountMinSketch(rows=3, buckets=128, seed=2)
+        items = np.asarray(sorted(truth), dtype=np.int64)
+        deltas = np.asarray([truth[int(i)] for i in items], dtype=np.int64)
+        net.update_batch(items[deltas != 0], deltas[deltas != 0])
+        assert np.array_equal(streamed._table, net._table)
+
+    def test_min_rule_can_underestimate_under_deletions(self):
+        """The insertion-only overestimate guarantee genuinely breaks: a
+        colliding negative count drags the min below the true frequency."""
+        cm = CountMinSketch(rows=1, buckets=8, seed=3)
+        collider = next(
+            c for c in range(1, 1000)
+            if cm._hashes[0](c) == cm._hashes[0](0) and c != 0
+        )
+        cm.update(0, 10)
+        cm.update(collider, -4)
+        assert cm.estimate(0) == pytest.approx(6.0)  # < true 10
+
+    def test_batch_deletions_match_scalar_replay(self):
+        import numpy as np
+
+        scalar = CountMinSketch(rows=4, buckets=32, seed=7)
+        batched = CountMinSketch(rows=4, buckets=32, seed=7)
+        updates = [(3, 9), (5, -2), (3, -9), (5, 2), (8, -7), (8, 7), (1, -1)]
+        for item, delta in updates:
+            scalar.update(item, delta)
+        batched.update_batch(
+            np.asarray([i for i, _ in updates], dtype=np.int64),
+            np.asarray([d for _, d in updates], dtype=np.int64),
+        )
+        assert np.array_equal(scalar._table, batched._table)
+        assert scalar.estimate(1) == pytest.approx(-1.0)
