@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""The snapshot query server, end to end — the CI serve-smoke path.
+
+Starts ``repro serve`` as a real subprocess (the way an operator would),
+waits for its ``serving on http://...`` banner, then:
+
+1. **Equality gate** — builds the identical sketch locally from the same
+   spec and stream, and checks the server's ``/frequency`` answers equal
+   direct ``estimate()`` calls bit for bit.  The server is not an
+   approximation of the library; it *is* the library behind HTTP.
+2. **Concurrent load** — drives many keep-alive clients through the load
+   harness and reports queries/sec, p50/p99 latency, and the cache hit
+   rate, with a soft p99 threshold (printed as a warning, not a hard
+   failure — shared CI runners make hard latency walls flaky).
+3. **Live ingestion** — restarts the server with ``--live-chunk`` so a
+   background thread keeps advancing the merge epoch mid-query, and
+   checks queries stay error-free and the served epoch advances.
+
+Run:  python examples/serve_quickstart.py
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.distributed.specs import build_sketch
+from repro.serve import fetch_json, run_load
+from repro.streams.io import load_stream
+
+SOFT_P99_MS = 250.0
+SPEC = {"kind": "countsketch", "rows": 5, "buckets": 1024, "track": 16, "seed": 5}
+
+
+def start_server(stream_path: pathlib.Path, *extra: str) -> tuple[subprocess.Popen, str, int]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", str(stream_path),
+         "--sketch", "countsketch", "--track", "16", "--seed", "5",
+         "--port", "0", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    banner = proc.stdout.readline()
+    match = re.match(r"serving on http://([\d.]+):(\d+)", banner)
+    if not match:
+        proc.terminate()
+        raise RuntimeError(f"no server banner, got: {banner!r}")
+    return proc, match.group(1), int(match.group(2))
+
+
+def main() -> None:
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="repro-serve-"))
+    stream_path = tmp / "stream.jsonl"
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli", "generate", str(stream_path),
+         "--n", "2048", "--mass", "50000", "--seed", "9"],
+        check=True, capture_output=True,
+    )
+
+    # ---- 1. equality gate: the server answers ARE the library's answers
+    proc, host, port = start_server(stream_path)
+    try:
+        local = build_sketch(SPEC).process(load_stream(stream_path))
+        probes = [1, 17, 256, 2047]
+        for item in probes:
+            served = fetch_json(host, port, f"/frequency/{item}")
+            direct = float(local.estimate(item))
+            assert served["estimate"] == direct, (item, served, direct)
+        hh = fetch_json(host, port, "/heavy-hitters?k=5")["heavy_hitters"]
+        top = local.top_candidates(5)
+        assert [h["item"] for h in hh] == [p.item for p in top]
+        print(f"equality gate: {len(probes)} point probes + top-5 heavy "
+              "hitters match direct estimates exactly")
+
+        # ---- 2. concurrent load against the frozen state
+        paths = [f"/frequency/{i}" for i in range(0, 256, 8)] + ["/heavy-hitters?k=8"]
+        report = run_load(host, port, paths, clients=30, requests_per_client=50)
+        stats = fetch_json(host, port, "/stats")
+        assert report.errors == 0, f"{report.errors} transport errors"
+        print(f"static load: {report.requests} requests from {report.clients} "
+              f"clients -> {report.queries_per_sec:,.0f} q/s, "
+              f"p50 {report.p50_ms:.2f} ms, p99 {report.p99_ms:.2f} ms, "
+              f"cache hit rate {stats['cache']['hit_rate']:.1%}")
+        if report.p99_ms > SOFT_P99_MS:
+            print(f"warning: p99 {report.p99_ms:.1f} ms exceeds the "
+                  f"{SOFT_P99_MS:.0f} ms soft threshold (noisy host?)")
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+    # ---- 3. live ingestion: epochs advance under concurrent queries
+    proc, host, port = start_server(
+        stream_path, "--live-chunk", "64", "--live-delay", "0.005"
+    )
+    try:
+        first = fetch_json(host, port, "/health")
+        report = run_load(host, port, paths, clients=10, requests_per_client=40)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            last = fetch_json(host, port, "/health")
+            if last["epoch"] > first["epoch"]:
+                break
+            time.sleep(0.05)
+        assert report.errors == 0, f"{report.errors} errors during live ingest"
+        assert last["epoch"] > first["epoch"], (first, last)
+        print(f"live ingest: {report.requests} requests error-free while the "
+              f"merge epoch advanced {first['epoch']} -> {last['epoch']} "
+              f"({report.queries_per_sec:,.0f} q/s)")
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+    print("serve quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,11 @@ coordinate collect worker states, merge them, and report — bit-identical
            ``--merge-workers N`` folds frames through a parallel merge
            tree instead of the collector thread (``--merge-mode process``
            makes the tree GIL-free)
+serve      long-lived asyncio HTTP/JSON query server over a snapshot
+           store: ``/estimate``, ``/frequency/<item>``,
+           ``/heavy-hitters``, ``/health``, ``/stats``; ``--live-chunk``
+           keeps ingesting the stream in the background while queries
+           are served from epoch-consistent copy-on-write snapshots
 
 Both distributed commands take
 ``--codec {dense-json,sparse,binary,sparse-binary}`` — the state codec
@@ -484,6 +489,81 @@ def _cmd_coordinate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve live estimates over HTTP while (optionally) still ingesting.
+
+    ``--live-chunk N`` starts serving immediately and feeds the stream in
+    the background, one epoch per chunk — queries run against lock-free
+    copy-on-write snapshots while the live sketch advances.  Without it,
+    the stream is ingested up front and the server answers from a single
+    final epoch (every answer cache-able until the process exits).
+    """
+    import asyncio
+    import threading
+    import time
+
+    from repro.distributed.specs import build_sketch
+    from repro.serve import QueryEngine, SketchServer, SnapshotStore
+
+    spec = {"kind": args.sketch, "seed": args.seed}
+    if args.sketch == "countsketch":
+        spec.update(rows=args.rows, buckets=args.buckets, track=args.track)
+    elif args.sketch == "countmin":
+        spec.update(rows=args.rows, buckets=args.buckets)
+    elif args.sketch == "ams":
+        spec.update(medians=args.rows, means_size=args.buckets)
+    else:  # gsum: 1-pass only (a live stream has no second pass to drive)
+        spec.update(
+            function=args.function, n=args.n, epsilon=args.epsilon,
+            heaviness=args.heaviness, repetitions=args.repetitions, passes=1,
+        )
+    sketch = build_sketch(spec)
+    store = SnapshotStore(sketch, codec=args.snapshot_codec)
+    items, deltas = load_stream(args.stream).as_arrays()
+
+    stop = threading.Event()
+    ingest_thread: threading.Thread | None = None
+    if args.live_chunk > 0:
+        def _ingest() -> None:
+            for start in range(0, items.shape[0], args.live_chunk):
+                if stop.is_set():
+                    return
+                stop_at = start + args.live_chunk
+                store.update_batch(items[start:stop_at], deltas[start:stop_at])
+                if args.live_delay > 0:
+                    time.sleep(args.live_delay)
+
+        ingest_thread = threading.Thread(
+            target=_ingest, name="serve-ingest", daemon=True
+        )
+    else:
+        for start in range(0, items.shape[0], args.chunk):
+            stop_at = start + args.chunk
+            store.update_batch(items[start:stop_at], deltas[start:stop_at])
+
+    engine = QueryEngine(
+        store, cache_size=args.cache_size,
+        refresh_interval=args.refresh_interval,
+    )
+    server = SketchServer(engine, args.host, args.port)
+    if ingest_thread is not None:
+        ingest_thread.start()
+    try:
+        asyncio.run(
+            server.serve_forever(args.duration if args.duration > 0 else None)
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        stop.set()
+        if ingest_thread is not None:
+            ingest_thread.join(timeout=10.0)
+    stats = engine.stats()
+    print(f"served {stats['queries']:,} queries over {store.epoch} epoch(s); "
+          f"cache hit rate {stats['cache']['hit_rate']:.1%}")
+    return 0
+
+
 def _cmd_catalog(args: argparse.Namespace) -> int:
     table = zero_one_table(list(catalog().values()))
     width = max(len(v.name) for v in table)
@@ -607,6 +687,55 @@ def build_parser() -> argparse.ArgumentParser:
                         "results are bit-identical either way")
     _add_distributed_args(p, worker=False)
     p.set_defaults(fn=_cmd_coordinate)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve estimates over HTTP from lock-free snapshots, "
+             "optionally while still ingesting the stream",
+    )
+    p.add_argument("stream", help="stream file from `repro generate`")
+    p.add_argument("--sketch", choices=("countsketch", "countmin", "ams", "gsum"),
+                   default="countsketch")
+    p.add_argument("--function", default="x^2",
+                   help="g function for --sketch gsum (catalog name or "
+                        "expression in x)")
+    p.add_argument("--n", type=_positive_int, default=4096,
+                   help="domain size for --sketch gsum")
+    p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--heaviness", type=float, default=0.05)
+    p.add_argument("--repetitions", type=_positive_int, default=3)
+    p.add_argument("--rows", type=_positive_int, default=5,
+                   help="countsketch/countmin rows (ams: median groups)")
+    p.add_argument("--buckets", type=_positive_int, default=1024,
+                   help="countsketch/countmin buckets (ams: means size)")
+    p.add_argument("--track", type=int, default=16,
+                   help="countsketch heavy-hitter candidate pool size")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = ephemeral; the bound port is "
+                        "printed at startup)")
+    p.add_argument("--cache-size", type=_positive_int, default=4096,
+                   help="epoch-keyed LRU result-cache capacity")
+    p.add_argument("--refresh-interval", type=float, default=0.0,
+                   help="minimum seconds between snapshot refreshes under "
+                        "live ingestion (0 = refresh on every epoch advance)")
+    p.add_argument("--snapshot-codec",
+                   choices=("dense-json", "sparse", "binary", "sparse-binary"),
+                   default="sparse-binary",
+                   help="state codec paid per copy-on-write snapshot")
+    p.add_argument("--chunk", type=_positive_int, default=4096,
+                   help="up-front ingestion chunk size (one epoch each)")
+    p.add_argument("--live-chunk", type=int, default=0,
+                   help="serve immediately and ingest the stream in the "
+                        "background in chunks of this size (0 = ingest "
+                        "everything before serving)")
+    p.add_argument("--live-delay", type=float, default=0.0,
+                   help="sleep between background ingestion chunks, seconds")
+    p.add_argument("--duration", type=float, default=0.0,
+                   help="stop after this many seconds (0 = serve until "
+                        "interrupted)")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("catalog", help="print the catalog zero-one table")
     p.set_defaults(fn=_cmd_catalog)

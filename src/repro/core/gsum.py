@@ -342,6 +342,30 @@ class GSumEstimator(MergeableSketch):
     def estimate(self) -> float:
         return float(statistics.median(s.estimate() for s in self._sketches))
 
+    def frequency(self, item: int) -> float:
+        """Point frequency estimate for one item (median across the
+        repetitions' level-0 sketches); the scalar form of
+        :meth:`frequency_batch`."""
+        return float(self.frequency_batch(np.asarray([int(item)], dtype=np.int64))[0])
+
+    def frequency_batch(
+        self, items: "np.ndarray | Sequence[int]"
+    ) -> np.ndarray:
+        """Vectorized frequency probes: each repetition's level-0
+        heavy-hitter sketch (which ingested the whole, un-subsampled
+        stream) answers the batch in one kernel pass, and the median
+        across repetitions is returned.  This is the query the serve
+        layer's ``/frequency`` endpoint rides."""
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("frequency_batch expects a 1-D array of items")
+        if arr.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        per_rep = np.empty((len(self._sketches), arr.shape[0]), dtype=np.float64)
+        for r, sketch in enumerate(self._sketches):
+            per_rep[r] = sketch.frequency_batch(arr)
+        return np.median(per_rep, axis=0)
+
     @property
     def space_counters(self) -> int:
         return sum(s.space_counters for s in self._sketches)

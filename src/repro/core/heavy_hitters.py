@@ -207,6 +207,15 @@ class OnePassGHeavyHitter(MergeableSketch):
             )
         return pairs
 
+    def estimate(self, item: int) -> float:
+        """Frequency point query (the constituent CountSketch's median
+        estimate; g-values are derived from these at cover time)."""
+        return self._countsketch.estimate(item)
+
+    def estimate_batch(self, items: "np.ndarray | Sequence[int]") -> np.ndarray:
+        """Vectorized frequency probes against the constituent CountSketch."""
+        return self._countsketch.estimate_batch(items)
+
     @property
     def space_counters(self) -> int:
         return self._countsketch.space_counters + self._ams.space_counters
@@ -371,6 +380,20 @@ class TwoPassGHeavyHitter(MergeableSketch):
         pairs.sort(key=lambda p: (-p.g_weight, p.item))
         return pairs
 
+    def estimate(self, item: int) -> float:
+        """Frequency point query: exact tabulated counts once the second
+        pass is open, first-pass CountSketch estimates before that."""
+        if self._second is not None:
+            return float(self._second.estimate(item))
+        return self._countsketch.estimate(item)
+
+    def estimate_batch(self, items: "np.ndarray | Sequence[int]") -> np.ndarray:
+        """Vectorized frequency probes: exact second-pass counts when
+        available, else first-pass CountSketch estimates."""
+        if self._second is not None:
+            return self._second.estimate_batch(items)
+        return self._countsketch.estimate_batch(items)
+
     @property
     def space_counters(self) -> int:
         second = self._second.space_counters if self._second is not None else 0
@@ -454,6 +477,12 @@ class ExactHeavyHitter(MergeableSketch):
                 pairs.append(HeavyHitterPair(item, weight, float(freq)))
         pairs.sort(key=lambda p: (-p.g_weight, p.item))
         return pairs
+
+    def estimate(self, item: int) -> float:
+        return float(self._counter.estimate(item))
+
+    def estimate_batch(self, items: "np.ndarray | Sequence[int]") -> np.ndarray:
+        return self._counter.estimate_batch(items)
 
     @property
     def space_counters(self) -> int:

@@ -186,11 +186,29 @@ class RecursiveGSumSketch(MergeableSketch):
         estimate = sum(pair.g_weight for pair in covers[self.levels])
         for j in range(self.levels - 1, -1, -1):
             correction = 0.0
-            for pair in covers[j]:
-                survives = self._subsample.survives(pair.item, j + 1)
-                correction += pair.g_weight * (1.0 - 2.0 * float(survives))
+            cover = covers[j]
+            if cover:
+                # One batched survival sweep per level instead of a scalar
+                # bit-hash evaluation per cover entry; the correction is
+                # still summed in cover order, so the float result is
+                # unchanged.
+                items = np.fromiter(
+                    (pair.item for pair in cover), dtype=np.int64, count=len(cover)
+                )
+                survives = self._subsample.survives_batch(items, j + 1)
+                for pair, s in zip(cover, survives.tolist()):
+                    correction += pair.g_weight * (1.0 - 2.0 * float(s))
             estimate = 2.0 * estimate + correction
         return max(estimate, 0.0)
+
+    def frequency_batch(
+        self, items: "np.ndarray | Sequence[int]"
+    ) -> np.ndarray:
+        """Vectorized base-stream frequency probes: every item survives to
+        level 0, so the level-0 heavy-hitter sketch saw the entire stream
+        and its :meth:`estimate_batch` answers point queries in one
+        kernel pass."""
+        return self._sketches[0].estimate_batch(items)  # type: ignore[attr-defined]
 
     @property
     def space_counters(self) -> int:

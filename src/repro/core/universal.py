@@ -175,19 +175,62 @@ class UniversalGSumSketch(MergeableSketch):
 
     # ---------------------------------------------------------- evaluation
 
-    def _estimate_one(self, sketch: RecursiveGSumSketch, g: GFunction) -> float:
-        levels = sketch.levels
-        covers = [
-            sketch._sketches[j].frequency_cover()  # type: ignore[attr-defined]
-            for j in range(levels + 1)
-        ]
-        estimate = sum(g(abs(round(f))) for _, f in covers[levels])
+    def _query_plan(self) -> list:
+        """The g-oblivious half of evaluation, extracted once per query (or
+        once per *battery* of queries — see :meth:`estimate_many`): for
+        every repetition, the per-level covers reduced to ``(magnitude,
+        telescoping sign)`` rows, with survival evaluated in one batched
+        bit-hash sweep per level instead of per item.  Each plan entry is
+        ``(levels, top_magnitudes, rows)`` where ``rows[j]`` lists
+        ``(abs(round(freq)), 1 - 2*survives(item, j+1))`` in cover order."""
+        plans = []
+        for sketch in self._sketches:
+            levels = sketch.levels
+            covers = [
+                sketch._sketches[j].frequency_cover()  # type: ignore[attr-defined]
+                for j in range(levels + 1)
+            ]
+            top = [abs(round(f)) for _, f in covers[levels]]
+            rows = []
+            for j in range(levels):
+                cover = covers[j]
+                if not cover:
+                    rows.append([])
+                    continue
+                items = np.fromiter(
+                    (item for item, _ in cover), dtype=np.int64, count=len(cover)
+                )
+                survives = sketch._subsample.survives_batch(items, j + 1)
+                rows.append(
+                    [
+                        (abs(round(freq)), 1.0 - 2.0 * float(s))
+                        for (_, freq), s in zip(cover, survives.tolist())
+                    ]
+                )
+            plans.append((levels, top, rows))
+        return plans
+
+    @staticmethod
+    def _evaluate_plan(plan: tuple, g: GFunction) -> float:
+        """Telescoping estimator over one repetition's pre-extracted plan.
+        Arithmetic (and summation order) is identical to evaluating g
+        inline against the covers; repeated magnitudes hit a per-call memo
+        instead of re-evaluating g."""
+        levels, top, rows = plan
+        memo: Dict[int, float] = {}
+
+        def weight(magnitude: int) -> float:
+            w = memo.get(magnitude)
+            if w is None:
+                w = g(magnitude)
+                memo[magnitude] = w
+            return w
+
+        estimate = sum(weight(m) for m in top)
         for j in range(levels - 1, -1, -1):
             correction = 0.0
-            for item, freq in covers[j]:
-                weight = g(abs(round(freq)))
-                survives = sketch._subsample.survives(item, j + 1)
-                correction += weight * (1.0 - 2.0 * float(survives))
+            for magnitude, sign in rows[j]:
+                correction += weight(magnitude) * sign
             estimate = 2.0 * estimate + correction
         return max(estimate, 0.0)
 
@@ -195,12 +238,24 @@ class UniversalGSumSketch(MergeableSketch):
         """Post-hoc (g, eps)-SUM from the stored frequency covers; median
         over the independent repetitions."""
         return float(
-            statistics.median(self._estimate_one(s, g) for s in self._sketches)
+            statistics.median(
+                self._evaluate_plan(plan, g) for plan in self._query_plan()
+            )
         )
 
     def estimate_many(self, gs: Sequence[GFunction]) -> Dict[str, float]:
-        """Evaluate a whole battery of statistics from the one sketch."""
-        return {g.name: self.estimate(g) for g in gs}
+        """Evaluate a whole battery of statistics from the one sketch.  The
+        g-oblivious work — cover extraction (a vectorized ``top_candidates``
+        pass per level per repetition) and survival hashing — runs *once*
+        and is shared across every g, so each additional statistic costs
+        only its own g evaluations."""
+        plans = self._query_plan()
+        return {
+            g.name: float(
+                statistics.median(self._evaluate_plan(plan, g) for plan in plans)
+            )
+            for g in gs
+        }
 
     # Convenience aliases for the classic statistics zoo -------------------
 

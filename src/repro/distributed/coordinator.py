@@ -115,6 +115,14 @@ class RoundCoordinator:
         in the ``round_begin`` broadcast (codec negotiation): a worker
         launched without an explicit codec adopts it for its second-pass
         frames.  ``None`` advertises nothing.
+    store:
+        Optional :class:`~repro.serve.snapshot.SnapshotStore` wrapping
+        ``structure``.  When given, every round merge (and the
+        second-pass transition) runs under the store's writer lock and
+        advances its merge epoch, so a query server
+        (:mod:`repro.serve`) can serve lock-free snapshot reads *while*
+        rounds are merging — readers see either the pre-merge or the
+        post-merge epoch, never a torn table.
     """
 
     def __init__(
@@ -126,9 +134,12 @@ class RoundCoordinator:
         merge_workers: int = 0,
         merge_mode: str = "thread",
         codec: str | None = None,
+        store=None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
+        if store is not None and store.live is not structure:
+            raise ValueError("store must wrap the coordinator's structure")
         self.structure = structure
         self.channel = channel
         self.workers = int(workers)
@@ -136,15 +147,25 @@ class RoundCoordinator:
         self.merge_workers = int(merge_workers)
         self.merge_mode = str(merge_mode)
         self.codec = codec
+        self.store = store
         self.stale_frames = 0
         self.rounds: List[dict] = []
+
+    def _mutate(self, fn):
+        """Apply a state mutation: through the snapshot store (writer lock
+        + epoch advance) when one is attached, directly otherwise."""
+        if self.store is not None:
+            return self.store.mutate(fn)
+        return fn(self.structure)
 
     def _merge_frame(self, message: dict) -> None:
         """Streaming merge hook: fold one delta frame in the moment it
         arrives.  States are linear, so incremental merges in arrival
-        order equal one batch merge bit for bit."""
+        order equal one batch merge bit for bit.  The decode runs outside
+        any store lock; only the merge itself counts as a mutation (one
+        epoch per frame)."""
         sibling = self.structure.from_state(message["state"])
-        self.structure.merge(sibling)
+        self._mutate(lambda structure: structure.merge(sibling))
 
     def run_round(self, round_id: int) -> dict:
         """Collect (and stream-merge) one round; returns its summary.
@@ -160,7 +181,10 @@ class RoundCoordinator:
                     round_id, self.workers, timeout=self.timeout,
                     on_state=lambda message: pool.submit(message["state"]),
                 )
-                pool.drain()
+                # Pool workers pre-merge into partial accumulators; only
+                # the final drain touches the root, so it is the single
+                # mutation (epoch) the round contributes.
+                self._mutate(lambda structure: pool.drain())
         else:
             summary = self.channel.collect_round(
                 round_id, self.workers, timeout=self.timeout,
@@ -190,7 +214,7 @@ class RoundCoordinator:
         running both passes over the concatenated stream.
         """
         self.run_round(ROUND_FIRST_PASS)
-        self.structure.begin_second_pass()
+        self._mutate(lambda structure: structure.begin_second_pass())
         self.channel.publish_broadcast(
             round_begin_message(
                 ROUND_SECOND_PASS,

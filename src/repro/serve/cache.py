@@ -1,0 +1,93 @@
+"""Epoch-invalidated LRU cache for query results.
+
+Keys are ``(epoch, query)``.  The cache only ever holds answers for one
+epoch at a time: the first access stamped with a *newer* epoch clears
+everything (one dict drop — cheaper than tombstoning entries), so a cached
+answer can never outlive the sketch state that produced it.  Accesses
+stamped with an *older* epoch (a reader still holding a stale snapshot)
+bypass the cache rather than poison it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class EpochLRUCache:
+    """A small, thread-safe LRU keyed by hashable query descriptors and
+    invalidated wholesale when the merge epoch advances."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._epoch: int | None = None
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def _roll_epoch(self, epoch: int) -> None:
+        """Caller holds the lock.  Advance to ``epoch``, dropping every
+        answer computed against older state."""
+        if self._data:
+            self.invalidations += 1
+        self._data.clear()
+        self._epoch = epoch
+
+    def get(self, epoch: int, key: Hashable) -> Any:
+        """The cached answer for ``key`` at ``epoch``, or ``None``.  A newer
+        epoch invalidates the whole cache; an older one (stale reader)
+        misses without touching it."""
+        with self._lock:
+            if self._epoch is None or epoch > self._epoch:
+                self._roll_epoch(epoch)
+            if epoch != self._epoch:
+                self.misses += 1
+                return None
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, epoch: int, key: Hashable, value: Any) -> None:
+        """Store an answer computed against ``epoch``'s state.  Answers for
+        epochs older than the cache's current one are discarded (they are
+        already invalid)."""
+        with self._lock:
+            if self._epoch is None or epoch > self._epoch:
+                self._roll_epoch(epoch)
+            if epoch != self._epoch:
+                return
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "epoch": self._epoch,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "hit_rate": self.hit_rate,
+            }

@@ -1,0 +1,222 @@
+"""The query engine: snapshot + epoch cache + capability detection.
+
+One object the HTTP server, the load harness, and the tests all share.
+Reads go against an immutable :class:`~repro.serve.snapshot.SketchSnapshot`
+(never the live sketch), results are memoized in an
+:class:`~repro.serve.cache.EpochLRUCache` keyed by the snapshot's epoch,
+and the engine throttles how often it pays the copy-on-write refresh while
+ingestion is advancing the epoch underneath it.
+
+Capabilities are detected from the wrapped sketch once:
+
+* **frequency** — point/batch frequency probes, via ``frequency_batch``
+  (:class:`~repro.core.gsum.GSumEstimator`) or the mergeable protocol's
+  ``estimate_batch`` (CountSketch, Count-Min, exact, heavy-hitter
+  wrappers).
+* **heavy hitters** — ``top_candidates`` (CountSketch) or ``cover()``
+  (the g-heavy-hitter sketches).
+* **aggregate** — a nullary ``estimate()`` (the g-SUM estimators, AMS).
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.serve.cache import EpochLRUCache
+from repro.serve.snapshot import SketchSnapshot, SnapshotStore
+
+
+def _required_positional(fn) -> int | None:
+    """Number of required positional parameters of a bound callable, or
+    ``None`` when the signature cannot be introspected."""
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return None
+    count = 0
+    for param in sig.parameters.values():
+        if (
+            param.kind in (param.POSITIONAL_ONLY, param.POSITIONAL_OR_KEYWORD)
+            and param.default is param.empty
+        ):
+            count += 1
+    return count
+
+
+class QueryEngine:
+    """Serve queries from epoch-consistent snapshots with an LRU in front.
+
+    Parameters
+    ----------
+    store:
+        The :class:`SnapshotStore` wrapping the live sketch.
+    cache_size:
+        LRU capacity (entries) of the epoch-keyed result cache.
+    refresh_interval:
+        Minimum seconds between copy-on-write snapshot refreshes.  ``0``
+        refreshes whenever the epoch has advanced (every query sees the
+        newest published state); a small positive value bounds snapshot
+        cost under continuous ingestion at the price of bounded staleness.
+    """
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        cache_size: int = 4096,
+        refresh_interval: float = 0.0,
+    ):
+        self.store = store
+        self.cache = EpochLRUCache(cache_size)
+        self.refresh_interval = float(refresh_interval)
+        self._last_refresh = float("-inf")
+        self.queries = 0
+        live = store.live
+        estimate = getattr(live, "estimate", None)
+        arity = None if estimate is None else _required_positional(estimate)
+        if hasattr(live, "frequency_batch"):
+            self._frequency_attr = "frequency_batch"
+        elif estimate is not None and arity == 1:
+            self._frequency_attr = "estimate_batch"
+        else:
+            self._frequency_attr = None
+        if hasattr(live, "top_candidates"):
+            self._hh_attr = "top_candidates"
+        elif hasattr(live, "cover"):
+            self._hh_attr = "cover"
+        else:
+            self._hh_attr = None
+        self._aggregate = estimate is not None and arity == 0
+
+    # -------------------------------------------------------- capabilities
+
+    @property
+    def supports_frequency(self) -> bool:
+        return self._frequency_attr is not None
+
+    @property
+    def supports_heavy_hitters(self) -> bool:
+        return self._hh_attr is not None
+
+    @property
+    def supports_aggregate(self) -> bool:
+        return self._aggregate
+
+    # ----------------------------------------------------------- snapshots
+
+    def snapshot(self) -> SketchSnapshot:
+        """The snapshot queries run against.  Refreshes (pays one
+        copy-on-write) only when the epoch advanced *and* the refresh
+        throttle allows; otherwise returns the published snapshot
+        lock-free."""
+        current = self.store.current()
+        if current.epoch == self.store.epoch:
+            return current
+        now = time.monotonic()
+        if now - self._last_refresh < self.refresh_interval:
+            return current
+        self._last_refresh = now
+        return self.store.snapshot()
+
+    # ------------------------------------------------------------- queries
+
+    def frequency(self, item: int) -> dict:
+        """Point frequency estimate for one item."""
+        result = self.frequency_batch([int(item)])
+        return {
+            "item": int(item),
+            "estimate": result["estimates"][0],
+            "epoch": result["epoch"],
+        }
+
+    def frequency_batch(self, items: Sequence[int]) -> dict:
+        """Batched frequency probes against one epoch-consistent snapshot."""
+        if self._frequency_attr is None:
+            raise LookupError(
+                f"{type(self.store.live).__name__} does not support "
+                "frequency queries"
+            )
+        self.queries += 1
+        key = ("freq", tuple(int(i) for i in items))
+        snap = self.snapshot()
+        cached = self.cache.get(snap.epoch, key)
+        if cached is None:
+            arr = np.asarray(key[1], dtype=np.int64)
+            cached = getattr(snap.sketch, self._frequency_attr)(arr).tolist()
+            self.cache.put(snap.epoch, key, cached)
+        return {"items": list(key[1]), "estimates": cached, "epoch": snap.epoch}
+
+    def heavy_hitters(self, k: int | None = None) -> dict:
+        """Top heavy-hitter candidates from the snapshot's cover."""
+        if self._hh_attr is None:
+            raise LookupError(
+                f"{type(self.store.live).__name__} does not support "
+                "heavy-hitter queries"
+            )
+        self.queries += 1
+        key = ("hh", None if k is None else int(k))
+        snap = self.snapshot()
+        cached = self.cache.get(snap.epoch, key)
+        if cached is None:
+            if self._hh_attr == "top_candidates":
+                pairs = snap.sketch.top_candidates(key[1])
+                cached = [
+                    {"item": p.item, "estimate": p.estimate} for p in pairs
+                ]
+            else:
+                pairs = snap.sketch.cover()
+                if key[1] is not None:
+                    pairs = pairs[: key[1]]
+                cached = [
+                    {
+                        "item": p.item,
+                        "estimate": p.frequency,
+                        "g_weight": p.g_weight,
+                    }
+                    for p in pairs
+                ]
+            self.cache.put(snap.epoch, key, cached)
+        return {"heavy_hitters": cached, "epoch": snap.epoch}
+
+    def aggregate(self) -> dict:
+        """The sketch's whole-stream estimate (g-SUM, F2, ...)."""
+        if not self._aggregate:
+            raise LookupError(
+                f"{type(self.store.live).__name__} does not expose an "
+                "aggregate estimate()"
+            )
+        self.queries += 1
+        key = ("agg",)
+        snap = self.snapshot()
+        cached = self.cache.get(snap.epoch, key)
+        if cached is None:
+            cached = float(snap.sketch.estimate())
+            self.cache.put(snap.epoch, key, cached)
+        return {"estimate": cached, "epoch": snap.epoch}
+
+    # --------------------------------------------------------------- admin
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "sketch": type(self.store.live).__name__,
+            "epoch": self.store.epoch,
+            "snapshot_epoch": self.store.current().epoch,
+            "queries": self.queries,
+        }
+
+    def stats(self) -> dict:
+        return {
+            "queries": self.queries,
+            "epoch": self.store.epoch,
+            "snapshot_epoch": self.store.current().epoch,
+            "cache": self.cache.stats(),
+            "capabilities": {
+                "frequency": self.supports_frequency,
+                "heavy_hitters": self.supports_heavy_hitters,
+                "aggregate": self.supports_aggregate,
+            },
+        }

@@ -1,0 +1,163 @@
+"""Load harness: drive many concurrent keep-alive clients into a server.
+
+Each client opens one persistent connection and issues its share of
+requests back to back (HTTP/1.1 keep-alive — connection setup is paid
+once, like a real client library).  Latency is measured per request;
+the report carries queries/sec, p50/p99 latency, and error counts, and is
+what the ``S6_SERVE`` bench table and the CI serve-smoke job consume.
+
+Also exposes :func:`fetch_json`, a tiny synchronous one-shot GET used by
+tests and the smoke script (no third-party HTTP client needed).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one load run."""
+
+    requests: int
+    errors: int
+    clients: int
+    duration_s: float
+    queries_per_sec: float
+    p50_ms: float
+    p99_ms: float
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def fetch_json(host: str, port: int, path: str, timeout: float = 10.0) -> dict:
+    """Synchronous one-shot ``GET path`` returning the decoded JSON body."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        request = (
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n"
+        )
+        sock.sendall(request.encode("latin1"))
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks)
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    payload = json.loads(body.decode()) if body else {}
+    if status != 200:
+        raise RuntimeError(f"GET {path} -> {status}: {payload}")
+    return payload
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed connection")
+    status = int(status_line.split(b" ", 2)[1])
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            content_length = int(value.strip() or 0)
+    body = await reader.readexactly(content_length) if content_length else b""
+    return status, body
+
+
+async def _client(
+    host: str,
+    port: int,
+    paths: list[str],
+    index: int,
+    clients: int,
+    requests: int,
+    latencies: list[float],
+    errors: list[int],
+) -> None:
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError:
+        errors[0] += requests
+        return
+    try:
+        for r in range(requests):
+            path = paths[(index + r * clients) % len(paths)]
+            request = f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n"
+            start = time.perf_counter()
+            try:
+                writer.write(request.encode("latin1"))
+                await writer.drain()
+                status, _ = await _read_response(reader)
+            except (OSError, ConnectionError, asyncio.IncompleteReadError):
+                errors[0] += 1
+                return
+            latencies.append(time.perf_counter() - start)
+            if status != 200:
+                errors[0] += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+async def _load_main(
+    host: str, port: int, paths: list[str], clients: int, requests_per_client: int
+) -> LoadReport:
+    latencies: list[float] = []
+    errors = [0]
+    start = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _client(
+                host, port, paths, i, clients, requests_per_client, latencies, errors
+            )
+            for i in range(clients)
+        )
+    )
+    duration = time.perf_counter() - start
+    total = len(latencies)
+    if total:
+        lat = np.sort(np.asarray(latencies, dtype=np.float64))
+        p50 = float(lat[int(0.50 * (total - 1))]) * 1e3
+        p99 = float(lat[int(0.99 * (total - 1))]) * 1e3
+    else:
+        p50 = p99 = float("nan")
+    return LoadReport(
+        requests=total,
+        errors=errors[0],
+        clients=clients,
+        duration_s=duration,
+        queries_per_sec=total / duration if duration > 0 else 0.0,
+        p50_ms=p50,
+        p99_ms=p99,
+    )
+
+
+def run_load(
+    host: str,
+    port: int,
+    paths: list[str],
+    clients: int = 50,
+    requests_per_client: int = 100,
+) -> LoadReport:
+    """Drive ``clients`` concurrent keep-alive connections, each issuing
+    ``requests_per_client`` GETs round-robined over ``paths``."""
+    if not paths:
+        raise ValueError("need at least one path to load")
+    return asyncio.run(
+        _load_main(host, port, list(paths), int(clients), int(requests_per_client))
+    )

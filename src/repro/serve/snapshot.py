@@ -1,0 +1,138 @@
+"""Copy-on-write snapshots over a live mergeable sketch.
+
+The concurrency model is writer-locked, reader-lock-free:
+
+* Every mutation of the live sketch — ``update_batch``, a round merge, any
+  ``mutate(fn)`` — runs under one writer lock and advances a monotonically
+  increasing **merge epoch**.
+* :meth:`SnapshotStore.snapshot` publishes an immutable
+  :class:`SketchSnapshot`: the live state is *encoded* under the lock (the
+  cheap part — ``sparse-binary`` states are ~21x smaller than dense JSON)
+  and *decoded* into an independent frozen sibling outside it, so ingestion
+  stalls only for the serialization, never for the rebuild.
+* Readers hold a reference to a published snapshot and query it with plain
+  attribute reads — no lock, no torn tables.  A snapshot is forever
+  consistent with the epoch stamped on it; freshness is the caller's
+  policy (:class:`repro.serve.engine.QueryEngine` throttles refreshes).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.sketch.base import MergeableSketch
+
+
+class SketchSnapshot:
+    """An immutable (by convention: never mutate ``sketch``) view of the
+    live sketch as of ``epoch``.  The sketch is an independent sibling —
+    it shares no mutable state with the live one, so concurrent ingestion
+    cannot tear it."""
+
+    __slots__ = ("epoch", "sketch")
+
+    def __init__(self, epoch: int, sketch: MergeableSketch):
+        self.epoch = int(epoch)
+        self.sketch = sketch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SketchSnapshot(epoch={self.epoch}, {type(self.sketch).__name__})"
+
+
+class SnapshotStore:
+    """Serializes writers, frees readers.
+
+    Parameters
+    ----------
+    live:
+        The sketch being ingested into (any :class:`MergeableSketch`).
+    codec:
+        State codec used for the copy-on-write round trip; the default
+        ``sparse-binary`` keeps snapshot cost proportional to the
+        *occupied* state, not the table dimensions.
+    """
+
+    def __init__(self, live: MergeableSketch, codec: str = "sparse-binary"):
+        self._live = live
+        self._codec = str(codec)
+        self._lock = threading.RLock()
+        self._epoch = 0
+        self._published: SketchSnapshot | None = None
+
+    # ------------------------------------------------------------- writers
+
+    @property
+    def live(self) -> MergeableSketch:
+        """The live sketch.  Mutate it only through :meth:`mutate` (or the
+        convenience wrappers below) so the epoch stays truthful."""
+        return self._live
+
+    @property
+    def epoch(self) -> int:
+        """Monotonically increasing merge-epoch counter: the number of
+        mutations applied to the live sketch."""
+        return self._epoch
+
+    def mutate(self, fn: Callable[[MergeableSketch], Any]) -> Any:
+        """Run ``fn(live)`` under the writer lock and advance the epoch.
+        Every write path — ingestion chunks, round merges, imports — goes
+        through here, so an epoch number identifies exactly one prefix of
+        the mutation sequence."""
+        with self._lock:
+            result = fn(self._live)
+            self._epoch += 1
+        return result
+
+    def update_batch(
+        self,
+        items: "np.ndarray | Sequence[int]",
+        deltas: "np.ndarray | Sequence[int]",
+    ) -> None:
+        """One ingestion chunk = one epoch."""
+        self.mutate(lambda live: live.update_batch(items, deltas))
+
+    def merge(self, other: MergeableSketch) -> None:
+        """Fold a sibling sketch into the live one (one epoch)."""
+        self.mutate(lambda live: live.merge(other))
+
+    def merge_state(self, state: dict) -> None:
+        """Decode a shipped sibling state and fold it in (one epoch).  The
+        decode runs outside the lock; only the merge itself blocks
+        writers/snapshotters."""
+        sibling = self._live.from_state(state)
+        self.mutate(lambda live: live.merge(sibling))
+
+    # ------------------------------------------------------------- readers
+
+    def snapshot(self) -> SketchSnapshot:
+        """An immutable snapshot at the *current* epoch.
+
+        Fast path: when the published snapshot is already current this is
+        a plain attribute read.  Otherwise one caller pays the
+        copy-on-write: encode under the lock, decode outside it, publish.
+        Concurrent mutations during the decode are fine — the snapshot is
+        stamped with the epoch its state belongs to.
+        """
+        published = self._published
+        if published is not None and published.epoch == self._epoch:
+            return published
+        with self._lock:
+            epoch = self._epoch
+            state = self._live.to_state(codec=self._codec)
+        frozen = SketchSnapshot(epoch, self._live.from_state(state))
+        with self._lock:
+            if self._published is None or self._published.epoch < epoch:
+                self._published = frozen
+            return self._published if self._published.epoch >= epoch else frozen
+
+    def current(self) -> SketchSnapshot:
+        """The last *published* snapshot without forcing a refresh — always
+        lock-free for readers once anything has been published (possibly
+        stale, never torn).  Builds the first snapshot on first use."""
+        published = self._published
+        if published is not None:
+            return published
+        return self.snapshot()

@@ -63,10 +63,26 @@ class CountMinSketch(MergeableSketch):
 
     def estimate(self, item: int) -> float:
         """Min-estimate; an over-estimate of the true frequency in
-        insertion-only streams, biased and unreliable under deletions."""
-        return float(
-            min(self._table[j, self._hashes[j](item)] for j in range(self.rows))
-        )
+        insertion-only streams, biased and unreliable under deletions.
+        Delegates to the batch kernel with a size-1 array so the scalar and
+        vectorized paths share one arithmetic (min over identical float64
+        cell values, so the result is bit-for-bit the historical one)."""
+        return float(self.estimate_batch(np.asarray([int(item)], dtype=np.int64))[0])
+
+    def estimate_batch(self, items: "np.ndarray | Sequence[int]") -> np.ndarray:
+        """Min-estimates for a whole item array in one pass: per row, a
+        vectorized hash evaluation and a table gather, then a column min
+        across rows.  Element ``i`` equals ``estimate(items[i])`` bit for
+        bit."""
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("estimate_batch expects a 1-D array of items")
+        if arr.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        gathered = np.empty((self.rows, arr.shape[0]), dtype=np.float64)
+        for j in range(self.rows):
+            gathered[j] = self._table[j, self._hashes[j].values_batch(arr)]
+        return gathered.min(axis=0)
 
     @property
     def space_counters(self) -> int:

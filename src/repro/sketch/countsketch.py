@@ -49,7 +49,6 @@ from __future__ import annotations
 
 import heapq
 import math
-import statistics
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
@@ -247,29 +246,39 @@ class CountSketch(MergeableSketch):
     # ------------------------------------------------------------ estimation
 
     def estimate(self, item: int) -> float:
-        slots = self._item_slots(item)
-        table = self._table
-        return float(
-            statistics.median(
-                sign * table[j, bucket] for j, (bucket, sign) in enumerate(slots)
-            )
-        )
+        """Median-of-rows point query.  Delegates to the batch kernel with a
+        size-1 array, so the scalar and vectorized paths share a single
+        arithmetic (``np.median`` of the signed row values — identical to
+        the historical ``statistics.median`` for both odd and even row
+        counts, enforced by ``tests/test_estimate_batch.py``)."""
+        return float(self.estimate_batch(np.asarray([int(item)], dtype=np.int64))[0])
 
-    def _estimate_batch(self, items: np.ndarray) -> np.ndarray:
-        """Median-of-rows estimates for a whole item array; element ``i``
-        equals ``estimate(items[i])`` bit for bit (same arithmetic)."""
-        signed = np.empty((self.rows, items.shape[0]), dtype=np.float64)
+    def estimate_batch(self, items: "np.ndarray | Sequence[int]") -> np.ndarray:
+        """Median-of-rows estimates for a whole item array in one pass —
+        per row, a vectorized hash evaluation and a table gather, then a
+        column median.  Element ``i`` equals ``estimate(items[i])`` bit for
+        bit (same arithmetic)."""
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("estimate_batch expects a 1-D array of items")
+        if arr.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        signed = np.empty((self.rows, arr.shape[0]), dtype=np.float64)
         for j in range(self.rows):
-            buckets = self._bucket_hashes[j].values_batch(items)
-            signs = self._sign_hashes[j].values_batch(items)
+            buckets = self._bucket_hashes[j].values_batch(arr)
+            signs = self._sign_hashes[j].values_batch(arr)
             signed[j] = signs * self._table[j, buckets]
         return np.median(signed, axis=0)
 
     def estimate_many(self, items: Sequence[int]) -> list[CountSketchEstimate]:
+        """Public wrapper over :meth:`estimate_batch` that materializes
+        ``CountSketchEstimate`` records.  Hot paths (candidate scoring,
+        pool pruning, the verifier) call :meth:`estimate_batch` directly and
+        never build the per-item dataclass list."""
         arr = np.asarray([int(i) for i in items], dtype=np.int64)
         if arr.shape[0] == 0:
             return []
-        estimates = self._estimate_batch(arr)
+        estimates = self.estimate_batch(arr)
         return [
             CountSketchEstimate(int(i), float(e))
             for i, e in zip(arr.tolist(), estimates.tolist())
@@ -337,7 +346,7 @@ class CountSketch(MergeableSketch):
         count = len(self._candidates)
         items = np.fromiter(self._candidates.keys(), dtype=np.int64, count=count)
         values = np.fromiter(self._candidates.values(), dtype=np.int64, count=count)
-        magnitudes = np.abs(self._estimate_batch(items))
+        magnitudes = np.abs(self.estimate_batch(items))
         order = np.lexsort((items, values, -magnitudes))[: self.pool]
         self._candidates = dict(
             zip(items[order].tolist(), values[order].tolist())
@@ -363,7 +372,7 @@ class CountSketch(MergeableSketch):
         items = np.fromiter(
             self._candidates.keys(), dtype=np.int64, count=len(self._candidates)
         )
-        estimates = self._estimate_batch(items)
+        estimates = self.estimate_batch(items)
         magnitudes = np.abs(estimates)
         if items.shape[0] > limit:
             # Keep everything tied with the k-th largest magnitude, then

@@ -69,6 +69,21 @@ class ExactCounter(MergeableSketch):
     def estimate(self, item: int) -> int:
         return self._counts.get(item, 0)
 
+    def estimate_batch(self, items: "np.ndarray | Sequence[int]") -> np.ndarray:
+        """Exact counts for a whole item array (float64; the counts are
+        integers, exact below 2^53, so ``out[i] == estimate(items[i])``
+        holds bit for bit).  One pass over the probe array with a direct
+        dict lookup — no per-item method dispatch."""
+        arr = np.asarray(items, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("estimate_batch expects a 1-D array of items")
+        counts = self._counts
+        return np.fromiter(
+            (counts.get(item, 0) for item in arr.tolist()),
+            dtype=np.float64,
+            count=arr.shape[0],
+        )
+
     def frequency_vector(self) -> FrequencyVector:
         return FrequencyVector(self.domain_size, self._counts)
 

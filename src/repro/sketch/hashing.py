@@ -325,6 +325,21 @@ class SubsampleHash:
             return True
         return all(self._bits[j](x) == 1 for j in range(level))
 
+    def survives_batch(
+        self, xs: "np.ndarray | Iterable[int]", level: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`survives`: element ``i`` equals
+        ``survives(xs[i], level)``.  Survival sets are nested (the first
+        ``level`` bits must all be 1), so surviving to ``level`` is exactly
+        ``levels_batch(xs) >= level`` — one batched bit-hash sweep instead
+        of a per-item Python loop."""
+        if not 0 <= level <= self.levels:
+            raise ValueError(f"level must be in [0, {self.levels}]")
+        arr = np.asarray(xs, dtype=np.int64)
+        if level == 0:
+            return np.ones(arr.shape[0], dtype=bool)
+        return self.levels_batch(arr) >= level
+
 
 class BernoulliHash:
     """Pairwise-independent Bernoulli(1/2) variables X_1..X_n, exposed both

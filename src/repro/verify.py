@@ -201,7 +201,7 @@ def verify_countsketch(
             pool_policy=pool_policy,
         )
         sketch.update_batch(unique, net)
-        estimates = sketch._estimate_batch(probe)
+        estimates = sketch.estimate_batch(probe)
         normalized[trial] = np.abs(estimates - truth) / bound
     return _report("countsketch", workload, seeds, normalized.ravel(), delta)
 

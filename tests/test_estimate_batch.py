@@ -1,0 +1,213 @@
+"""Batch-query kernels vs the historical scalar arithmetic, bit for bit.
+
+Every ``estimate_batch`` implementer must satisfy two equalities on every
+probe array:
+
+1. ``estimate_batch(items)[i] == estimate(items[i])`` — the scalar path
+   (which now delegates to a size-1 batch) and the vectorized path share
+   one arithmetic.
+2. ``estimate_batch(items)[i] ==`` the *pre-vectorization* scalar formula
+   replayed by hand — per-row scalar hashing with ``statistics.median``
+   (CountSketch) or a Python-level ``min`` (Count-Min).  This pins the
+   kernels to the historical semantics, not merely to themselves: both
+   the odd-rows (middle element) and even-rows (mean of the two middle
+   elements) median branches are covered.
+
+Plus the protocol edges: empty probes, shape validation, the base-class
+fallback, and sketches without point queries.
+"""
+
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.core.gsum import GSumEstimator
+from repro.core.heavy_hitters import (
+    ExactHeavyHitter,
+    OnePassGHeavyHitter,
+    TwoPassGHeavyHitter,
+)
+from repro.core.recursive_sketch import RecursiveGSumSketch
+from repro.core.universal import UniversalGSumSketch
+from repro.functions.library import moment
+from repro.sketch.ams import AmsF2Sketch
+from repro.sketch.base import MergeableSketch
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.countsketch import CountSketch
+from repro.sketch.exact import ExactCounter
+from repro.sketch.hashing import SubsampleHash
+from repro.streams.generators import zipf_stream
+from repro.util.rng import RandomSource
+
+N = 256
+G2 = moment(2.0)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return zipf_stream(n=N, total_mass=8_000, skew=1.2, seed=11, turnstile_noise=0.3)
+
+
+@pytest.fixture(scope="module")
+def probes():
+    rng = np.random.default_rng(3)
+    # In-domain, out-of-domain, and repeated probes.
+    return np.concatenate(
+        [rng.integers(0, N, size=200, dtype=np.int64),
+         np.asarray([0, 0, N - 1, N + 50, 10_000], dtype=np.int64)]
+    )
+
+
+def countsketch_scalar_reference(cs: CountSketch, item: int) -> float:
+    """The pre-vectorization CountSketch estimate, replayed verbatim."""
+    return statistics.median(
+        float(cs._sign_hashes[j](item)) * cs._table[j, cs._bucket_hashes[j](item)]
+        for j in range(cs.rows)
+    )
+
+
+def countmin_scalar_reference(cm: CountMinSketch, item: int) -> float:
+    return float(min(cm._table[j, cm._hashes[j](item)] for j in range(cm.rows)))
+
+
+def assert_batch_matches_scalar(sketch, probes):
+    batch = sketch.estimate_batch(probes)
+    assert batch.dtype == np.float64 and batch.shape == probes.shape
+    assert [float(v) for v in batch] == [float(sketch.estimate(int(i))) for i in probes]
+    return batch
+
+
+@pytest.mark.parametrize("rows", [5, 4])  # odd and even median branches
+def test_countsketch_kernel(stream, probes, rows):
+    cs = CountSketch(rows, 128, track=16, seed=9).process(stream)
+    batch = assert_batch_matches_scalar(cs, probes)
+    assert [float(v) for v in batch] == [
+        countsketch_scalar_reference(cs, int(i)) for i in probes
+    ]
+
+
+def test_countsketch_estimate_many_rides_kernel(stream, probes):
+    cs = CountSketch(5, 128, seed=9).process(stream)
+    many = cs.estimate_many([int(i) for i in probes])
+    batch = cs.estimate_batch(probes)
+    assert [e.item for e in many] == [int(i) for i in probes]
+    assert [e.estimate for e in many] == [float(v) for v in batch]
+
+
+def test_countmin_kernel(stream, probes):
+    cm = CountMinSketch(5, 128, seed=9).process(stream)
+    batch = assert_batch_matches_scalar(cm, probes)
+    assert [float(v) for v in batch] == [
+        countmin_scalar_reference(cm, int(i)) for i in probes
+    ]
+
+
+def test_exact_counter_kernel(stream, probes):
+    ex = ExactCounter(N).process(stream)
+    assert_batch_matches_scalar(ex, probes)
+    restricted = ExactCounter(N, restrict_to=range(0, N, 3)).process(stream)
+    assert_batch_matches_scalar(restricted, probes)
+
+
+def test_heavy_hitter_wrappers(stream, probes):
+    one = OnePassGHeavyHitter(G2, 0.1, 0.3, 0.2, N, seed=9).process(stream)
+    assert_batch_matches_scalar(one, probes)
+
+    two = TwoPassGHeavyHitter(G2, 0.1, 0.2, N, seed=9)
+    for u in stream:
+        two.update(u.item, u.delta)
+    before = assert_batch_matches_scalar(two, probes)  # first-pass estimates
+    two.begin_second_pass()
+    for u in stream:
+        two.update_second_pass(u.item, u.delta)
+    after = assert_batch_matches_scalar(two, probes)  # exact tabulations
+    assert not np.array_equal(before, after)  # really switched substrates
+
+    exact = ExactHeavyHitter(G2, N)
+    for u in stream:
+        exact.update(u.item, u.delta)
+    assert_batch_matches_scalar(exact, probes)
+
+
+def test_gsum_frequency_batch(stream, probes):
+    est = GSumEstimator(G2, N, heaviness=0.1, repetitions=3, seed=9)
+    est.process(stream)
+    batch = est.frequency_batch(probes)
+    assert [float(v) for v in batch] == [est.frequency(int(i)) for i in probes]
+    # The median across repetitions of the level-0 kernels, by construction.
+    per_rep = np.stack([s._sketches[0].estimate_batch(probes) for s in est._sketches])
+    assert np.array_equal(batch, np.median(per_rep, axis=0))
+
+
+def test_recursive_frequency_batch(stream, probes):
+    def factory(level, rng):
+        return ExactHeavyHitter(G2, N, heaviness=0.0)
+
+    sk = RecursiveGSumSketch(G2, N, factory, seed=9).process(stream)
+    batch = sk.frequency_batch(probes)
+    assert np.array_equal(batch, sk._sketches[0].estimate_batch(probes))
+
+
+def test_universal_estimate_many_shares_plan(stream):
+    sk = UniversalGSumSketch(N, heaviness=0.1, repetitions=3, seed=9).process(stream)
+    gs = [G2, moment(1.0), moment(3.0)]
+    many = sk.estimate_many(gs)
+    assert many == {g.name: sk.estimate(g) for g in gs}
+
+
+def test_subsample_survives_batch():
+    h = SubsampleHash(12, RandomSource(7, "t"))
+    xs = np.arange(512, dtype=np.int64)
+    assert np.array_equal(h.survives_batch(xs, 0), np.ones(512, dtype=bool))
+    for level in (1, 3, 12):
+        expected = np.asarray([h.survives(int(x), level) for x in xs])
+        assert np.array_equal(h.survives_batch(xs, level), expected)
+    with pytest.raises(ValueError):
+        h.survives_batch(xs, 13)
+
+
+def test_empty_and_shape_validation(stream):
+    cs = CountSketch(5, 128, seed=9).process(stream)
+    for sketch in (cs, CountMinSketch(5, 128, seed=9), ExactCounter(N)):
+        out = sketch.estimate_batch(np.empty(0, dtype=np.int64))
+        assert out.shape == (0,) and out.dtype == np.float64
+        with pytest.raises(ValueError):
+            sketch.estimate_batch(np.zeros((2, 2), dtype=np.int64))
+
+
+def test_base_class_fallback(stream, probes):
+    """A sketch that only implements scalar ``estimate`` still serves
+    batches through the protocol's generic loop."""
+
+    class ScalarOnly(MergeableSketch):
+        def __init__(self):
+            self._inner = ExactCounter(N)
+            self._register_mergeable(None)
+
+        def update(self, item, delta):
+            self._inner.update(item, delta)
+
+        def estimate(self, item: int) -> float:
+            return float(self._inner.estimate(item))
+
+        def merge(self, other):
+            self._inner.merge(other._inner)
+            return self
+
+        def _state_payload(self):
+            return self._inner._state_payload()
+
+        def _load_state_payload(self, payload):
+            self._inner._load_state_payload(payload)
+
+    sk = ScalarOnly()
+    for u in stream:
+        sk.update(u.item, u.delta)
+    assert_batch_matches_scalar(sk, probes)
+
+
+def test_aggregate_only_sketch_rejects_point_batch(stream):
+    ams = AmsF2Sketch(5, 16, seed=9).process(stream)
+    with pytest.raises(TypeError):
+        ams.estimate_batch(np.asarray([1, 2], dtype=np.int64))
