@@ -22,6 +22,10 @@ from repro.core.heavy_hitters import (
     TwoPassGHeavyHitter,
     theory_heaviness,
 )
+from repro.core.ingest_plan import (
+    fused_update_batch,
+    fused_update_batch_second_pass,
+)
 from repro.core.recursive_sketch import RecursiveGSumSketch
 from repro.functions.base import GFunction
 from repro.sketch.base import MergeableSketch
@@ -95,6 +99,14 @@ class GSumEstimator(MergeableSketch):
         to serialize — true for every registry-built function (the whole
         catalog, the ``random_g`` families, CLI expressions); see
         :mod:`repro.functions.registry`.
+    fused:
+        Route batched ingestion through the fused ingestion plane
+        (:mod:`repro.core.ingest_plan`): the repetition x level x row
+        fan-out is stacked into one scatter plane and stacked hash banks,
+        bit-for-bit identical to the per-sketch walk but several times
+        faster.  ``False`` keeps the legacy loop (the equality baseline
+        in tests and benchmarks).  Not part of the merge-compatibility
+        configuration — fused and legacy estimators are siblings.
     shard_axis:
         What ``shards > 1`` parallelizes.  ``"slab"`` (default) splits the
         stream into contiguous slabs fed to sibling *estimators* that are
@@ -128,6 +140,7 @@ class GSumEstimator(MergeableSketch):
         shards: int = 1,
         shard_mode: str = "thread",
         shard_axis: str = "slab",
+        fused: bool = True,
     ):
         if passes not in (0, 1, 2):
             raise ValueError("passes must be 0 (exact), 1, or 2")
@@ -200,6 +213,9 @@ class GSumEstimator(MergeableSketch):
         self.shards = int(shards)
         self.shard_mode = str(shard_mode)
         self.shard_axis = str(shard_axis)
+        self.fused = bool(fused)
+        self._ingest_plan = None
+        self._second_plan = None
         self._register_mergeable(
             source,
             g=g,
@@ -227,9 +243,21 @@ class GSumEstimator(MergeableSketch):
     def update_batch(
         self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
     ) -> None:
-        """Batched ingestion into every repetition's recursive sketch."""
+        """Batched ingestion into every repetition's recursive sketch —
+        through the fused ingestion plane when enabled and the structure
+        is fusible (bit-for-bit identical either way; see
+        :mod:`repro.core.ingest_plan`)."""
+        if self.fused and fused_update_batch(self, items, deltas):
+            return
         for sketch in self._sketches:
             sketch.update_batch(items, deltas)
+
+    def _invalidate_ingest_plans(self) -> None:
+        """Drop both cached plans: the structure is about to change (or
+        just changed) under them — state loads replace sketch objects,
+        merges mutate pools, pass transitions swap the write target."""
+        self._ingest_plan = None
+        self._second_plan = None
 
     def _process_by_repetition(
         self,
@@ -280,6 +308,7 @@ class GSumEstimator(MergeableSketch):
         )
 
     def begin_second_pass(self) -> None:
+        self._invalidate_ingest_plans()
         for sketch in self._sketches:
             sketch.begin_second_pass()
 
@@ -309,12 +338,15 @@ class GSumEstimator(MergeableSketch):
                 f"candidate export has {len(reps)} repetitions, estimator "
                 f"has {len(self._sketches)}"
             )
+        self._invalidate_ingest_plans()
         for sketch, candidates in zip(self._sketches, reps):
             sketch.import_candidates(candidates)
 
     def update_batch_second_pass(
         self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
     ) -> None:
+        if self.fused and fused_update_batch_second_pass(self, items, deltas):
+            return
         for sketch in self._sketches:
             sketch.update_batch_second_pass(items, deltas)
 
@@ -389,7 +421,7 @@ class GSumEstimator(MergeableSketch):
                 type(self),
                 config,
                 self._merge_lineage,
-                (self.shards, self.shard_mode, self.shard_axis),
+                (self.shards, self.shard_mode, self.shard_axis, self.fused),
                 self.to_state(),
             ),
         )
@@ -402,12 +434,14 @@ class GSumEstimator(MergeableSketch):
         spawned individually so two-pass phase carries over."""
         sibling = super().spawn_sibling()
         sibling._sketches = [s.spawn_sibling() for s in self._sketches]
+        sibling._invalidate_ingest_plans()
         return sibling
 
     def merge(self, other: "GSumEstimator") -> "GSumEstimator":
         """Merge repetition by repetition; the merged estimator is
         bit-identical to one that ingested both streams itself."""
         self.require_sibling(other)
+        self._invalidate_ingest_plans()
         for mine, theirs in zip(self._sketches, other._sketches):
             mine.merge(theirs)
         return self
@@ -423,6 +457,7 @@ class GSumEstimator(MergeableSketch):
             sketch.from_state(state)
             for sketch, state in zip(self._sketches, states)
         ]
+        self._invalidate_ingest_plans()
 
     # --------------------------------------------------------- convenience
 
@@ -456,9 +491,15 @@ def _rebuild_estimator(cls, config, lineage, shard_opts, state):
     config = dict(config)
     if lineage is not None:
         config["seed"] = RandomSource.resolved(*lineage)
-    shards, shard_mode, shard_axis = shard_opts
+    # Pre-fused pickles carried a 3-tuple; default them to fused ingestion.
+    shards, shard_mode, shard_axis = shard_opts[:3]
+    fused = shard_opts[3] if len(shard_opts) > 3 else True
     estimator = cls(
-        **config, shards=shards, shard_mode=shard_mode, shard_axis=shard_axis
+        **config,
+        shards=shards,
+        shard_mode=shard_mode,
+        shard_axis=shard_axis,
+        fused=fused,
     )
     if state.get("compat") != estimator.compat_digest():
         raise ValueError(

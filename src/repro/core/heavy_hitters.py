@@ -158,6 +158,14 @@ class OnePassGHeavyHitter(MergeableSketch):
         self._countsketch.update_batch(items, deltas)
         self._ams.update_batch(items, deltas)
 
+    def fused_cell(self) -> tuple:
+        """``(countsketch, ams)`` — the constituent sketches the fused
+        ingest plan (:mod:`repro.core.ingest_plan`) stacks into its plane.
+        Both are updated strictly in place by the plan, so every protocol
+        method on this wrapper keeps observing the exact same state the
+        legacy per-sketch path would produce."""
+        return self._countsketch, self._ams
+
     def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "OnePassGHeavyHitter":
         return drive(self, stream)
 
@@ -314,6 +322,20 @@ class TwoPassGHeavyHitter(MergeableSketch):
         if self._second is not None:
             raise RuntimeError("first pass is closed; use update_batch_second_pass")
         self._countsketch.update_batch(items, deltas)
+
+    def fused_cell(self) -> tuple:
+        """``(countsketch, None)`` — the first-pass constituent the fused
+        ingest plan stacks (no AMS half; second passes run through
+        :attr:`second_pass_counter` instead)."""
+        return self._countsketch, None
+
+    @property
+    def second_pass_counter(self) -> "ExactCounter | None":
+        """The open second-pass exact tabulator (``None`` while the first
+        pass is still open).  The fused ingest plan dispatches surviving
+        ``(items, net)`` slices straight at it, and snapshots its identity
+        to detect pass transitions."""
+        return self._second
 
     def begin_second_pass(self) -> None:
         candidates = [c.item for c in self._countsketch.top_candidates()]

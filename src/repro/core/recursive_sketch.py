@@ -118,6 +118,15 @@ class RecursiveGSumSketch(MergeableSketch):
         """Batched ingestion across the subsampling levels."""
         self._fan_out_batch(items, deltas, "update_batch", "update")
 
+    def ingest_layout(self) -> tuple:
+        """``(subsample_hash, level_sketches)`` — the fan-out the fused
+        ingest plan (:mod:`repro.core.ingest_plan`) flattens: depths come
+        from the subsample hash's stacked bit polynomials and each level
+        sketch contributes one plane cell.  The returned list is the live
+        one; the plan snapshots the object identities to detect structural
+        changes (state loads replace the level sketches wholesale)."""
+        return self._subsample, self._sketches
+
     def process(
         self, stream: TurnstileStream | Iterable[StreamUpdate]
     ) -> "RecursiveGSumSketch":

@@ -28,6 +28,10 @@ from typing import Dict, Iterable, List, Sequence
 import numpy as np
 
 from repro.core.heavy_hitters import OnePassGHeavyHitter, TwoPassGHeavyHitter
+from repro.core.ingest_plan import (
+    fused_update_batch,
+    fused_update_batch_second_pass,
+)
 from repro.core.recursive_sketch import RecursiveGSumSketch
 from repro.functions.base import GFunction
 from repro.functions.library import indicator, moment
@@ -118,11 +122,15 @@ class UniversalGSumSketch(MergeableSketch):
         seed: int | RandomSource | None = None,
         cs_max_buckets: int = 1 << 14,
         cs_pool: int | None = None,
+        fused: bool = True,
     ):
         source = as_source(seed, "universal")
         self.n = int(n)
         self.epsilon = float(epsilon)
         self.repetitions = int(repetitions)
+        self.fused = bool(fused)
+        self._ingest_plan = None
+        self._second_plan = None
         placeholder = moment(2.0)
 
         def factory(level: int, rng: RandomSource):
@@ -164,9 +172,18 @@ class UniversalGSumSketch(MergeableSketch):
     def update_batch(
         self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
     ) -> None:
-        """Batched ingestion into every repetition's recursive sketch."""
+        """Batched ingestion into every repetition's recursive sketch —
+        fused through the shared ingestion plane when the structure
+        allows (bit-for-bit identical; see
+        :mod:`repro.core.ingest_plan`)."""
+        if self.fused and fused_update_batch(self, items, deltas):
+            return
         for sketch in self._sketches:
             sketch.update_batch(items, deltas)
+
+    def _invalidate_ingest_plans(self) -> None:
+        self._ingest_plan = None
+        self._second_plan = None
 
     def process(
         self, stream: TurnstileStream | Iterable[StreamUpdate]
@@ -288,11 +305,13 @@ class UniversalGSumSketch(MergeableSketch):
     def spawn_sibling(self) -> "UniversalGSumSketch":
         sibling = super().spawn_sibling()
         sibling._sketches = [s.spawn_sibling() for s in self._sketches]
+        sibling._invalidate_ingest_plans()
         return sibling
 
     def merge(self, other: "UniversalGSumSketch") -> "UniversalGSumSketch":
         """Merge repetition by repetition."""
         self.require_sibling(other)
+        self._invalidate_ingest_plans()
         for mine, theirs in zip(self._sketches, other._sketches):
             mine.merge(theirs)
         return self
@@ -308,6 +327,7 @@ class UniversalGSumSketch(MergeableSketch):
             sketch.from_state(state)
             for sketch, state in zip(self._sketches, states)
         ]
+        self._invalidate_ingest_plans()
 
 
 class _TwoPassFrequencyLevel(MergeableSketch):
@@ -390,11 +410,15 @@ class TwoPassUniversalSketch(UniversalGSumSketch):
         seed: int | RandomSource | None = None,
         cs_max_buckets: int = 1 << 14,
         cs_pool: int | None = None,
+        fused: bool = True,
     ):
         source = as_source(seed, "universal2")
         self.n = int(n)
         self.epsilon = float(epsilon)
         self.repetitions = int(repetitions)
+        self.fused = bool(fused)
+        self._ingest_plan = None
+        self._second_plan = None
         placeholder = moment(2.0)
 
         def factory(level: int, rng: RandomSource):
@@ -427,6 +451,7 @@ class TwoPassUniversalSketch(UniversalGSumSketch):
         )
 
     def begin_second_pass(self) -> None:
+        self._invalidate_ingest_plans()
         for sketch in self._sketches:
             sketch.begin_second_pass()
 
@@ -437,6 +462,8 @@ class TwoPassUniversalSketch(UniversalGSumSketch):
     def update_batch_second_pass(
         self, items: "np.ndarray | Sequence[int]", deltas: "np.ndarray | Sequence[int]"
     ) -> None:
+        if self.fused and fused_update_batch_second_pass(self, items, deltas):
+            return
         for sketch in self._sketches:
             sketch.update_batch_second_pass(items, deltas)
 

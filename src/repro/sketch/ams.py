@@ -71,6 +71,23 @@ class AmsF2Sketch(MergeableSketch):
         signs = self._signs.signs_batch(unique)
         self._registers += net.astype(np.float64) @ signs
 
+    @property
+    def sign_bank(self) -> "VectorKWiseHash":
+        """The register sign-hash bank.  Hash families are immutable once
+        constructed, so the fused ingest plan evaluates this bank directly
+        and memoizes per-item sign rows across chunks; state loads replace
+        registers but never the bank."""
+        return self._signs
+
+    def apply_net(self, net: np.ndarray, signs: np.ndarray) -> None:
+        """Accumulate a pre-aggregated ``(net, sign-matrix)`` pair — the
+        fused-plan entry point.  ``net`` must be the float64 net deltas of
+        the batch's distinct items and ``signs`` their
+        :attr:`sign_bank` rows; equal bit for bit to :meth:`update_batch`
+        on the underlying batch (same matrix product, and registers are
+        integer-valued sums far below 2^53)."""
+        self._registers += net @ signs
+
     def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "AmsF2Sketch":
         return drive(self, stream)
 

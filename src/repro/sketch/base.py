@@ -268,7 +268,17 @@ class MergeableSketch(ABC):
             )
         sibling = self.spawn_sibling()
         sibling._load_state_payload(state["payload"])
+        sibling._invalidate_ingest_plans()
         return sibling
+
+    def _invalidate_ingest_plans(self) -> None:
+        """Drop any cached fused-ingestion plan (see
+        :mod:`repro.core.ingest_plan`).  Plans hold direct views into a
+        structure's internal tables, so every protocol operation that
+        replaces or rebinds state — ``from_state`` payload loads, merges,
+        codec round-trips, sibling spawns — must call this before the next
+        ingest chunk.  The base sketch caches no plan, so this is a no-op
+        hook; estimator layers that fuse their fan-out override it."""
 
     def freeze(self, codec: str | None = None) -> "MergeableSketch":
         """A copy-on-write snapshot: an independent sibling loaded with this

@@ -169,6 +169,11 @@ class CountSketch(MergeableSketch):
         # order / chunking / sharding leaves the same pool.
         self._candidates: Dict[int, int] = {}
         self._pool_heap: List[tuple[int, int]] = []  # (-hash, -item) max-heap
+        # Sorted snapshot of the pooled item ids, for one-pass vectorized
+        # freshness checks in ``update_batch``.  ``None`` means stale; any
+        # mutation that can evict (scalar admits, prunes, merges, state
+        # loads) drops it, while pure bulk admissions extend it in place.
+        self._cand_arr: "np.ndarray | None" = None
         self._register_mergeable(
             source,
             rows=self.rows,
@@ -225,20 +230,7 @@ class CountSketch(MergeableSketch):
                 bucket_u, weights=sign_u * net, minlength=self.buckets
             )
         if self.track > 0:
-            fresh = [i for i in unique.tolist() if i not in self._candidates]
-            if fresh:
-                hashes = self._pool_hash.values_batch(
-                    np.asarray(fresh, dtype=np.int64)
-                )
-                if self.pool_policy == "evict-by-estimate":
-                    # Bulk-admit then prune once: one vectorized eviction
-                    # pass per chunk instead of one per overflow item.
-                    self._candidates.update(zip(fresh, hashes.tolist()))
-                    if len(self._candidates) > self.pool + self._pool_slack:
-                        self._prune_pool_by_estimate()
-                else:
-                    for item, value in zip(fresh, hashes.tolist()):
-                        self._pool_admit(item, value)
+            self._admit_batch(self._fresh_candidates(unique))
 
     def process(self, stream: TurnstileStream | Iterable[StreamUpdate]) -> "CountSketch":
         return drive(self, stream)
@@ -308,6 +300,63 @@ class CountSketch(MergeableSketch):
 
     # ------------------------------------------------------- candidate pool
 
+    def _fresh_candidates(self, unique: np.ndarray) -> np.ndarray:
+        """Items from the sorted ``unique`` array not yet in the candidate
+        pool, in the same ascending order as the historical per-item ``in``
+        loop — but as one vectorized membership pass (``np.isin`` semantics
+        via a single binary search) against a cached sorted array of pooled
+        ids instead of ``len(unique)`` Python dict probes.
+
+        The cache pays off only while admissions are pure insertions (the
+        common regime: pool below its bound).  Once the pool sits at
+        capacity every admission also evicts, each chunk would force a full
+        re-sort, so the check falls back to the legacy dict loop — same
+        result, and the historical cost — rather than degrade flood
+        workloads."""
+        candidates = self._candidates
+        if not candidates:
+            return unique
+        cand = self._cand_arr
+        if cand is None:
+            if len(candidates) >= self.pool:
+                fresh = [i for i in unique.tolist() if i not in candidates]
+                return np.asarray(fresh, dtype=np.int64)
+            cand = self._cand_arr = np.sort(
+                np.fromiter(candidates.keys(), dtype=np.int64, count=len(candidates))
+            )
+        pos = np.searchsorted(cand, unique)
+        pos[pos == cand.shape[0]] = cand.shape[0] - 1
+        return unique[cand[pos] != unique]
+
+    def _admit_batch(self, fresh: np.ndarray) -> None:
+        """Admit a sorted array of items currently absent from the pool —
+        the bulk tail of :meth:`update_batch`, shared with the fused ingest
+        plan.  Identical admissions (same items, same order) as replaying
+        the array through :meth:`_pool_admit`."""
+        if fresh.shape[0] == 0:
+            return
+        hashes = self._pool_hash.values_batch(fresh)
+        candidates = self._candidates
+        cand = self._cand_arr
+        before = len(candidates)
+        if self.pool_policy == "evict-by-estimate":
+            # Bulk-admit then prune once: one vectorized eviction
+            # pass per chunk instead of one per overflow item.
+            candidates.update(zip(fresh.tolist(), hashes.tolist()))
+            if len(candidates) > self.pool + self._pool_slack:
+                self._cand_arr = None
+                self._prune_pool_by_estimate()
+                return
+        else:
+            for item, value in zip(fresh.tolist(), hashes.tolist()):
+                self._pool_admit(item, value)
+        if cand is not None and len(candidates) == before + fresh.shape[0]:
+            # Pure admissions (no evictions): extend the sorted membership
+            # cache by one merge pass instead of dropping it.
+            self._cand_arr = np.insert(cand, np.searchsorted(cand, fresh), fresh)
+        else:
+            self._cand_arr = None
+
     def _pool_admit(self, item: int, value: int) -> None:
         """Admit ``item`` (not currently pooled) under the active pool
         policy: ``sample`` keeps the ``pool`` smallest (hash, item) pairs
@@ -316,16 +365,19 @@ class CountSketch(MergeableSketch):
         once ``pool + slack`` is exceeded."""
         candidates = self._candidates
         if self.pool_policy == "evict-by-estimate":
+            self._cand_arr = None
             candidates[item] = value
             if len(candidates) > self.pool + self._pool_slack:
                 self._prune_pool_by_estimate()
             return
         if len(candidates) < self.pool:
+            self._cand_arr = None
             candidates[item] = value
             heapq.heappush(self._pool_heap, (-value, -item))
             return
         worst_value, worst_item = self._pool_heap[0]
         if (value, item) < (-worst_value, -worst_item):
+            self._cand_arr = None
             heapq.heappop(self._pool_heap)
             candidates.pop(-worst_item, None)
             candidates[item] = value
@@ -343,6 +395,7 @@ class CountSketch(MergeableSketch):
         time.  One vectorized estimation pass over the whole pool."""
         if len(self._candidates) <= self.pool:
             return
+        self._cand_arr = None
         count = len(self._candidates)
         items = np.fromiter(self._candidates.keys(), dtype=np.int64, count=count)
         values = np.fromiter(self._candidates.values(), dtype=np.int64, count=count)
@@ -415,6 +468,7 @@ class CountSketch(MergeableSketch):
         bounded-pool rule, so the merged sketch is bit-identical to one that
         ingested both streams itself."""
         self.require_sibling(other)
+        self._cand_arr = None
         self._table += other._table
         if self.pool_policy == "evict-by-estimate":
             # Union, then evict against the *merged* table: estimates at
@@ -442,6 +496,7 @@ class CountSketch(MergeableSketch):
             raise ValueError("state table shape mismatch")
         self._table = table
         self._candidates = decode_int_map(payload["candidates"])
+        self._cand_arr = None
         if self.pool_policy == "evict-by-estimate":
             self._pool_heap = []
         else:

@@ -25,7 +25,7 @@ that round-trip the coefficients exactly, bypassing the RNG.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -147,6 +147,77 @@ class VectorKWiseHash:
         return (values & np.uint64(1)).astype(np.float64) * 2.0 - 1.0
 
 
+class StackedKWiseBank:
+    """A stack of same-shape :class:`KWiseHash` polynomials evaluated
+    together: one broadcasted Horner pass over a ``(independence, count)``
+    coefficient plane returns every column's hash of every item.
+
+    This is the fused form of calling ``values_batch`` on ``count``
+    separate :class:`KWiseHash` objects — the ingest plane
+    (:mod:`repro.core.ingest_plan`) stacks every CountSketch row's bucket
+    and sign polynomials (and every repetition's subsampling bits) into
+    banks so a chunk's unique items are hashed for all cells in a handful
+    of numpy operations instead of one call per (cell, row).
+
+    Column ``c`` of :meth:`values_batch` equals
+    ``hashes[c].values_batch(xs)`` bit for bit: the Horner recurrence is
+    the same 31-bit ``_mod_p31`` arithmetic, broadcast over a second axis.
+    """
+
+    def __init__(self, coeffs: np.ndarray, range_size: int):
+        coeffs = np.asarray(coeffs, dtype=np.uint64)
+        if coeffs.ndim != 2:
+            raise ValueError(
+                "stacked coefficients must be 2-D (independence, count)"
+            )
+        if range_size <= 0:
+            raise ValueError("range size must be positive")
+        self._coeffs = coeffs
+        self.range_size = int(range_size)
+        self.independence = int(coeffs.shape[0])
+        self.count = int(coeffs.shape[1])
+
+    @classmethod
+    def from_hashes(cls, hashes: "Sequence[KWiseHash]") -> "StackedKWiseBank":
+        """Stack existing :class:`KWiseHash` families (uniform independence
+        and range) into one bank; the bank is a pure view of their
+        coefficients, so it needs no seed bookkeeping of its own."""
+        stack = list(hashes)
+        if not stack:
+            raise ValueError("need at least one hash to stack")
+        independence = stack[0].independence
+        range_size = stack[0].range_size
+        for h in stack:
+            if h.independence != independence or h.range_size != range_size:
+                raise ValueError(
+                    "stacked hashes must share independence and range size"
+                )
+        coeffs = np.array(
+            [h._coeffs for h in stack], dtype=np.uint64
+        ).T.copy()  # (independence, count), contiguous per Horner step
+        return cls(coeffs, range_size)
+
+    @classmethod
+    def from_sign_hashes(cls, sign_hashes: "Sequence[SignHash]") -> "StackedKWiseBank":
+        """Stack :class:`SignHash` families via their underlying range-2
+        polynomials; use :meth:`signs_batch` on the result."""
+        return cls.from_hashes([sign.base_hash for sign in sign_hashes])
+
+    def values_batch(self, xs: "np.ndarray | Iterable[int]") -> np.ndarray:
+        """Hash values of shape ``(len(xs), count)``; column ``c`` equals
+        the c-th stacked hash's ``values_batch(xs)`` bit for bit."""
+        arg = _batch_arg(xs)[:, None]
+        acc = np.zeros((arg.shape[0], self.count), dtype=np.uint64)
+        for row in self._coeffs:
+            acc = _mod_p31(acc * arg + row[None, :])
+        return (acc % np.uint64(self.range_size)).astype(np.int64)
+
+    def signs_batch(self, xs: "np.ndarray | Iterable[int]") -> np.ndarray:
+        """±1.0 matrix of shape ``(len(xs), count)`` for range-2 stacks;
+        column ``c`` equals ``SignHash.values_batch`` of the c-th hash."""
+        return np.where(self.values_batch(xs) == 1, 1.0, -1.0)
+
+
 class KWiseHash:
     """A k-wise independent hash ``[universe] -> [range_size]``.
 
@@ -244,6 +315,12 @@ class SignHash:
     def __call__(self, x: int) -> int:
         return 1 if self._hash(x) == 1 else -1
 
+    @property
+    def base_hash(self) -> KWiseHash:
+        """The underlying range-2 polynomial (for stacking into a
+        :class:`StackedKWiseBank`)."""
+        return self._hash
+
     def values_batch(self, xs: "np.ndarray | Iterable[int]") -> np.ndarray:
         """+-1 values for a whole item array (``float64``, for use as
         scatter weights); element ``i`` equals ``float(self(xs[i]))``."""
@@ -290,6 +367,12 @@ class SubsampleHash:
         sub._bits = [KWiseHash.from_state(s) for s in state["bits"]]
         sub._level_cache = {}
         return sub
+
+    def bit_hashes(self) -> "list[KWiseHash]":
+        """The per-level pairwise-independent bit hashes, shallow-copied for
+        stacking into a :class:`StackedKWiseBank` (depth of ``x`` = number of
+        leading levels whose bit hash maps ``x`` to 1)."""
+        return list(self._bits)
 
     def level(self, x: int) -> int:
         """Deepest level item ``x`` survives to (0 = present in base stream)."""
